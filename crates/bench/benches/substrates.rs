@@ -1,0 +1,109 @@
+//! Substrate microbenches: wire codec, zone lookup, PDNS wildcard search,
+//! and iterative resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use govdns_bench::fixture;
+use govdns_model::{wire, DomainName, Message, RecordType};
+use govdns_simnet::StubResolver;
+
+fn substrates(c: &mut Criterion) {
+    let f = fixture();
+
+    // Wire codec round-trip on a realistic referral-sized response.
+    let sample_domain: DomainName = f.dataset.discovered[f.dataset.discovered.len() / 2]
+        .name
+        .clone();
+    let q = Message::query(1, sample_domain.clone(), RecordType::Ns);
+    let reply = {
+        // Grab a real response from the network.
+        let mut msg = None;
+        for addr in f.world.network.servers().map(|s| s.addr()) {
+            if let Some(r) = f.world.network.deliver(addr, &q).reply() {
+                if !r.answers.is_empty() || !r.authority.is_empty() {
+                    msg = Some(r.clone());
+                    break;
+                }
+            }
+        }
+        msg.unwrap_or_else(|| q.response())
+    };
+    let encoded = wire::encode(&reply);
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(wire::encode(black_box(&reply)))));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(wire::decode(black_box(&encoded)).expect("valid wire data")))
+    });
+    group.finish();
+
+    // Authoritative zone lookup through a loaded server.
+    let busiest = f
+        .world
+        .network
+        .servers()
+        .max_by_key(|s| s.zones().len())
+        .expect("network has servers");
+    let busy_q = Message::query(2, sample_domain.clone(), RecordType::Ns);
+    c.bench_function("server_handle_query", |b| {
+        b.iter(|| black_box(busiest.handle(black_box(&busy_q))))
+    });
+
+    // PDNS left-hand wildcard search over the biggest seed.
+    let biggest_seed = f
+        .dataset
+        .seeds
+        .iter()
+        .max_by_key(|s| f.world.pdns.search_subtree(&s.name).count())
+        .expect("seeds exist");
+    c.bench_function("pdns_wildcard_search", |b| {
+        b.iter(|| black_box(f.world.pdns.search_subtree(black_box(&biggest_seed.name)).count()))
+    });
+
+    // Full iterative resolution from the root (cold cache each iter).
+    c.bench_function("resolver_iterative_walk", |b| {
+        b.iter(|| {
+            let resolver = StubResolver::new(&f.world.network, f.world.roots.clone());
+            black_box(resolver.resolve(black_box(&sample_domain), RecordType::Ns).ok())
+        })
+    });
+
+    // Zone master-file parse + serialize on a realistic government zone.
+    let zone_text = {
+        let zone = f
+            .world
+            .network
+            .servers()
+            .flat_map(|s| s.zones().iter())
+            .max_by_key(|z| z.rrset_count())
+            .expect("zones exist");
+        govdns_model::zonefile::serialize(zone)
+    };
+    let mut group = c.benchmark_group("zonefile");
+    group.throughput(Throughput::Bytes(zone_text.len() as u64));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(govdns_model::zonefile::parse(black_box(&zone_text)).unwrap()))
+    });
+    group.finish();
+
+    // Passive-DNS TSV export/import throughput.
+    let tsv = govdns_pdns::export::to_tsv(&f.world.pdns);
+    let mut group = c.benchmark_group("pdns_tsv");
+    group.throughput(Throughput::Bytes(tsv.len() as u64));
+    group.sample_size(10);
+    group.bench_function("export", |b| {
+        b.iter(|| black_box(govdns_pdns::export::to_tsv(black_box(&f.world.pdns)).len()))
+    });
+    group.bench_function("import", |b| {
+        b.iter(|| black_box(govdns_pdns::export::from_tsv(black_box(&tsv)).unwrap().len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = substrates
+}
+criterion_main!(benches);

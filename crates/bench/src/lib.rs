@@ -1,0 +1,49 @@
+//! Shared fixtures for the benchmark harness: one world and one completed
+//! measurement campaign, built once and reused by every bench target so
+//! the timed sections measure the analyses, not world generation.
+
+use std::sync::OnceLock;
+
+use govdns_core::analysis::longitudinal::Longitudinal;
+use govdns_core::{run_campaign, Campaign, MeasurementDataset, RunnerConfig};
+use govdns_world::{ProviderMatcher, World, WorldConfig, WorldGenerator};
+
+/// Scale used by the benchmark world (2% of paper scale keeps Criterion
+/// iterations meaningful without multi-minute setup).
+pub const BENCH_SCALE: f64 = 0.02;
+
+/// Everything a bench needs, pre-built.
+pub struct Fixture {
+    /// The generated world.
+    pub world: World,
+    /// Provider classification rules.
+    pub matchers: Vec<ProviderMatcher>,
+    /// A completed campaign.
+    pub dataset: MeasurementDataset,
+    /// The longitudinal PDNS index.
+    pub longitudinal: Longitudinal,
+}
+
+impl Fixture {
+    /// A campaign view over the fixture's world.
+    pub fn campaign(&self) -> Campaign<'_> {
+        Campaign::new(&self.world, &self.matchers)
+    }
+}
+
+/// The process-wide fixture.
+pub fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let world =
+            WorldGenerator::new(WorldConfig::small(2022).with_scale(BENCH_SCALE)).generate();
+        let matchers = world.catalog.matchers();
+        let (dataset, longitudinal) = {
+            let campaign = Campaign::new(&world, &matchers);
+            let dataset = run_campaign(&campaign, RunnerConfig::default());
+            let lon = Longitudinal::build(&campaign, &dataset.seeds);
+            (dataset, lon)
+        };
+        Fixture { world, matchers, dataset, longitudinal }
+    })
+}

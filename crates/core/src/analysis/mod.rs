@@ -1,0 +1,15 @@
+//! The §IV analyses: each submodule reproduces one subsection of the
+//! paper's characterization, producing typed results that the report
+//! renders as the corresponding tables and figures.
+
+pub mod concentration;
+pub mod consistency;
+pub mod delegation;
+pub mod diversity;
+pub mod longitudinal;
+pub mod providers;
+pub mod remedies;
+pub mod replication;
+
+#[cfg(test)]
+pub(crate) mod testutil;

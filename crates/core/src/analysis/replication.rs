@@ -1,0 +1,513 @@
+//! §IV-A — nameserver replication: the decade of PDNS history (Figs 2,
+//! 3, 4, 6, 7) and the active-measurement view (Figs 8, 9).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use govdns_model::{DateRange, DomainName, Year};
+use govdns_world::CountryCode;
+
+use crate::analysis::longitudinal::{DomainHistory, Longitudinal};
+use crate::stats::{self, Cdf};
+use crate::tables::{fmt_pct, TextTable};
+use crate::MeasurementDataset;
+
+/// Fig 2 + Fig 3: yearly PDNS totals.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct YearlyTotals {
+    /// Per year: `(domains, countries, nameserver hostnames)`.
+    pub rows: Vec<(Year, usize, usize, usize)>,
+}
+
+impl YearlyTotals {
+    /// Computes the yearly totals over the *raw* PDNS data, as the paper
+    /// presents Figs 2–3 (§III-B summarizes the data before the §III-C
+    /// stability filtering; the 192.6k figure includes transient
+    /// records).
+    pub fn compute_raw(campaign: &crate::Campaign<'_>, seeds: &[crate::seed::SeedDomain]) -> Self {
+        let rows = Longitudinal::years()
+            .map(|year| {
+                let window = DateRange::year(year);
+                let mut domains: BTreeSet<DomainName> = BTreeSet::new();
+                let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
+                let mut hostnames: BTreeSet<DomainName> = BTreeSet::new();
+                for seed in seeds {
+                    for e in campaign.pdns.search_subtree_in(
+                        &seed.name,
+                        window,
+                        Some(govdns_model::RecordType::Ns),
+                    ) {
+                        if let Some(host) = e.rdata.as_ns() {
+                            hostnames.insert(host.clone());
+                        }
+                        domains.insert(e.name);
+                        countries.insert(seed.country);
+                    }
+                }
+                (year, domains.len(), countries.len(), hostnames.len())
+            })
+            .collect();
+        YearlyTotals { rows }
+    }
+
+    /// Computes the yearly totals over the stability-filtered
+    /// longitudinal index (the population the analyses run on).
+    pub fn compute(lon: &Longitudinal) -> Self {
+        let rows = Longitudinal::years()
+            .map(|year| {
+                let window = DateRange::year(year);
+                let mut domains = 0usize;
+                let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
+                let mut hostnames: BTreeSet<&DomainName> = BTreeSet::new();
+                for h in lon.active_in_year(year) {
+                    domains += 1;
+                    countries.insert(h.country);
+                    for host in h.ns_hosts_in(&window) {
+                        hostnames.insert(host);
+                    }
+                }
+                (year, domains, countries.len(), hostnames.len())
+            })
+            .collect();
+        YearlyTotals { rows }
+    }
+
+    /// Domain count for a year.
+    pub fn domains(&self, year: Year) -> usize {
+        self.rows.iter().find(|r| r.0 == year).map_or(0, |r| r.1)
+    }
+
+    /// Nameserver-hostname count for a year.
+    pub fn nameservers(&self, year: Year) -> usize {
+        self.rows.iter().find(|r| r.0 == year).map_or(0, |r| r.3)
+    }
+
+    /// Renders Figs 2–3 as one table.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(["year", "domains", "countries", "nameservers"]);
+        for &(y, d, c, ns) in &self.rows {
+            t.push_row([y.to_string(), d.to_string(), c.to_string(), ns.to_string()]);
+        }
+        t
+    }
+}
+
+/// Fig 4: domains per country in the 2020 PDNS data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainsPerCountry {
+    /// `(country, domains)` sorted descending.
+    pub rows: Vec<(CountryCode, usize)>,
+}
+
+impl DomainsPerCountry {
+    /// Computes Fig 4 for `year`.
+    pub fn compute(lon: &Longitudinal, year: Year) -> Self {
+        let mut map: BTreeMap<CountryCode, usize> = BTreeMap::new();
+        for h in lon.active_in_year(year) {
+            *map.entry(h.country).or_insert(0) += 1;
+        }
+        let mut rows: Vec<(CountryCode, usize)> = map.into_iter().collect();
+        rows.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        DomainsPerCountry { rows }
+    }
+
+    /// Renders the distribution.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(["country", "domains"]);
+        for (c, n) in &self.rows {
+            t.push_row([c.to_string(), n.to_string()]);
+        }
+        t
+    }
+}
+
+/// The per-year single-nameserver cohort and its churn (Fig 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleNsChurn {
+    /// Per year: the count of `d_1NS` domains.
+    pub d1ns_per_year: Vec<(Year, usize)>,
+    /// Per year in 2012–2020: `(year, pct_new, pct_from_2011,
+    /// pct_2011_cohort_gone)`.
+    pub churn: Vec<(Year, f64, f64, f64)>,
+}
+
+impl SingleNsChurn {
+    /// Identifies `d_1NS` cohorts per year and their overlap with the
+    /// 2011 cohort.
+    pub fn compute(lon: &Longitudinal) -> Self {
+        let cohorts: Vec<(Year, BTreeSet<&DomainName>)> = Longitudinal::years()
+            .map(|year| {
+                let set: BTreeSet<&DomainName> = lon
+                    .active_in_year(year)
+                    .filter(|h| h.ns_mode(year) == Some(1))
+                    .map(|h| &h.name)
+                    .collect();
+                (year, set)
+            })
+            .collect();
+        let d1ns_per_year: Vec<(Year, usize)> =
+            cohorts.iter().map(|(y, s)| (*y, s.len())).collect();
+        let base = &cohorts[0].1;
+        let mut churn = Vec::new();
+        for w in cohorts.windows(2) {
+            let (_, prev) = &w[0];
+            let (year, cur) = &w[1];
+            let new = cur.difference(prev).count();
+            let from_2011 = cur.intersection(base).count();
+            let active_names: BTreeSet<&DomainName> = lon
+                .active_in_year(*year)
+                .map(|h| &h.name)
+                .collect();
+            let gone_2011 =
+                base.iter().filter(|n| !active_names.contains(*n)).count();
+            churn.push((
+                *year,
+                stats::pct(new, cur.len()),
+                stats::pct(from_2011, cur.len()),
+                stats::pct(gone_2011, base.len()),
+            ));
+        }
+        SingleNsChurn { d1ns_per_year, churn }
+    }
+
+    /// Renders Fig 6.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new([
+            "year",
+            "d1ns",
+            "% new vs prev year",
+            "% from 2011 cohort",
+            "% of 2011 cohort gone",
+        ]);
+        for &(y, count) in &self.d1ns_per_year {
+            let (pn, p11, g11) = self
+                .churn
+                .iter()
+                .find(|c| c.0 == y)
+                .map(|c| (fmt_pct(c.1), fmt_pct(c.2), fmt_pct(c.3)))
+                .unwrap_or_else(|| ("-".into(), "-".into(), "-".into()));
+            t.push_row([y.to_string(), count.to_string(), pn, p11, g11]);
+        }
+        t
+    }
+}
+
+/// Fig 7: private-deployment share, `d_1NS` vs all domains, per year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivateShare {
+    /// Per year: `(year, d1ns_private_pct, all_private_pct)`.
+    pub rows: Vec<(Year, f64, f64)>,
+}
+
+impl PrivateShare {
+    /// Computes Fig 7.
+    pub fn compute(lon: &Longitudinal) -> Self {
+        let rows = Longitudinal::years()
+            .map(|year| {
+                let window = DateRange::year(year);
+                let mut all = 0usize;
+                let mut all_private = 0usize;
+                let mut d1 = 0usize;
+                let mut d1_private = 0usize;
+                for h in lon.active_in_year(year) {
+                    all += 1;
+                    let private = h.private_in(&window);
+                    if private {
+                        all_private += 1;
+                    }
+                    if h.ns_mode(year) == Some(1) {
+                        d1 += 1;
+                        if private {
+                            d1_private += 1;
+                        }
+                    }
+                }
+                (year, stats::pct(d1_private, d1), stats::pct(all_private, all))
+            })
+            .collect();
+        PrivateShare { rows }
+    }
+
+    /// Renders Fig 7.
+    pub fn table(&self) -> TextTable {
+        let mut t = TextTable::new(["year", "d1ns private", "all domains private"]);
+        for &(y, d1, all) in &self.rows {
+            t.push_row([y.to_string(), fmt_pct(d1), fmt_pct(all)]);
+        }
+        t
+    }
+}
+
+/// The active-measurement replication view (Figs 8 and 9 plus the §IV-A
+/// headline shares).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActiveReplication {
+    /// CDF of the number of nameservers (`|P ∪ C|`) per responsive
+    /// domain (Fig 9).
+    pub ns_count_cdf: Cdf,
+    /// Share of responsive domains with ≥ 2 nameservers.
+    pub multi_ns_share: f64,
+    /// Responsive single-NS domains.
+    pub d1ns_total: usize,
+    /// Of those, the share with no authoritative response (Fig 8's
+    /// 60.1% headline).
+    pub d1ns_stale_share: f64,
+    /// Per `d_gov`: `(seed, d1ns, d1ns without any authoritative
+    /// response)` for seeds with at least one `d_1NS` (Fig 8).
+    pub d1ns_stale_by_seed: Vec<(DomainName, usize, usize)>,
+    /// Countries where ≥ 10% of responsive domains are single-NS.
+    pub high_d1ns_countries: Vec<(CountryCode, usize, usize)>,
+    /// Countries where no responsive domain has fewer than 2 NS.
+    pub all_replicated_countries: usize,
+}
+
+impl ActiveReplication {
+    /// Computes the active view over responsive (non-empty-parent)
+    /// domains.
+    pub fn compute(ds: &MeasurementDataset) -> Self {
+        let mut counts: Vec<f64> = Vec::new();
+        let mut d1ns_total = 0usize;
+        let mut d1ns_stale = 0usize;
+        let mut by_seed: BTreeMap<DomainName, (usize, usize)> = BTreeMap::new();
+        let mut per_country: BTreeMap<CountryCode, (usize, usize)> = BTreeMap::new();
+
+        for (i, probe) in ds.probes.iter().enumerate() {
+            if !probe.parent_nonempty() {
+                continue;
+            }
+            let n = probe.ns_union().len();
+            counts.push(n as f64);
+            let country = ds.country_of(i);
+            let slot = per_country.entry(country).or_insert((0, 0));
+            slot.0 += 1;
+            if n == 1 {
+                slot.1 += 1;
+                d1ns_total += 1;
+                let seed = ds.seed_of(i).clone();
+                let s = by_seed.entry(seed).or_insert((0, 0));
+                s.0 += 1;
+                if !probe.has_authoritative_answer() {
+                    d1ns_stale += 1;
+                    s.1 += 1;
+                }
+            }
+        }
+
+        let multi = counts.iter().filter(|&&c| c >= 2.0).count();
+        let multi_ns_share = stats::pct(multi, counts.len());
+        let mut d1ns_stale_by_seed: Vec<(DomainName, usize, usize)> =
+            by_seed.into_iter().map(|(s, (a, b))| (s, a, b)).collect();
+        d1ns_stale_by_seed.sort_by_key(|&(_, a, _)| std::cmp::Reverse(a));
+        let high_d1ns_countries: Vec<(CountryCode, usize, usize)> = per_country
+            .iter()
+            .filter(|(_, &(total, d1))| total > 0 && d1 * 10 >= total && d1 > 0)
+            .map(|(&c, &(total, d1))| (c, total, d1))
+            .collect();
+        let all_replicated_countries =
+            per_country.values().filter(|&&(total, d1)| total > 0 && d1 == 0).count();
+
+        ActiveReplication {
+            ns_count_cdf: Cdf::new(counts),
+            multi_ns_share,
+            d1ns_total,
+            d1ns_stale_share: stats::pct(d1ns_stale, d1ns_total),
+            d1ns_stale_by_seed,
+            high_d1ns_countries,
+            all_replicated_countries,
+        }
+    }
+
+    /// Renders Fig 9 as cumulative shares at 1..=6 nameservers.
+    pub fn cdf_table(&self) -> TextTable {
+        let mut t = TextTable::new(["nameservers <=", "share of domains"]);
+        for k in 1..=6 {
+            t.push_row([k.to_string(), fmt_pct(100.0 * self.ns_count_cdf.at(k as f64))]);
+        }
+        t
+    }
+
+    /// Renders Fig 8 (top 15 seeds by `d_1NS` count).
+    pub fn stale_table(&self) -> TextTable {
+        let mut t = TextTable::new(["d_gov", "d1ns", "no auth response", "share"]);
+        for (seed, total, stale) in self.d1ns_stale_by_seed.iter().take(15) {
+            t.push_row([
+                seed.to_string(),
+                total.to_string(),
+                stale.to_string(),
+                fmt_pct(stats::pct(*stale, *total)),
+            ]);
+        }
+        t
+    }
+}
+
+/// Keeps `DomainHistory` available to downstream users of this module.
+pub type History = DomainHistory;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::testutil::{
+        dataset, history, longitudinal, n, ns_entry, year, ProbeBuilder,
+    };
+
+    fn demo_longitudinal() -> Longitudinal {
+        longitudinal(vec![
+            // Replicated all decade, private.
+            history(
+                "a.gov.zz",
+                "zz",
+                vec![
+                    ns_entry("a.gov.zz", "ns1.a.gov.zz", (2011, 1, 1), (2020, 12, 31)),
+                    ns_entry("a.gov.zz", "ns2.a.gov.zz", (2011, 1, 1), (2020, 12, 31)),
+                ],
+            ),
+            // Single-NS 2011-2015, provider-hosted.
+            history(
+                "b.gov.zz",
+                "zz",
+                vec![ns_entry("b.gov.zz", "ns1.prov.example", (2011, 1, 1), (2015, 6, 1))],
+            ),
+            // Single-NS appearing in 2016 (new cohort member).
+            history(
+                "c.gov.zz",
+                "zz",
+                vec![ns_entry("c.gov.zz", "ns9.c.gov.zz", (2016, 2, 1), (2020, 12, 31))],
+            ),
+            // Another country, replicated, appears 2014.
+            history(
+                "d.gov.yy",
+                "yy",
+                vec![
+                    ns_entry("d.gov.yy", "ns1.x.example", (2014, 1, 1), (2020, 12, 31)),
+                    ns_entry("d.gov.yy", "ns2.x.example", (2014, 1, 1), (2020, 12, 31)),
+                ],
+            ),
+        ])
+    }
+
+    #[test]
+    fn yearly_totals_count_domains_countries_hosts() {
+        let y = YearlyTotals::compute(&demo_longitudinal());
+        assert_eq!(y.domains(2011), 2);
+        assert_eq!(y.domains(2014), 3);
+        assert_eq!(y.domains(2020), 3); // b is gone by 2016
+        let (_, _, countries_2014, _) = y.rows[3];
+        assert_eq!(countries_2014, 2);
+        assert_eq!(y.nameservers(2011), 3);
+        assert_eq!(y.nameservers(2020), 5);
+        assert!(y.table().to_text().contains("2020"));
+    }
+
+    #[test]
+    fn domains_per_country_sorts_descending() {
+        let d = DomainsPerCountry::compute(&demo_longitudinal(), 2020);
+        assert_eq!(d.rows[0].1, 2); // zz: a + c
+        assert_eq!(d.rows[1].1, 1); // yy: d
+        assert!(d.table().to_csv().contains("zz"));
+    }
+
+    #[test]
+    fn churn_tracks_cohorts() {
+        let c = SingleNsChurn::compute(&demo_longitudinal());
+        // 2011 cohort: {b}. 2016 cohort: {c} (b died, c new).
+        let d1_2011 = c.d1ns_per_year.iter().find(|r| r.0 == 2011).unwrap().1;
+        let d1_2016 = c.d1ns_per_year.iter().find(|r| r.0 == 2016).unwrap().1;
+        assert_eq!(d1_2011, 1);
+        assert_eq!(d1_2016, 1);
+        let (_, pct_new, pct_2011, pct_gone) =
+            *c.churn.iter().find(|r| r.0 == 2016).unwrap();
+        assert_eq!(pct_new, 100.0);
+        assert_eq!(pct_2011, 0.0);
+        assert_eq!(pct_gone, 100.0, "b is inactive by 2016");
+        assert!(c.table().to_text().contains("2016"));
+    }
+
+    #[test]
+    fn private_share_separates_populations() {
+        let p = PrivateShare::compute(&demo_longitudinal());
+        // 2011: d1NS = {b} (provider) → 0% private; all = {a (private), b}
+        // → 50%.
+        let (_, d1_2011, all_2011) = p.rows[0];
+        assert_eq!(d1_2011, 0.0);
+        assert_eq!(all_2011, 50.0);
+        // 2016+: d1NS = {c} (own host under gov.zz... c's host is
+        // ns9.c.gov.zz, within the seed) → 100% private.
+        let (_, d1_2016, _) = p.rows[5];
+        assert_eq!(d1_2016, 100.0);
+        assert!(p.table().to_text().contains("2016"));
+    }
+
+    #[test]
+    fn ns_daily_mode_via_history() {
+        let h = history(
+            "m.gov.zz",
+            "zz",
+            vec![
+                ns_entry("m.gov.zz", "ns1.m.gov.zz", (2015, 1, 1), (2015, 12, 31)),
+                ns_entry("m.gov.zz", "ns2.m.gov.zz", (2015, 8, 1), (2015, 12, 31)),
+            ],
+        );
+        // 7 months at 1 NS vs 5 at 2 NS → mode 1.
+        assert_eq!(h.ns_mode(2015), Some(1));
+        assert_eq!(h.ns_mode(2012), None);
+        assert!(h.active_in(&year(2015)));
+        assert!(!h.active_in(&year(2012)));
+    }
+
+    #[test]
+    fn active_replication_counts_and_stale() {
+        let ds = dataset(vec![
+            (
+                ProbeBuilder::new("a.gov.zz")
+                    .parent(&["ns1.x", "ns2.x"])
+                    .child(&["ns1.x", "ns2.x"])
+                    .serving("ns1.x", [192, 0, 2, 1])
+                    .serving("ns2.x", [192, 0, 2, 2])
+                    .build(),
+                "zz",
+            ),
+            // Live single-NS.
+            (
+                ProbeBuilder::new("b.gov.zz")
+                    .parent(&["ns1.b.gov.zz"])
+                    .child(&["ns1.b.gov.zz"])
+                    .serving("ns1.b.gov.zz", [192, 0, 2, 3])
+                    .build(),
+                "zz",
+            ),
+            // Stale single-NS.
+            (
+                ProbeBuilder::new("c.gov.zz")
+                    .parent(&["ns1.c.gov.zz"])
+                    .dead("ns1.c.gov.zz", [192, 0, 2, 4])
+                    .build(),
+                "zz",
+            ),
+            // Healthy pair in another country.
+            (
+                ProbeBuilder::new("d.gov.yy")
+                    .parent(&["ns1.y", "ns2.y"])
+                    .child(&["ns1.y", "ns2.y"])
+                    .serving("ns1.y", [192, 0, 2, 5])
+                    .serving("ns2.y", [192, 0, 2, 6])
+                    .build(),
+                "yy",
+            ),
+        ]);
+        let ar = ActiveReplication::compute(&ds);
+        assert_eq!(ar.d1ns_total, 2);
+        assert_eq!(ar.d1ns_stale_share, 50.0);
+        assert_eq!(ar.multi_ns_share, 50.0);
+        assert_eq!(ar.ns_count_cdf.len(), 4);
+        // zz has 3 domains of which 2 single → ≥10% list.
+        assert_eq!(ar.high_d1ns_countries.len(), 1);
+        assert_eq!(ar.high_d1ns_countries[0].0, govdns_world::CountryCode::new("zz"));
+        // yy has no single-NS domain.
+        assert_eq!(ar.all_replicated_countries, 1);
+        assert!(ar.cdf_table().to_text().contains("share"));
+        assert!(ar.stale_table().to_text().contains("gov.zz"));
+        let _ = n("x");
+    }
+}

@@ -1,0 +1,268 @@
+//! Hand-built fixtures for analysis unit tests: probe builders, dataset
+//! assembly, and a minimal campaign.
+
+use std::net::Ipv4Addr;
+
+use govdns_model::{DomainName, SimDate};
+use govdns_simnet::{AsnDb, SimNetwork};
+use govdns_world::{
+    countries, Country, CountryCode, ProviderMatcher, Registrar, RegistryDocs, UnKnowledgeBase,
+    WebArchive,
+};
+
+use crate::discovery::DiscoveredDomain;
+use crate::probe::{DomainProbe, ResponseClass, ServerObservation, ServerProbe};
+use crate::seed::{SeedDomain, SeedKind, SeedProvenance};
+use crate::{Campaign, MeasurementDataset};
+
+pub(crate) fn n(s: &str) -> DomainName {
+    s.parse().expect("test names are valid")
+}
+
+/// Builder for a [`DomainProbe`].
+pub(crate) struct ProbeBuilder {
+    probe: DomainProbe,
+}
+
+impl ProbeBuilder {
+    /// Sets the fetched SOA.
+    pub(crate) fn soa(mut self, mname: &str, rname: &str) -> Self {
+        self.probe.soa = Some(govdns_model::Soa::new(n(mname), n(rname)));
+        self
+    }
+
+    pub(crate) fn new(domain: &str) -> Self {
+        let domain = n(domain);
+        ProbeBuilder {
+            probe: DomainProbe {
+                parent_zone: domain.parent(),
+                domain,
+                parent_addrs: vec![Ipv4Addr::new(10, 0, 0, 1)],
+                parent_observations: vec![ServerObservation {
+                    addr: Ipv4Addr::new(10, 0, 0, 1),
+                    class: ResponseClass::Empty(0),
+                }],
+                parent_ns: Vec::new(),
+                child_ns: Vec::new(),
+                servers: Vec::new(),
+                soa: None,
+                queries: 1,
+                elapsed_ms: 1,
+                rounds: 1,
+            },
+        }
+    }
+
+    /// Parent-side NS set.
+    pub(crate) fn parent(mut self, hosts: &[&str]) -> Self {
+        self.probe.parent_ns = hosts.iter().map(|h| n(h)).collect();
+        self
+    }
+
+    /// Child-side NS set.
+    pub(crate) fn child(mut self, hosts: &[&str]) -> Self {
+        self.probe.child_ns = hosts.iter().map(|h| n(h)).collect();
+        self
+    }
+
+    /// Adds a server that answers authoritatively at `addr`.
+    pub(crate) fn serving(mut self, host: &str, addr: [u8; 4]) -> Self {
+        let host = n(host);
+        self.probe.servers.push(ServerProbe {
+            in_parent: self.probe.parent_ns.contains(&host),
+            in_child: self.probe.child_ns.contains(&host),
+            host: host.clone(),
+            addrs: vec![Ipv4Addr::from(addr)],
+            observations: vec![ServerObservation {
+                addr: Ipv4Addr::from(addr),
+                class: ResponseClass::Authoritative(
+                    self.probe.child_ns.clone().into_iter().collect(),
+                ),
+            }],
+        });
+        self
+    }
+
+    /// Adds a defective server: resolvable but silent.
+    pub(crate) fn dead(mut self, host: &str, addr: [u8; 4]) -> Self {
+        let host = n(host);
+        self.probe.servers.push(ServerProbe {
+            in_parent: self.probe.parent_ns.contains(&host),
+            in_child: self.probe.child_ns.contains(&host),
+            host,
+            addrs: vec![Ipv4Addr::from(addr)],
+            observations: vec![ServerObservation {
+                addr: Ipv4Addr::from(addr),
+                class: ResponseClass::Timeout,
+            }],
+        });
+        self
+    }
+
+    /// Adds an unresolvable server.
+    pub(crate) fn unresolvable(mut self, host: &str) -> Self {
+        let host = n(host);
+        self.probe.servers.push(ServerProbe {
+            in_parent: self.probe.parent_ns.contains(&host),
+            in_child: self.probe.child_ns.contains(&host),
+            host,
+            addrs: Vec::new(),
+            observations: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a server that responds but without authority (lame).
+    pub(crate) fn lame(mut self, host: &str, addr: [u8; 4]) -> Self {
+        let host = n(host);
+        self.probe.servers.push(ServerProbe {
+            in_parent: self.probe.parent_ns.contains(&host),
+            in_child: self.probe.child_ns.contains(&host),
+            host,
+            addrs: vec![Ipv4Addr::from(addr)],
+            observations: vec![ServerObservation {
+                addr: Ipv4Addr::from(addr),
+                class: ResponseClass::Rejected(5),
+            }],
+        });
+        self
+    }
+
+    /// Marks the parent as silent (no response at all).
+    pub(crate) fn parent_silent(mut self) -> Self {
+        for o in &mut self.probe.parent_observations {
+            o.class = ResponseClass::Timeout;
+        }
+        self
+    }
+
+    pub(crate) fn build(self) -> DomainProbe {
+        self.probe
+    }
+}
+
+/// A dataset over `(probe, country-code)` pairs, with one suffix seed per
+/// country mentioned.
+pub(crate) fn dataset(probes: Vec<(DomainProbe, &str)>) -> MeasurementDataset {
+    let mut seeds: Vec<SeedDomain> = Vec::new();
+    let mut discovered = Vec::new();
+    let mut only_probes = Vec::new();
+    for (probe, cc) in probes {
+        let country = CountryCode::new(cc);
+        let seed_name = n(&format!("gov.{cc}"));
+        if !seeds.iter().any(|s: &SeedDomain| s.country == country) {
+            seeds.push(SeedDomain {
+                country,
+                name: seed_name.clone(),
+                kind: SeedKind::ReservedSuffix,
+                earliest_government_use: None,
+                provenance: SeedProvenance::PortalLink,
+                portal_resolved: true,
+            });
+        }
+        discovered.push(DiscoveredDomain {
+            name: probe.domain.clone(),
+            country,
+            seed: seed_name,
+        });
+        only_probes.push(probe);
+    }
+    MeasurementDataset {
+        seeds,
+        discovered,
+        probes: only_probes,
+        traffic: Default::default(),
+        collection_date: SimDate::from_ymd(2021, 4, 15),
+        retried: 0,
+    }
+}
+
+/// Owner of the pieces a [`Campaign`] borrows.
+pub(crate) struct CampaignFixture {
+    pub unkb: UnKnowledgeBase,
+    pub docs: RegistryDocs,
+    pub webarchive: WebArchive,
+    pub pdns: govdns_pdns::PdnsDb,
+    pub network: SimNetwork,
+    pub roots: Vec<Ipv4Addr>,
+    pub asn_db: AsnDb,
+    pub registrar: Registrar,
+    pub matchers: Vec<ProviderMatcher>,
+    pub countries: Vec<Country>,
+}
+
+impl Default for CampaignFixture {
+    fn default() -> Self {
+        CampaignFixture {
+            unkb: UnKnowledgeBase::new(),
+            docs: RegistryDocs::new(),
+            webarchive: WebArchive::new(),
+            pdns: govdns_pdns::PdnsDb::new(),
+            network: SimNetwork::new(0),
+            roots: vec![Ipv4Addr::new(10, 0, 0, 1)],
+            asn_db: AsnDb::new(),
+            registrar: Registrar::new(),
+            matchers: Vec::new(),
+            countries: countries(),
+        }
+    }
+}
+
+impl CampaignFixture {
+    pub(crate) fn campaign(&self) -> Campaign<'_> {
+        Campaign {
+            unkb: &self.unkb,
+            registry_docs: &self.docs,
+            webarchive: &self.webarchive,
+            pdns: &self.pdns,
+            network: &self.network,
+            roots: &self.roots,
+            asn_db: &self.asn_db,
+            registrar: &self.registrar,
+            matchers: &self.matchers,
+            countries: &self.countries,
+            collection_date: SimDate::from_ymd(2021, 4, 15),
+        }
+    }
+}
+
+use crate::analysis::longitudinal::{DomainHistory, Longitudinal};
+use govdns_model::DateRange;
+use govdns_pdns::PdnsEntry;
+
+/// Builds one PDNS NS entry spanning `[from, to]` (inclusive, y/m/d).
+pub(crate) fn ns_entry(
+    owner: &str,
+    target: &str,
+    from: (i32, u32, u32),
+    to: (i32, u32, u32),
+) -> PdnsEntry {
+    PdnsEntry {
+        name: n(owner),
+        rdata: govdns_model::RecordData::Ns(n(target)),
+        first_seen: SimDate::from_ymd(from.0, from.1, from.2),
+        last_seen: SimDate::from_ymd(to.0, to.1, to.2),
+        count: 1,
+    }
+}
+
+/// Builds a history under `gov.{cc}`.
+pub(crate) fn history(owner: &str, cc: &str, entries: Vec<PdnsEntry>) -> DomainHistory {
+    DomainHistory {
+        name: n(owner),
+        country: CountryCode::new(cc),
+        seed: n(&format!("gov.{cc}")),
+        ns_entries: entries,
+        soa_entries: Vec::new(),
+    }
+}
+
+/// Wraps histories into a longitudinal view.
+pub(crate) fn longitudinal(histories: Vec<DomainHistory>) -> Longitudinal {
+    Longitudinal { histories }
+}
+
+/// The whole-year range helper.
+pub(crate) fn year(y: i32) -> DateRange {
+    DateRange::year(y)
+}

@@ -1,0 +1,58 @@
+use govdns_pdns::PdnsDb;
+use govdns_simnet::{AsnDb, SimNetwork};
+use govdns_world::{
+    Country, ProviderMatcher, Registrar, RegistryDocs, UnKnowledgeBase, WebArchive, World,
+};
+
+use govdns_model::SimDate;
+use std::net::Ipv4Addr;
+
+/// Everything the pipeline is allowed to see — the equivalents of the
+/// real study's inputs. Notably *not* the world's generation ground
+/// truth.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign<'w> {
+    /// The UN E-Government Knowledge Base.
+    pub unkb: &'w UnKnowledgeBase,
+    /// ccTLD registry documentation (IANA root DB + registry policies).
+    pub registry_docs: &'w RegistryDocs,
+    /// The Web Archive.
+    pub webarchive: &'w WebArchive,
+    /// The passive-DNS database.
+    pub pdns: &'w PdnsDb,
+    /// The internet.
+    pub network: &'w SimNetwork,
+    /// Root-server hints.
+    pub roots: &'w [Ipv4Addr],
+    /// The GeoIP2-style prefix→ASN database.
+    pub asn_db: &'w AsnDb,
+    /// The registrar storefront for availability/price checks.
+    pub registrar: &'w Registrar,
+    /// Public provider-classification knowledge (naming patterns).
+    pub matchers: &'w [ProviderMatcher],
+    /// The UN member-state list with sub-regions.
+    pub countries: &'w [Country],
+    /// Date of the active campaign.
+    pub collection_date: SimDate,
+}
+
+impl<'w> Campaign<'w> {
+    /// Views a generated world through the pipeline's keyhole. The
+    /// matcher list must outlive the campaign, so the caller materializes
+    /// it once.
+    pub fn new(world: &'w World, matchers: &'w [ProviderMatcher]) -> Self {
+        Campaign {
+            unkb: &world.unkb,
+            registry_docs: &world.registry_docs,
+            webarchive: &world.webarchive,
+            pdns: &world.pdns,
+            network: &world.network,
+            roots: &world.roots,
+            asn_db: &world.asn_db,
+            registrar: &world.registrar,
+            matchers,
+            countries: &world.countries,
+            collection_date: world.collection_date,
+        }
+    }
+}

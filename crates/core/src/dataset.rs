@@ -1,0 +1,221 @@
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use govdns_model::{DomainName, SimDate};
+use govdns_simnet::TrafficStats;
+use govdns_world::CountryCode;
+
+use crate::discovery::DiscoveredDomain;
+use crate::probe::DomainProbe;
+use crate::seed::SeedDomain;
+
+/// The §III-B collection funnel: how many domains survived each stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Funnel {
+    /// Domains queried after discovery and filtering.
+    pub queried: usize,
+    /// Domains with ≥ 1 response from a parent-zone nameserver.
+    pub parent_responsive: usize,
+    /// Domains with ≥ 1 non-empty parent response.
+    pub parent_nonempty: usize,
+    /// Domains with ≥ 1 authoritative answer from their own nameservers.
+    pub child_responsive: usize,
+}
+
+/// The complete output of a measurement campaign: seeds, the discovered
+/// domain list, one probe per domain, and bookkeeping.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MeasurementDataset {
+    /// The seed domains.
+    pub seeds: Vec<SeedDomain>,
+    /// Discovered domains (country attribution included).
+    pub discovered: Vec<DiscoveredDomain>,
+    /// One probe per discovered domain, same order.
+    pub probes: Vec<DomainProbe>,
+    /// Simulated-network traffic totals for the campaign.
+    pub traffic: TrafficStats,
+    /// Campaign date.
+    pub collection_date: SimDate,
+    /// Probes that received a second round.
+    pub retried: usize,
+}
+
+impl MeasurementDataset {
+    /// The funnel counts.
+    pub fn funnel(&self) -> Funnel {
+        let mut f = Funnel { queried: self.probes.len(), ..Funnel::default() };
+        for p in &self.probes {
+            if p.parent_responsive() {
+                f.parent_responsive += 1;
+            }
+            if p.parent_nonempty() {
+                f.parent_nonempty += 1;
+            }
+            if p.has_authoritative_answer() {
+                f.child_responsive += 1;
+            }
+        }
+        f
+    }
+
+    /// Country of the `i`-th probe.
+    pub fn country_of(&self, i: usize) -> CountryCode {
+        self.discovered[i].country
+    }
+
+    /// Iterates `(probe, country)` pairs.
+    pub fn probes_with_country(
+        &self,
+    ) -> impl Iterator<Item = (&DomainProbe, CountryCode)> + '_ {
+        self.probes.iter().zip(self.discovered.iter().map(|d| d.country))
+    }
+
+    /// The seed (`d_gov`) each domain belongs to.
+    pub fn seed_of(&self, i: usize) -> &DomainName {
+        &self.discovered[i].seed
+    }
+
+    /// Per-country probe counts (for per-country figures).
+    pub fn domains_per_country(&self) -> BTreeMap<CountryCode, usize> {
+        let mut map = BTreeMap::new();
+        for d in &self.discovered {
+            *map.entry(d.country).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// The seed domains indexed by country.
+    pub fn seeds_by_country(&self) -> BTreeMap<CountryCode, &SeedDomain> {
+        self.seeds.iter().map(|s| (s.country, s)).collect()
+    }
+
+    /// One-row-per-domain CSV of the campaign's outcome — the artifact a
+    /// downstream analyst would load into their own tooling.
+    pub fn to_summary_csv(&self) -> String {
+        let mut t = crate::tables::TextTable::new([
+            "domain",
+            "country",
+            "seed",
+            "parent_zone",
+            "parent_responsive",
+            "parent_ns",
+            "child_ns",
+            "authoritative",
+            "defective_ns",
+            "total_ns",
+            "addrs",
+            "queries",
+            "rounds",
+        ]);
+        for (i, p) in self.probes.iter().enumerate() {
+            let defective = p.servers.iter().filter(|s| s.is_defective()).count();
+            let join = |v: &[govdns_model::DomainName]| -> String {
+                v.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
+            };
+            t.push_row([
+                p.domain.to_string(),
+                self.country_of(i).to_string(),
+                self.seed_of(i).to_string(),
+                p.parent_zone.as_ref().map(|z| z.to_string()).unwrap_or_default(),
+                p.parent_responsive().to_string(),
+                join(&p.parent_ns),
+                join(&p.child_ns),
+                p.has_authoritative_answer().to_string(),
+                defective.to_string(),
+                p.servers.len().to_string(),
+                p.ns_addrs().len().to_string(),
+                p.queries.to_string(),
+                p.rounds.to_string(),
+            ]);
+        }
+        t.to_csv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{ResponseClass, ServerObservation, ServerProbe};
+    use crate::seed::{SeedKind, SeedProvenance};
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn probe(domain: &str, parent_responds: bool, p: &[&str], auth: bool) -> DomainProbe {
+        let addr = Ipv4Addr::new(192, 0, 2, 1);
+        DomainProbe {
+            domain: n(domain),
+            parent_zone: Some(n("gov.zz")),
+            parent_addrs: vec![addr],
+            parent_observations: if parent_responds {
+                vec![ServerObservation { addr, class: ResponseClass::Empty(0) }]
+            } else {
+                vec![ServerObservation { addr, class: ResponseClass::Timeout }]
+            },
+            parent_ns: p.iter().map(|s| n(s)).collect(),
+            child_ns: Vec::new(),
+            servers: p
+                .iter()
+                .map(|s| ServerProbe {
+                    host: n(s),
+                    in_parent: true,
+                    in_child: false,
+                    addrs: vec![addr],
+                    observations: vec![ServerObservation {
+                        addr,
+                        class: if auth {
+                            ResponseClass::Authoritative(vec![n(s)])
+                        } else {
+                            ResponseClass::Timeout
+                        },
+                    }],
+                })
+                .collect(),
+            soa: None,
+            queries: 1,
+            elapsed_ms: 1,
+            rounds: 1,
+        }
+    }
+
+    #[test]
+    fn funnel_counts_each_stage() {
+        let ds = MeasurementDataset {
+            seeds: vec![SeedDomain {
+                country: CountryCode::new("zz"),
+                name: n("gov.zz"),
+                kind: SeedKind::ReservedSuffix,
+                earliest_government_use: None,
+                provenance: SeedProvenance::PortalLink,
+                portal_resolved: true,
+            }],
+            discovered: (0..4)
+                .map(|i| crate::discovery::DiscoveredDomain {
+                    name: n(&format!("d{i}.gov.zz")),
+                    country: CountryCode::new("zz"),
+                    seed: n("gov.zz"),
+                })
+                .collect(),
+            probes: vec![
+                probe("d0.gov.zz", false, &[], false), // parent dead
+                probe("d1.gov.zz", true, &[], false),  // removed
+                probe("d2.gov.zz", true, &["ns1.gov.zz"], false), // stale
+                probe("d3.gov.zz", true, &["ns1.gov.zz"], true),  // healthy
+            ],
+            traffic: TrafficStats::default(),
+            collection_date: SimDate::from_ymd(2021, 4, 15),
+            retried: 0,
+        };
+        let f = ds.funnel();
+        assert_eq!(f.queried, 4);
+        assert_eq!(f.parent_responsive, 3);
+        assert_eq!(f.parent_nonempty, 2);
+        assert_eq!(f.child_responsive, 1);
+        assert_eq!(ds.domains_per_country()[&CountryCode::new("zz")], 4);
+        assert_eq!(ds.country_of(2), CountryCode::new("zz"));
+        assert_eq!(ds.seed_of(0), &n("gov.zz"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # govdns-core
+//!
+//! The paper's measurement pipeline — the primary contribution of the
+//! reproduction. Given the substrates a real campaign would have (the UN
+//! Knowledge Base, a passive-DNS database, the network, an ASN database,
+//! and a registrar storefront), it:
+//!
+//! 1. selects government seed domains ([`seed`]) with every exception
+//!    branch of §III-A (unresolvable links, MSQ fallbacks, unverifiable
+//!    suffixes, registered-domain portals),
+//! 2. expands them into the studied domain list via left-hand wildcard
+//!    PDNS searches with the stability and disposable filters
+//!    ([`discovery`]),
+//! 3. actively probes each domain per Figure 1 — parent walk, referral,
+//!    child queries, per-address NS lookups — with a second retry round
+//!    ([`ProbeClient`], [`run_campaign`]),
+//! 4. runs the §IV analyses: nameserver replication and its decade of
+//!    history ([`analysis::replication`]), topological diversity
+//!    ([`analysis::diversity`]), third-party provider dependence
+//!    ([`analysis::providers`]), defective delegations and hijack risk
+//!    ([`analysis::delegation`]), and parent/child consistency
+//!    ([`analysis::consistency`]),
+//! 5. renders every table and figure of the paper ([`report`]).
+//!
+//! The pipeline never touches generation ground truth; validation tests
+//! compare its outputs against [`World::truth`] from the outside.
+//!
+//! [`World::truth`]: govdns_world::World::truth
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod campaign;
+mod dataset;
+pub mod discovery;
+mod probe;
+mod ratelimit;
+pub mod report;
+mod runner;
+pub mod seed;
+pub mod stats;
+pub mod tables;
+
+pub use campaign::Campaign;
+pub use dataset::{Funnel, MeasurementDataset};
+pub use probe::{DomainProbe, ProbeClient, ResponseClass, ServerObservation, ServerProbe};
+pub use ratelimit::RateLimiter;
+pub use runner::{RunnerConfig, run_campaign};

@@ -1,0 +1,679 @@
+//! Active measurement of one domain (§III-B, Figure 1).
+//!
+//! For a domain `d`: ① locate the authoritative nameservers of `d`'s
+//! parent zone by walking down from the root, querying for `d`'s NS
+//! records; ② a referral naming `d` itself (or an in-bailiwick
+//! authoritative answer) gives the parent-side NS set `P`; ③ resolve
+//! every nameserver in `P` and query each address for `d`'s NS records;
+//! ④ authoritative answers give the child-side set `C`; nameservers that
+//! appear only in `C` are then resolved and queried as well.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use govdns_model::{DomainName, Message, Rcode, RecordType, Soa};
+use govdns_simnet::{SimNetwork, StubResolver};
+
+use crate::ratelimit::RateLimiter;
+
+const MAX_WALK_DEPTH: usize = 12;
+const MAX_CHILD_HOSTS: usize = 32;
+
+/// What one address said when asked for the domain's NS records.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResponseClass {
+    /// An authoritative answer carrying these NS targets.
+    Authoritative(Vec<DomainName>),
+    /// A non-authoritative referral.
+    Referral {
+        /// The delegation point named in the authority section.
+        cut: DomainName,
+        /// NS targets of the cut.
+        targets: Vec<DomainName>,
+        /// Glue addresses from the additional section.
+        glue: Vec<(DomainName, Ipv4Addr)>,
+    },
+    /// A response with no usable NS data (NXDOMAIN / NODATA), with the
+    /// rcode.
+    Empty(u8),
+    /// REFUSED / SERVFAIL / other rejection, with the rcode.
+    Rejected(u8),
+    /// No response at all.
+    Timeout,
+}
+
+impl ResponseClass {
+    fn of(reply: Option<&Message>, qname: &DomainName) -> ResponseClass {
+        let Some(msg) = reply else { return ResponseClass::Timeout };
+        match msg.rcode {
+            Rcode::Refused | Rcode::ServFail | Rcode::FormErr | Rcode::NotImp => {
+                ResponseClass::Rejected(msg.rcode.code())
+            }
+            Rcode::NxDomain => ResponseClass::Empty(msg.rcode.code()),
+            Rcode::NoError => {
+                let answers: Vec<DomainName> = msg
+                    .answers
+                    .iter()
+                    .filter(|r| r.name == *qname)
+                    .filter_map(|r| r.data.as_ns().cloned())
+                    .collect();
+                if msg.aa && !answers.is_empty() {
+                    return ResponseClass::Authoritative(answers);
+                }
+                // A referral: the deepest authority-section NS owner that
+                // encloses (or is) the query name. An "upward referral"
+                // to the root carries cut = root.
+                let mut cut: Option<DomainName> = None;
+                for rr in &msg.authority {
+                    if rr.rtype() == RecordType::Ns && qname.is_within(&rr.name) {
+                        let deeper =
+                            cut.as_ref().map(|c| rr.name.level() > c.level()).unwrap_or(true);
+                        if deeper {
+                            cut = Some(rr.name.clone());
+                        }
+                    }
+                }
+                if let Some(cut) = cut {
+                    if !msg.aa {
+                        let targets: Vec<DomainName> = msg
+                            .authority
+                            .iter()
+                            .filter(|r| r.name == cut)
+                            .filter_map(|r| r.data.as_ns().cloned())
+                            .collect();
+                        let glue: Vec<(DomainName, Ipv4Addr)> = msg
+                            .additional
+                            .iter()
+                            .filter_map(|r| r.data.as_a().map(|a| (r.name.clone(), a)))
+                            .collect();
+                        return ResponseClass::Referral { cut, targets, glue };
+                    }
+                }
+                ResponseClass::Empty(msg.rcode.code())
+            }
+        }
+    }
+
+    /// NS targets carried, if any.
+    pub fn ns_targets(&self) -> &[DomainName] {
+        match self {
+            ResponseClass::Authoritative(t) => t,
+            ResponseClass::Referral { targets, .. } => targets,
+            _ => &[],
+        }
+    }
+
+    /// Whether this is an authoritative answer.
+    pub fn is_authoritative(&self) -> bool {
+        matches!(self, ResponseClass::Authoritative(_))
+    }
+
+    /// Whether any packet came back.
+    pub fn responded(&self) -> bool {
+        !matches!(self, ResponseClass::Timeout)
+    }
+}
+
+/// One query observation against one address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerObservation {
+    /// The address queried.
+    pub addr: Ipv4Addr,
+    /// What it said.
+    pub class: ResponseClass,
+}
+
+/// Everything learned about one nameserver of the probed domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerProbe {
+    /// The NS target hostname (as listed in `P` and/or `C`).
+    pub host: DomainName,
+    /// Whether the hostname appeared in the parent-side set.
+    pub in_parent: bool,
+    /// Whether the hostname appeared in the child-side set.
+    pub in_child: bool,
+    /// IPv4 addresses it resolved to (empty: unresolvable).
+    pub addrs: Vec<Ipv4Addr>,
+    /// Per-address NS-query outcomes.
+    pub observations: Vec<ServerObservation>,
+}
+
+impl ServerProbe {
+    /// Whether the nameserver could not be resolved at all.
+    pub fn unresolvable(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Whether at least one address returned an authoritative answer —
+    /// i.e. the nameserver actually serves the zone.
+    pub fn serves_zone(&self) -> bool {
+        self.observations.iter().any(|o| o.class.is_authoritative())
+    }
+
+    /// The paper's notion of a *defective* nameserver for this zone:
+    /// unresolvable, silent, or answering without authority.
+    pub fn is_defective(&self) -> bool {
+        !self.serves_zone()
+    }
+
+    /// Whether any address produced any response at all.
+    pub fn responded(&self) -> bool {
+        self.observations.iter().any(|o| o.class.responded())
+    }
+}
+
+/// The full probe record for one domain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainProbe {
+    /// The probed domain.
+    pub domain: DomainName,
+    /// The zone the walk last obtained referrals from (the parent zone),
+    /// if the walk got anywhere.
+    pub parent_zone: Option<DomainName>,
+    /// Addresses of the parent zone's nameservers that were queried.
+    pub parent_addrs: Vec<Ipv4Addr>,
+    /// Per-address responses from the parent zone's nameservers.
+    pub parent_observations: Vec<ServerObservation>,
+    /// The parent-side NS set `P`.
+    pub parent_ns: Vec<DomainName>,
+    /// The child-side NS set `C` (union of authoritative answers).
+    pub child_ns: Vec<DomainName>,
+    /// Per-nameserver results over `P ∪ C`.
+    pub servers: Vec<ServerProbe>,
+    /// The zone's SOA, fetched from the first serving nameserver — its
+    /// MNAME/RNAME feed provider classification (§IV-B).
+    pub soa: Option<Soa>,
+    /// Total queries this probe spent (including side resolutions).
+    pub queries: u32,
+    /// Total simulated waiting, milliseconds.
+    pub elapsed_ms: u32,
+    /// How many probe rounds this record aggregates.
+    pub rounds: u8,
+}
+
+impl DomainProbe {
+    /// ≥ 1 response (of any kind) from a parent-zone nameserver — the
+    /// 147k→115k funnel predicate.
+    pub fn parent_responsive(&self) -> bool {
+        self.parent_observations.iter().any(|o| o.class.responded())
+    }
+
+    /// ≥ 1 non-empty parent response — the 115k→96k funnel predicate.
+    pub fn parent_nonempty(&self) -> bool {
+        !self.parent_ns.is_empty()
+    }
+
+    /// Whether any nameserver authoritatively answered for the domain.
+    pub fn has_authoritative_answer(&self) -> bool {
+        self.servers.iter().any(ServerProbe::serves_zone)
+    }
+
+    /// `P ∪ C` as a sorted set.
+    pub fn ns_union(&self) -> BTreeSet<DomainName> {
+        self.parent_ns.iter().chain(&self.child_ns).cloned().collect()
+    }
+
+    /// Every distinct IPv4 address the domain's nameservers resolve to.
+    pub fn ns_addrs(&self) -> BTreeSet<Ipv4Addr> {
+        self.servers.iter().flat_map(|s| s.addrs.iter().copied()).collect()
+    }
+
+    /// Defective-delegation classification over `P ∪ C`:
+    /// `(any_defective, fully_defective)`.
+    pub fn defective(&self) -> (bool, bool) {
+        if self.servers.is_empty() {
+            return (false, false);
+        }
+        let defective = self.servers.iter().filter(|s| s.is_defective()).count();
+        (defective > 0, defective == self.servers.len())
+    }
+}
+
+/// The active-measurement client: walks the hierarchy and probes domains.
+#[derive(Debug)]
+pub struct ProbeClient<'n> {
+    network: &'n SimNetwork,
+    resolver: StubResolver<'n>,
+    limiter: RateLimiter,
+}
+
+impl<'n> ProbeClient<'n> {
+    /// Creates a client with its own resolver cache and rate limiter.
+    pub fn new(network: &'n SimNetwork, roots: Vec<Ipv4Addr>, limiter: RateLimiter) -> Self {
+        ProbeClient { network, resolver: StubResolver::new(network, roots), limiter }
+    }
+
+    /// The client's resolver (shared cache).
+    pub fn resolver(&self) -> &StubResolver<'n> {
+        &self.resolver
+    }
+
+    /// Probes one domain per the Figure-1 procedure.
+    pub fn probe(&self, domain: &DomainName) -> DomainProbe {
+        let mut probe = DomainProbe {
+            domain: domain.clone(),
+            parent_zone: None,
+            parent_addrs: Vec::new(),
+            parent_observations: Vec::new(),
+            parent_ns: Vec::new(),
+            child_ns: Vec::new(),
+            servers: Vec::new(),
+            soa: None,
+            queries: 0,
+            elapsed_ms: 0,
+            rounds: 1,
+        };
+        self.walk_to_parent(domain, &mut probe);
+        self.query_child_side(domain, &mut probe);
+        self.fetch_soa(domain, &mut probe);
+        probe
+    }
+
+    /// Fetches the zone's SOA from the first serving nameserver.
+    fn fetch_soa(&self, domain: &DomainName, probe: &mut DomainProbe) {
+        let Some(addr) = probe
+            .servers
+            .iter()
+            .find(|s| s.serves_zone())
+            .and_then(|s| s.addrs.first().copied())
+        else {
+            return;
+        };
+        self.limiter.acquire();
+        let q = Message::query((probe.queries % 0xFFFF) as u16, domain.clone(), RecordType::Soa);
+        let out = self.network.deliver(addr, &q);
+        probe.queries += 1;
+        probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
+        if let Some(reply) = out.reply() {
+            if reply.is_authoritative_answer() {
+                probe.soa = reply
+                    .answers
+                    .iter()
+                    .find_map(|rr| rr.data.as_soa().cloned());
+            }
+        }
+    }
+
+    /// Re-runs the child-side queries (the paper's second round for
+    /// transient failures) and merges the results into `probe`.
+    pub fn retry_child_side(&self, probe: &mut DomainProbe) {
+        let domain = probe.domain.clone();
+        let mut fresh = DomainProbe {
+            domain: domain.clone(),
+            parent_zone: probe.parent_zone.clone(),
+            parent_addrs: probe.parent_addrs.clone(),
+            // Keep the first round's parent responses: their glue is what
+            // resolves in-bailiwick targets of a dead child zone.
+            parent_observations: probe.parent_observations.clone(),
+            parent_ns: probe.parent_ns.clone(),
+            child_ns: Vec::new(),
+            servers: Vec::new(),
+            soa: None,
+            queries: 0,
+            elapsed_ms: 0,
+            rounds: 0,
+        };
+        self.query_child_side(&domain, &mut fresh);
+        for s in fresh.servers {
+            match probe.servers.iter_mut().find(|p| p.host == s.host) {
+                Some(existing) => {
+                    if s.serves_zone() && !existing.serves_zone() {
+                        let in_parent = existing.in_parent;
+                        *existing = s;
+                        existing.in_parent = in_parent;
+                    }
+                }
+                None => probe.servers.push(s),
+            }
+        }
+        for c in fresh.child_ns {
+            if !probe.child_ns.contains(&c) {
+                probe.child_ns.push(c);
+            }
+        }
+        for s in &mut probe.servers {
+            s.in_child = probe.child_ns.contains(&s.host);
+        }
+        probe.queries += fresh.queries;
+        probe.elapsed_ms = probe.elapsed_ms.saturating_add(fresh.elapsed_ms);
+        probe.rounds += 1;
+    }
+
+    fn send(&self, dst: Ipv4Addr, qname: &DomainName, probe: &mut DomainProbe) -> ResponseClass {
+        self.limiter.acquire();
+        let q = Message::query((probe.queries % 0xFFFF) as u16, qname.clone(), RecordType::Ns);
+        let out = self.network.deliver(dst, &q);
+        probe.queries += 1;
+        probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
+        ResponseClass::of(out.reply(), qname)
+    }
+
+    /// Resolves a hostname, charging the probe for the side queries.
+    fn side_resolve(&self, host: &DomainName, probe: &mut DomainProbe) -> Vec<Ipv4Addr> {
+        self.limiter.acquire();
+        match self.resolver.resolve(host, RecordType::A) {
+            Ok(res) => {
+                probe.queries += res.queries;
+                probe.elapsed_ms = probe.elapsed_ms.saturating_add(res.elapsed_ms);
+                res.addresses()
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Walks from the root toward the domain, recording the parent-zone
+    /// level: its addresses, responses, and the parent-side NS set.
+    fn walk_to_parent(&self, domain: &DomainName, probe: &mut DomainProbe) {
+        let mut level: Vec<Ipv4Addr> = self.resolver.roots().to_vec();
+        let mut level_zone = DomainName::root();
+
+        for _ in 0..MAX_WALK_DEPTH {
+            let mut next: Option<(DomainName, Vec<Ipv4Addr>)> = None;
+            let mut observations: Vec<ServerObservation> = Vec::new();
+            let mut p: Vec<DomainName> = Vec::new();
+            let mut done = false;
+
+            for &addr in &level {
+                let class = self.send(addr, domain, probe);
+                match &class {
+                    ResponseClass::Authoritative(targets) => {
+                        for t in targets {
+                            if !p.contains(t) {
+                                p.push(t.clone());
+                            }
+                        }
+                        done = true;
+                    }
+                    ResponseClass::Referral { cut, targets, glue } => {
+                        if cut == domain {
+                            for t in targets {
+                                if !p.contains(t) {
+                                    p.push(t.clone());
+                                }
+                            }
+                            done = true;
+                        } else if cut.is_subdomain_of(&level_zone)
+                            && domain.is_subdomain_of(cut)
+                            && next.is_none()
+                        {
+                            let mut addrs = Vec::new();
+                            for t in targets {
+                                let glued: Vec<Ipv4Addr> = glue
+                                    .iter()
+                                    .filter(|(n, _)| n == t)
+                                    .map(|&(_, a)| a)
+                                    .collect();
+                                if glued.is_empty() {
+                                    addrs.extend(self.side_resolve(t, probe));
+                                } else {
+                                    addrs.extend(glued);
+                                }
+                            }
+                            addrs.dedup();
+                            next = Some((cut.clone(), addrs));
+                        }
+                        // Upward or sideways referrals: useless, move on.
+                    }
+                    _ => {}
+                }
+                observations.push(ServerObservation { addr, class });
+            }
+
+            if done || next.is_none() {
+                probe.parent_zone = Some(level_zone);
+                probe.parent_addrs = level;
+                probe.parent_observations = observations;
+                probe.parent_ns = p;
+                return;
+            }
+            let (zone, addrs) = next.expect("just checked");
+            if addrs.is_empty() {
+                // Glueless, unresolvable delegation: the parent zone is
+                // unreachable — record the silence.
+                probe.parent_zone = Some(zone);
+                return;
+            }
+            level_zone = zone;
+            level = addrs;
+        }
+    }
+
+    /// Step ③–④ plus the final per-address sweep: query every identified
+    /// nameserver for the domain's NS records.
+    fn query_child_side(&self, domain: &DomainName, probe: &mut DomainProbe) {
+        let mut pending: Vec<DomainName> = Vec::new();
+        for h in &probe.parent_ns {
+            if !pending.contains(h) {
+                pending.push(h.clone());
+            }
+        }
+        let mut seen: BTreeSet<DomainName> = pending.iter().cloned().collect();
+        let mut processed = 0usize;
+
+        // Glue from the parent's referrals resolves in-bailiwick targets
+        // below the cut — the only source of addresses for them when the
+        // child zone itself is dead.
+        let mut glue_map: std::collections::HashMap<DomainName, Vec<Ipv4Addr>> =
+            std::collections::HashMap::new();
+        for obs in &probe.parent_observations {
+            if let ResponseClass::Referral { glue, .. } = &obs.class {
+                for (host, addr) in glue {
+                    let slot = glue_map.entry(host.clone()).or_default();
+                    if !slot.contains(addr) {
+                        slot.push(*addr);
+                    }
+                }
+            }
+        }
+
+        while let Some(host) = pending.first().cloned() {
+            pending.remove(0);
+            processed += 1;
+            if processed > MAX_CHILD_HOSTS {
+                break;
+            }
+            let addrs = match glue_map.get(&host) {
+                Some(glued) => glued.clone(),
+                None => self.side_resolve(&host, probe),
+            };
+            let mut observations = Vec::new();
+            for &addr in &addrs {
+                let class = self.send(addr, domain, probe);
+                if let ResponseClass::Authoritative(targets) = &class {
+                    for t in targets {
+                        if !probe.child_ns.contains(t) {
+                            probe.child_ns.push(t.clone());
+                        }
+                        if seen.insert(t.clone()) {
+                            pending.push(t.clone());
+                        }
+                    }
+                }
+                observations.push(ServerObservation { addr, class });
+            }
+            probe.servers.push(ServerProbe {
+                in_parent: probe.parent_ns.contains(&host),
+                in_child: false, // fixed below
+                host,
+                addrs,
+                observations,
+            });
+        }
+        for s in &mut probe.servers {
+            s.in_child = probe.child_ns.contains(&s.host);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govdns_model::{DomainName as DN, Soa, Zone};
+    use govdns_simnet::{AuthoritativeServer, ServerBehavior};
+
+    fn n(s: &str) -> DN {
+        s.parse().unwrap()
+    }
+
+    /// root → zz → gov.zz, with one healthy child (a.gov.zz), one stale
+    /// child (stale.gov.zz, dead NS), one centrally hosted child
+    /// (central.gov.zz, served by the gov.zz servers themselves), and a
+    /// deeper tree under inter.gov.zz.
+    fn network() -> (SimNetwork, Vec<Ipv4Addr>) {
+        let mut net = SimNetwork::new(3);
+        let root_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let tld_ip = Ipv4Addr::new(10, 1, 0, 1);
+        let gov_ip = Ipv4Addr::new(10, 2, 0, 1);
+        let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+        let inter_ip = Ipv4Addr::new(10, 4, 0, 1);
+
+        let mut root = Zone::new(DN::root());
+        root.add_ns(DN::root(), n("ns1.rootns.net"));
+        root.add_a(n("ns1.rootns.net"), root_ip);
+        root.add_ns(n("zz"), n("ns1.nic.zz"));
+        root.add_glue(n("ns1.nic.zz"), tld_ip);
+        net.add_server(
+            AuthoritativeServer::new(root_ip, ServerBehavior::Responsive).with_zone(root),
+        );
+
+        let mut tld = Zone::new(n("zz"));
+        tld.add_ns(n("zz"), n("ns1.nic.zz"));
+        tld.add_a(n("ns1.nic.zz"), tld_ip);
+        tld.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        tld.add_glue(n("ns1.gov.zz"), gov_ip);
+        net.add_server(
+            AuthoritativeServer::new(tld_ip, ServerBehavior::Responsive).with_zone(tld),
+        );
+
+        let mut gov = Zone::new(n("gov.zz"));
+        gov.set_soa(Soa::new(n("ns1.gov.zz"), n("hostmaster.gov.zz")));
+        gov.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        gov.add_a(n("ns1.gov.zz"), gov_ip);
+        // Healthy delegation.
+        gov.add_ns(n("a.gov.zz"), n("ns1.a.gov.zz"));
+        gov.add_ns(n("a.gov.zz"), n("ns2.a.gov.zz"));
+        gov.add_glue(n("ns1.a.gov.zz"), a_ip);
+        gov.add_glue(n("ns2.a.gov.zz"), a_ip);
+        // Stale delegation: glue points nowhere.
+        gov.add_ns(n("stale.gov.zz"), n("ns1.stale.gov.zz"));
+        gov.add_glue(n("ns1.stale.gov.zz"), Ipv4Addr::new(10, 9, 9, 9));
+        // Centrally hosted child (same servers as the parent).
+        gov.add_ns(n("central.gov.zz"), n("ns1.gov.zz"));
+        // Dead intermediate with a child below it.
+        gov.add_ns(n("inter.gov.zz"), n("ns1.inter.gov.zz"));
+        gov.add_glue(n("ns1.inter.gov.zz"), inter_ip);
+
+        let mut central = Zone::new(n("central.gov.zz"));
+        central.add_ns(n("central.gov.zz"), n("ns1.gov.zz"));
+        let gov_server = AuthoritativeServer::new(gov_ip, ServerBehavior::Responsive)
+            .with_zone(gov)
+            .with_zone(central);
+        net.add_server(gov_server);
+
+        let mut a = Zone::new(n("a.gov.zz"));
+        a.add_ns(n("a.gov.zz"), n("ns1.a.gov.zz"));
+        a.add_ns(n("a.gov.zz"), n("ns2.a.gov.zz"));
+        a.add_a(n("ns1.a.gov.zz"), a_ip);
+        a.add_a(n("ns2.a.gov.zz"), a_ip);
+        net.add_server(AuthoritativeServer::new(a_ip, ServerBehavior::Responsive).with_zone(a));
+
+        // inter_ip is intentionally unrouted: the intermediate is dead.
+        let _ = inter_ip;
+
+        (net, vec![root_ip])
+    }
+
+    fn client(net: &SimNetwork, roots: Vec<Ipv4Addr>) -> ProbeClient<'_> {
+        ProbeClient::new(net, roots, RateLimiter::default())
+    }
+
+    #[test]
+    fn healthy_domain_full_walk() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let p = c.probe(&n("a.gov.zz"));
+        assert_eq!(p.parent_zone, Some(n("gov.zz")));
+        assert!(p.parent_responsive());
+        assert_eq!(p.parent_ns.len(), 2);
+        assert_eq!(p.child_ns.len(), 2);
+        assert!(p.has_authoritative_answer());
+        assert_eq!(p.defective(), (false, false));
+        assert_eq!(p.ns_union().len(), 2);
+        assert_eq!(p.ns_addrs().len(), 1, "both NS share one address");
+    }
+
+    #[test]
+    fn removed_domain_gets_empty_parent_response() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let p = c.probe(&n("removed.gov.zz"));
+        assert!(p.parent_responsive());
+        assert!(!p.parent_nonempty());
+        assert!(!p.has_authoritative_answer());
+    }
+
+    #[test]
+    fn stale_domain_is_fully_defective() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let p = c.probe(&n("stale.gov.zz"));
+        assert!(p.parent_nonempty());
+        assert!(!p.has_authoritative_answer());
+        assert_eq!(p.defective(), (true, true));
+        assert_eq!(p.servers.len(), 1);
+        assert!(!p.servers[0].responded());
+    }
+
+    #[test]
+    fn central_hosting_answers_at_the_parent_step() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let p = c.probe(&n("central.gov.zz"));
+        // The gov.zz server is authoritative for the child, so the walk
+        // records an in-bailiwick authoritative answer as P.
+        assert!(p.parent_nonempty());
+        assert_eq!(p.parent_ns, vec![n("ns1.gov.zz")]);
+        assert!(p.has_authoritative_answer());
+    }
+
+    #[test]
+    fn dead_subtree_child_has_unreachable_parent() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let p = c.probe(&n("x.inter.gov.zz"));
+        assert_eq!(p.parent_zone, Some(n("inter.gov.zz")));
+        assert!(!p.parent_responsive(), "obs: {:?}", p.parent_observations);
+        assert!(!p.parent_nonempty());
+    }
+
+    #[test]
+    fn retry_merges_rounds() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let mut p = c.probe(&n("stale.gov.zz"));
+        let queries_before = p.queries;
+        c.retry_child_side(&mut p);
+        assert_eq!(p.rounds, 2);
+        assert!(p.queries > queries_before);
+        assert!(!p.has_authoritative_answer(), "retry cannot revive a dead zone");
+    }
+
+    #[test]
+    fn response_class_distinctions() {
+        let (net, roots) = network();
+        let c = client(&net, roots);
+        let p = c.probe(&n("a.gov.zz"));
+        // Parent observations are referrals, not answers.
+        assert!(p
+            .parent_observations
+            .iter()
+            .any(|o| matches!(o.class, ResponseClass::Referral { .. })));
+        // Server observations are authoritative.
+        assert!(p.servers.iter().all(|s| s
+            .observations
+            .iter()
+            .all(|o| o.class.is_authoritative())));
+    }
+}

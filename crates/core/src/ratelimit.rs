@@ -1,0 +1,92 @@
+//! Query pacing — the ethics machinery of §III-D.
+//!
+//! The real campaign ran from one static address with a research PTR
+//! record and limited its query rate. In the simulation queries are
+//! instantaneous, so the limiter *accounts* instead of sleeping: it
+//! tracks the total query count and computes how long the campaign would
+//! take at the configured rate, which the report surfaces.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared query-budget meter.
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    issued: AtomicU64,
+    max_qps: u32,
+}
+
+impl RateLimiter {
+    /// Creates a limiter capped at `max_qps` queries per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_qps` is zero.
+    pub fn new(max_qps: u32) -> Self {
+        assert!(max_qps > 0, "rate limit must be positive");
+        RateLimiter { inner: Arc::new(Inner { issued: AtomicU64::new(0), max_qps }) }
+    }
+
+    /// Accounts for one query about to be sent.
+    pub fn acquire(&self) {
+        self.inner.issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total queries issued so far.
+    pub fn issued(&self) -> u64 {
+        self.inner.issued.load(Ordering::Relaxed)
+    }
+
+    /// The configured cap.
+    pub fn max_qps(&self) -> u32 {
+        self.inner.max_qps
+    }
+
+    /// Wall-clock seconds the campaign would need at the configured rate.
+    pub fn paced_duration_secs(&self) -> u64 {
+        self.issued().div_ceil(u64::from(self.inner.max_qps))
+    }
+}
+
+impl Default for RateLimiter {
+    /// 200 queries per second — modest for a research scanner.
+    fn default() -> Self {
+        RateLimiter::new(200)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_paces() {
+        let rl = RateLimiter::new(100);
+        for _ in 0..250 {
+            rl.acquire();
+        }
+        assert_eq!(rl.issued(), 250);
+        assert_eq!(rl.paced_duration_secs(), 3);
+        assert_eq!(rl.max_qps(), 100);
+    }
+
+    #[test]
+    fn clones_share_the_budget() {
+        let rl = RateLimiter::new(10);
+        let rl2 = rl.clone();
+        rl.acquire();
+        rl2.acquire();
+        assert_eq!(rl.issued(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        RateLimiter::new(0);
+    }
+}

@@ -1,0 +1,319 @@
+//! One-call reproduction of every table and figure in the paper's
+//! evaluation, plus the §III funnel and traffic/ethics accounting.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis::concentration::ConcentrationAnalysis;
+use crate::analysis::consistency::ConsistencyAnalysis;
+use crate::analysis::delegation::DelegationAnalysis;
+use crate::analysis::diversity::DiversityTable;
+use crate::analysis::longitudinal::Longitudinal;
+use crate::analysis::providers::ProviderAnalysis;
+use crate::analysis::remedies::RemediationSummary;
+use crate::analysis::replication::{
+    ActiveReplication, DomainsPerCountry, PrivateShare, SingleNsChurn, YearlyTotals,
+};
+use crate::{run_campaign, Campaign, Funnel, MeasurementDataset, RunnerConfig};
+
+/// Level mix of the studied domains (§III-B).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LevelMix {
+    /// Second-level share (%).
+    pub second: f64,
+    /// Third-level share (%).
+    pub third: f64,
+    /// Fourth-level share (%).
+    pub fourth: f64,
+    /// Fifth-level-and-deeper share (%).
+    pub fifth_plus: f64,
+}
+
+impl LevelMix {
+    /// Computes the mix over discovered domains.
+    pub fn compute(ds: &MeasurementDataset) -> Self {
+        let total = ds.discovered.len();
+        let mut counts = [0usize; 4];
+        for d in &ds.discovered {
+            let idx = match d.name.level() {
+                0..=2 => 0,
+                3 => 1,
+                4 => 2,
+                _ => 3,
+            };
+            counts[idx] += 1;
+        }
+        LevelMix {
+            second: crate::stats::pct(counts[0], total),
+            third: crate::stats::pct(counts[1], total),
+            fourth: crate::stats::pct(counts[2], total),
+            fifth_plus: crate::stats::pct(counts[3], total),
+        }
+    }
+}
+
+/// Everything the paper's evaluation section reports, regenerated.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// The measurement dataset the analyses ran on.
+    pub dataset: MeasurementDataset,
+    /// §III-B funnel.
+    pub funnel: Funnel,
+    /// §III-B level mix.
+    pub levels: LevelMix,
+    /// Figs 2–3.
+    pub yearly: YearlyTotals,
+    /// Fig 4.
+    pub per_country_2020: DomainsPerCountry,
+    /// Fig 6.
+    pub churn: SingleNsChurn,
+    /// Fig 7.
+    pub private_share: PrivateShare,
+    /// Figs 8–9 and §IV-A headlines.
+    pub active_replication: ActiveReplication,
+    /// Table I.
+    pub diversity: DiversityTable,
+    /// Tables II–III.
+    pub providers: ProviderAnalysis,
+    /// Figs 10–12.
+    pub delegation: DelegationAnalysis,
+    /// Figs 13–14.
+    pub consistency: ConsistencyAnalysis,
+    /// §IV-A text: per-`d_gov` provider concentration.
+    pub concentration: ConcentrationAnalysis,
+    /// §V-B: the aggregate remediation workload.
+    pub remedies: RemediationSummary,
+    /// Ethics accounting: queries received by the single busiest server.
+    pub busiest_server_queries: u64,
+}
+
+impl Report {
+    /// Runs the full pipeline and all analyses.
+    pub fn generate(campaign: &Campaign<'_>, config: RunnerConfig) -> Self {
+        let dataset = run_campaign(campaign, config);
+        let mut report = Report::from_dataset(campaign, dataset);
+        report.busiest_server_queries = campaign
+            .network
+            .busiest_destinations(1)
+            .first()
+            .map(|&(_, c)| c)
+            .unwrap_or(0);
+        report
+    }
+
+    /// Runs the analyses over an existing dataset (reuse between
+    /// experiments).
+    pub fn from_dataset(campaign: &Campaign<'_>, dataset: MeasurementDataset) -> Self {
+        let lon = Longitudinal::build(campaign, &dataset.seeds);
+        Report {
+            funnel: dataset.funnel(),
+            levels: LevelMix::compute(&dataset),
+            yearly: YearlyTotals::compute_raw(campaign, &dataset.seeds),
+            per_country_2020: DomainsPerCountry::compute(&lon, 2020),
+            churn: SingleNsChurn::compute(&lon),
+            private_share: PrivateShare::compute(&lon),
+            active_replication: ActiveReplication::compute(&dataset),
+            diversity: DiversityTable::compute(&dataset, campaign),
+            providers: ProviderAnalysis::compute(&lon, campaign),
+            delegation: DelegationAnalysis::compute(&dataset, campaign),
+            consistency: ConsistencyAnalysis::compute(&dataset, campaign),
+            concentration: ConcentrationAnalysis::compute(&dataset, campaign),
+            remedies: RemediationSummary::compute(&dataset, campaign),
+            busiest_server_queries: 0,
+            dataset,
+        }
+    }
+
+    /// Writes every table and figure as CSV into `dir` (created if
+    /// absent), plus the one-row-per-domain dataset summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error encountered.
+    pub fn write_csv_bundle(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let write = |name: &str, csv: String| std::fs::write(dir.join(name), csv);
+        write("fig02_03_yearly.csv", self.yearly.table().to_csv())?;
+        write("fig04_domains_per_country.csv", self.per_country_2020.table().to_csv())?;
+        write("fig06_d1ns_churn.csv", self.churn.table().to_csv())?;
+        write("fig07_private_share.csv", self.private_share.table().to_csv())?;
+        write("fig08_d1ns_stale.csv", self.active_replication.stale_table().to_csv())?;
+        write("fig09_ns_cdf.csv", self.active_replication.cdf_table().to_csv())?;
+        write("table1_diversity.csv", self.diversity.table().to_csv())?;
+        write("table2_major_providers.csv", self.providers.table2().to_csv())?;
+        write("table3_top_providers_2011.csv", self.providers.table3(2011).to_csv())?;
+        write("table3_top_providers_2020.csv", self.providers.table3(2020).to_csv())?;
+        write("fig10_defective_by_country.csv", self.delegation.per_country_table().to_csv())?;
+        write("fig11_available_dns.csv", self.delegation.available_table().to_csv())?;
+        write("fig12_costs.csv", self.delegation.cost_table().to_csv())?;
+        write("fig13_consistency.csv", self.consistency.summary_table().to_csv())?;
+        write("fig14_disagreement.csv", self.consistency.per_country_table().to_csv())?;
+        write("concentration.csv", self.concentration.table(30).to_csv())?;
+        write("dataset_summary.csv", self.dataset.to_summary_csv())?;
+        Ok(())
+    }
+
+    /// Renders the full report as plain text — the same rows and series
+    /// the paper's tables and figures carry.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut section = |title: &str, body: String| {
+            let _ = writeln!(out, "== {title} ==\n{body}");
+        };
+
+        section(
+            "collection funnel (§III-B)",
+            format!(
+                "queried: {}\nparent-responsive: {}\nparent-nonempty: {}\nchild-responsive: {}\nsecond-round probes: {}\nqueries: {} ({} bytes out, {} bytes in)\n",
+                self.funnel.queried,
+                self.funnel.parent_responsive,
+                self.funnel.parent_nonempty,
+                self.funnel.child_responsive,
+                self.dataset.retried,
+                self.dataset.traffic.queries_sent,
+                self.dataset.traffic.bytes_sent,
+                self.dataset.traffic.bytes_received,
+            ),
+        );
+        if self.busiest_server_queries > 0 {
+            section(
+                "ethics accounting (§III-D)",
+                format!(
+                    "busiest single server received {} queries of {} total ({:.2}%)
+",
+                    self.busiest_server_queries,
+                    self.dataset.traffic.queries_sent,
+                    100.0 * self.busiest_server_queries as f64
+                        / self.dataset.traffic.queries_sent.max(1) as f64,
+                ),
+            );
+        }
+        section(
+            "domain levels (§III-B)",
+            format!(
+                "second: {:.1}%  third: {:.1}%  fourth: {:.1}%  fifth+: {:.1}%\n",
+                self.levels.second, self.levels.third, self.levels.fourth, self.levels.fifth_plus
+            ),
+        );
+        section("Fig 2/3 — PDNS domains, countries, nameservers per year", self.yearly.table().to_text());
+        section(
+            "Fig 4 — domains per country, 2020 (top 20)",
+            {
+                let mut t = crate::tables::TextTable::new(["country", "domains"]);
+                for (c, n) in self.per_country_2020.rows.iter().take(20) {
+                    t.push_row([c.to_string(), n.to_string()]);
+                }
+                t.to_text()
+            },
+        );
+        section("Fig 6 — single-NS cohort churn", self.churn.table().to_text());
+        section("Fig 7 — private ADNS share per year", self.private_share.table().to_text());
+        section(
+            "Fig 8 — stale single-NS domains by d_gov",
+            format!(
+                "overall: {} d1NS, {:.1}% without any authoritative response\n{}",
+                self.active_replication.d1ns_total,
+                self.active_replication.d1ns_stale_share,
+                self.active_replication.stale_table().to_text()
+            ),
+        );
+        section(
+            "Fig 9 — nameservers per domain (CDF)",
+            format!(
+                "≥2 NS: {:.1}%  |  countries with no under-replicated domain: {}\n{}",
+                self.active_replication.multi_ns_share,
+                self.active_replication.all_replicated_countries,
+                self.active_replication.cdf_table().to_text()
+            ),
+        );
+        section(
+            "Table I — diversity of nameserver placement",
+            format!(
+                "{}\nsecond-level multi-/24: {:.1}%  deeper: {:.1}%\n",
+                self.diversity.table().to_text(),
+                self.diversity.second_level_multi_24_pct,
+                self.diversity.deeper_multi_24_pct
+            ),
+        );
+        section("Table II — major providers, 2011 vs 2020", self.providers.table2().to_text());
+        section("Table III — top providers by countries, 2011", self.providers.table3(2011).to_text());
+        section("Table III — top providers by countries, 2020", self.providers.table3(2020).to_text());
+        section(
+            "centralization headline",
+            format!(
+                "countries on the most widespread provider: {} (2011) → {} (2020)\n",
+                self.providers.top_provider_countries(2011),
+                self.providers.top_provider_countries(2020)
+            ),
+        );
+        section(
+            "Fig 10 — defective delegations",
+            format!(
+                "any: {} ({:.1}%)  partial(parent): {} ({:.1}%)  full: {}\n{}",
+                self.delegation.any_defective,
+                self.delegation.any_defective_pct(),
+                self.delegation.partial_parent,
+                self.delegation.partial_parent_pct(),
+                self.delegation.fully_defective,
+                self.delegation.per_country_table().to_text()
+            ),
+        );
+        section(
+            "Fig 11 — registrable dangling NS domains",
+            format!(
+                "available d_ns: {}  affected domains: {}  countries: {}  fully stale: {}\n{}",
+                self.delegation.available.len(),
+                self.delegation.affected_domains,
+                self.delegation.affected_countries,
+                self.delegation.affected_fully_stale,
+                self.delegation.available_table().to_text()
+            ),
+        );
+        section("Fig 12 — registration cost of available d_ns", self.delegation.cost_table().to_text());
+        section(
+            "Fig 13 — parent/child consistency",
+            format!(
+                "{}\nP=C second-level: {:.1}%  deeper: {:.1}%  |  P≠C with partial lame: {:.1}%\n",
+                self.consistency.summary_table().to_text(),
+                self.consistency.equal_pct_second_level,
+                self.consistency.equal_pct_deeper,
+                self.consistency.disagree_with_lame_pct
+            ),
+        );
+        section(
+            "Fig 14 — disagreement by country",
+            self.consistency.per_country_table().to_text(),
+        );
+        section(
+            "§IV-A (text) — provider concentration per d_gov",
+            self.concentration.table(12).to_text(),
+        );
+        section(
+            "§IV-D — inconsistency-only hijack surface",
+            format!(
+                "registrable d_ns: {}  affected domains: {}  countries: {}  min price: {}\n",
+                self.consistency.parked.len(),
+                self.consistency.parked_affected_domains,
+                self.consistency.parked_affected_countries,
+                self.consistency
+                    .parked_min_price
+                    .map_or("-".to_owned(), |p| format!("{p:.2} USD")),
+            ),
+        );
+        section(
+            "§V-B — remediation workload",
+            format!(
+                "domains needing action: {} of {}\nstale delegations to remove: {}\nNS records to fix or drop: {}\nparent syncs (CSYNC/EPP): {}\nhijack exposures to close: {}\nplacement advisories: {}\n",
+                self.remedies.needing_action,
+                self.remedies.domains,
+                self.remedies.removals,
+                self.remedies.ns_fixes,
+                self.remedies.synchronizations,
+                self.remedies.hijack_exposures,
+                self.remedies.placement_advice,
+            ),
+        );
+        out
+    }
+}

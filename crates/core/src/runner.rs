@@ -1,0 +1,83 @@
+//! The campaign runner: seeds → discovery → parallel probing → second
+//! round → dataset.
+
+use parking_lot::Mutex;
+
+use crate::discovery::{self, DiscoveryConfig};
+use crate::probe::{DomainProbe, ProbeClient};
+use crate::ratelimit::RateLimiter;
+use crate::seed;
+use crate::{Campaign, MeasurementDataset};
+
+/// Runner parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RunnerConfig {
+    /// Probe worker threads.
+    pub workers: usize,
+    /// Query-rate cap (queries per second, accounted not slept).
+    pub max_qps: u32,
+    /// Whether to run the second round for domains whose parent returned
+    /// NS records but whose nameservers all stayed silent.
+    pub second_round: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig { workers: 8, max_qps: 200, second_round: true }
+    }
+}
+
+/// Runs the full §III pipeline over a campaign's inputs.
+pub fn run_campaign(campaign: &Campaign<'_>, config: RunnerConfig) -> MeasurementDataset {
+    let seeds = seed::select_seeds(campaign);
+    let discovered =
+        discovery::discover(campaign, &seeds, DiscoveryConfig::paper(campaign.collection_date));
+
+    let limiter = RateLimiter::new(config.max_qps);
+    let workers = config.workers.max(1);
+    let results: Vec<Mutex<Option<DomainProbe>>> =
+        (0..discovered.len()).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let retried = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                // One client (and resolver cache) per worker, as the real
+                // pipeline sharded its query load.
+                let client =
+                    ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone());
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let Some(d) = discovered.get(i) else { break };
+                    let mut probe = client.probe(&d.name);
+                    // Second round: parent listed nameservers, none of
+                    // them replied — maybe transient.
+                    if config.second_round
+                        && probe.parent_nonempty()
+                        && !probe.servers.iter().any(|s| s.responded())
+                    {
+                        client.retry_child_side(&mut probe);
+                        retried.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                    *results[i].lock() = Some(probe);
+                }
+            });
+        }
+    })
+    .expect("probe workers do not panic");
+
+    let probes: Vec<DomainProbe> = results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every index was processed"))
+        .collect();
+
+    MeasurementDataset {
+        seeds,
+        discovered,
+        probes,
+        traffic: campaign.network.stats(),
+        collection_date: campaign.collection_date,
+        retried: retried.into_inner(),
+    }
+}

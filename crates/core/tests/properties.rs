@@ -1,0 +1,133 @@
+//! Property tests for the pipeline's pure stages: discovery soundness and
+//! the disposable-name heuristic.
+
+use proptest::prelude::*;
+
+use govdns_core::discovery::{discover, looks_disposable, DiscoveryConfig};
+use govdns_core::seed::{SeedDomain, SeedKind, SeedProvenance};
+use govdns_core::Campaign;
+use govdns_model::{DateRange, DomainName, RecordData, SimDate};
+use govdns_pdns::PdnsDb;
+use govdns_world::CountryCode;
+
+struct Fixture {
+    unkb: govdns_world::UnKnowledgeBase,
+    docs: govdns_world::RegistryDocs,
+    webarchive: govdns_world::WebArchive,
+    network: govdns_simnet::SimNetwork,
+    roots: Vec<std::net::Ipv4Addr>,
+    asn_db: govdns_simnet::AsnDb,
+    registrar: govdns_world::Registrar,
+    countries: Vec<govdns_world::Country>,
+}
+
+impl Default for Fixture {
+    fn default() -> Self {
+        Fixture {
+            unkb: govdns_world::UnKnowledgeBase::new(),
+            docs: govdns_world::RegistryDocs::new(),
+            webarchive: govdns_world::WebArchive::new(),
+            network: govdns_simnet::SimNetwork::new(0),
+            roots: vec![std::net::Ipv4Addr::new(10, 0, 0, 1)],
+            asn_db: govdns_simnet::AsnDb::new(),
+            registrar: govdns_world::Registrar::new(),
+            countries: govdns_world::countries(),
+        }
+    }
+}
+
+fn campaign<'a>(f: &'a Fixture, pdns: &'a PdnsDb) -> Campaign<'a> {
+    Campaign {
+        unkb: &f.unkb,
+        registry_docs: &f.docs,
+        webarchive: &f.webarchive,
+        pdns,
+        network: &f.network,
+        roots: &f.roots,
+        asn_db: &f.asn_db,
+        registrar: &f.registrar,
+        matchers: &[],
+        countries: &f.countries,
+        collection_date: SimDate::from_ymd(2021, 4, 15),
+    }
+}
+
+fn seed(name: &str, cc: &str) -> SeedDomain {
+    SeedDomain {
+        country: CountryCode::new(cc),
+        name: name.parse().unwrap(),
+        kind: SeedKind::ReservedSuffix,
+        earliest_government_use: None,
+        provenance: SeedProvenance::PortalLink,
+        portal_resolved: true,
+    }
+}
+
+fn name_strategy() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec("[a-z]{1,8}", 1..3)
+        .prop_map(|labels| format!("{}.gov.zz", labels.join(".")).parse().unwrap())
+}
+
+fn span_strategy() -> impl Strategy<Value = DateRange> {
+    // 2009-2021-ish day numbers.
+    (14_300i64..18_700, 0i64..1_000).prop_map(|(start, len)| {
+        DateRange::new(SimDate::from_days(start), SimDate::from_days(start + len))
+    })
+}
+
+proptest! {
+    /// Discovery output is sound and complete w.r.t. its spec: exactly
+    /// the PDNS names under the seed whose (stable) records touch the
+    /// window and that don't look disposable.
+    #[test]
+    fn discovery_is_sound_and_complete(
+        rows in prop::collection::vec((name_strategy(), span_strategy()), 0..30),
+    ) {
+        let mut pdns = PdnsDb::new();
+        for (name, span) in &rows {
+            pdns.observe_span(
+                name.clone(),
+                RecordData::Ns("ns1.prov.example".parse().unwrap()),
+                *span,
+                1,
+            );
+        }
+        let f = Fixture::default();
+        let c = campaign(&f, &pdns);
+        let cfg = DiscoveryConfig::paper(c.collection_date);
+        let got: std::collections::BTreeSet<String> =
+            discover(&c, &[seed("gov.zz", "zz")], cfg)
+                .into_iter()
+                .map(|d| d.name.to_string())
+                .collect();
+
+        // Recompute the expectation from the spec.
+        let mut expected: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        for e in pdns.search_subtree(&"gov.zz".parse().unwrap()) {
+            let stable = e.span_days() >= 7;
+            let in_window = e.active_in(&cfg.window);
+            if stable && in_window && !looks_disposable(&e.name) {
+                expected.insert(e.name.to_string());
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The disposable heuristic never fires on word-plus-counter labels
+    /// (the shape real agencies use) and always fires on long hex blobs.
+    #[test]
+    fn disposable_heuristic_boundaries(
+        word in "[g-z][g-z]{2,9}",
+        counter in 0u32..10_000,
+        blob in "[0-9a-f]{8,16}",
+    ) {
+        let agency: DomainName =
+            format!("{word}{counter}.gov.zz").parse().unwrap();
+        prop_assert!(!looks_disposable(&agency), "{agency}");
+        // A blob needs ≥2 digits to trip the filter; make sure of it.
+        let digits = blob.chars().filter(|c| c.is_ascii_digit()).count();
+        let hexname: DomainName = format!("{blob}.gov.zz").parse().unwrap();
+        prop_assert_eq!(looks_disposable(&hexname), digits >= 2, "{}", hexname);
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced by the DNS data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A label was empty, e.g. `a..b`.
+    EmptyLabel,
+    /// A label exceeded 63 octets.
+    LabelTooLong(String),
+    /// The full name exceeded 255 octets.
+    NameTooLong(usize),
+    /// A label contained a character outside `[A-Za-z0-9_-]`.
+    InvalidCharacter(char),
+    /// The wire buffer ended before the structure was complete.
+    TruncatedWire,
+    /// A compression pointer pointed forward or into a loop.
+    BadCompressionPointer(u16),
+    /// An unknown record type code was encountered on the wire.
+    UnknownRecordType(u16),
+    /// The rdata length did not match the record type's expectations.
+    BadRdataLength {
+        /// The record type being decoded.
+        rtype: u16,
+        /// The length found on the wire.
+        len: usize },
+    /// An address literal failed to parse.
+    BadAddress(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyLabel => write!(f, "empty label in domain name"),
+            ModelError::LabelTooLong(l) => write!(f, "label `{l}` exceeds 63 octets"),
+            ModelError::NameTooLong(n) => write!(f, "domain name of {n} octets exceeds 255"),
+            ModelError::InvalidCharacter(c) => {
+                write!(f, "invalid character `{c}` in domain name")
+            }
+            ModelError::TruncatedWire => write!(f, "wire data ended unexpectedly"),
+            ModelError::BadCompressionPointer(p) => {
+                write!(f, "invalid compression pointer to offset {p}")
+            }
+            ModelError::UnknownRecordType(t) => write!(f, "unknown record type code {t}"),
+            ModelError::BadRdataLength { rtype, len } => {
+                write!(f, "rdata length {len} invalid for record type {rtype}")
+            }
+            ModelError::BadAddress(a) => write!(f, "invalid address literal `{a}`"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = ModelError::EmptyLabel;
+        let s = e.to_string();
+        assert!(s.chars().next().unwrap().is_lowercase());
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,446 @@
+//! RFC 1035 wire-format encoding and decoding, with name compression.
+//!
+//! The simulated network transports [`Message`] values directly, but the
+//! traffic accounting in the measurement pipeline reports realistic byte
+//! volumes, and that requires encoding messages the way a real server
+//! would — including compression pointers, which dominate the size of NS
+//! answers. Round-tripping through this codec is also one of the model's
+//! property-test surfaces.
+//!
+//! ```
+//! use govdns_model::{Message, RecordType, wire};
+//! let q = Message::query(9, "portal.gov.example".parse()?, RecordType::Ns);
+//! let bytes = wire::encode(&q);
+//! let back = wire::decode(&bytes)?;
+//! assert_eq!(back, q);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::{
+    DomainName, Label, Message, MessageKind, ModelError, Question, Rcode, RecordData,
+    RecordType, ResourceRecord, Soa,
+};
+
+const FLAG_QR: u16 = 1 << 15;
+const FLAG_AA: u16 = 1 << 10;
+const CLASS_IN: u16 = 1;
+const POINTER_MASK: u8 = 0b1100_0000;
+
+/// Encodes a message to wire format with name compression.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(512);
+    let mut compress: HashMap<DomainName, u16> = HashMap::new();
+
+    buf.put_u16(msg.id);
+    let mut flags = 0u16;
+    if msg.kind == MessageKind::Response {
+        flags |= FLAG_QR;
+    }
+    if msg.aa {
+        flags |= FLAG_AA;
+    }
+    flags |= u16::from(msg.rcode.code());
+    buf.put_u16(flags);
+    buf.put_u16(1); // qdcount
+    buf.put_u16(msg.answers.len() as u16);
+    buf.put_u16(msg.authority.len() as u16);
+    buf.put_u16(msg.additional.len() as u16);
+
+    encode_name(&mut buf, &msg.question.name, &mut compress);
+    buf.put_u16(msg.question.rtype.code());
+    buf.put_u16(CLASS_IN);
+
+    for rr in msg.answers.iter().chain(&msg.authority).chain(&msg.additional) {
+        encode_record(&mut buf, rr, &mut compress);
+    }
+    buf.freeze()
+}
+
+/// Size in bytes of the encoded form of `msg`.
+pub fn encoded_len(msg: &Message) -> usize {
+    encode(msg).len()
+}
+
+fn encode_name(buf: &mut BytesMut, name: &DomainName, compress: &mut HashMap<DomainName, u16>) {
+    let labels = name.labels();
+    for i in 0..labels.len() {
+        let suffix = name.suffix(labels.len() - i);
+        if let Some(&off) = compress.get(&suffix) {
+            buf.put_u16(0xC000 | off);
+            return;
+        }
+        // Pointers can only address the first 16 KiB - 2 bits of a message.
+        if buf.len() < 0x3FFF {
+            compress.insert(suffix, buf.len() as u16);
+        }
+        let l = labels[i].as_str().as_bytes();
+        buf.put_u8(l.len() as u8);
+        buf.put_slice(l);
+    }
+    buf.put_u8(0);
+}
+
+fn encode_record(buf: &mut BytesMut, rr: &ResourceRecord, compress: &mut HashMap<DomainName, u16>) {
+    encode_name(buf, &rr.name, compress);
+    buf.put_u16(rr.rtype().code());
+    buf.put_u16(CLASS_IN);
+    buf.put_u32(rr.ttl);
+    let len_pos = buf.len();
+    buf.put_u16(0); // rdlength placeholder
+    let rdata_start = buf.len();
+    match &rr.data {
+        RecordData::A(a) => buf.put_slice(&a.octets()),
+        RecordData::Aaaa(a) => buf.put_slice(&a.octets()),
+        RecordData::Ns(n) | RecordData::Cname(n) | RecordData::Ptr(n) => {
+            encode_name(buf, n, compress)
+        }
+        RecordData::Soa(soa) => {
+            encode_name(buf, &soa.mname, compress);
+            encode_name(buf, &soa.rname, compress);
+            buf.put_u32(soa.serial);
+            buf.put_u32(soa.refresh);
+            buf.put_u32(soa.retry);
+            buf.put_u32(soa.expire);
+            buf.put_u32(soa.minimum);
+        }
+        RecordData::Txt(t) => {
+            // Character-strings of up to 255 bytes each.
+            for chunk in t.as_bytes().chunks(255) {
+                buf.put_u8(chunk.len() as u8);
+                buf.put_slice(chunk);
+            }
+            if t.is_empty() {
+                buf.put_u8(0);
+            }
+        }
+    }
+    let rdlen = (buf.len() - rdata_start) as u16;
+    buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
+}
+
+/// Decodes a wire-format message.
+///
+/// # Errors
+///
+/// Returns a [`ModelError`] if the buffer is truncated, a compression
+/// pointer is malformed, or a record type/rdata is invalid.
+pub fn decode(bytes: &[u8]) -> Result<Message, ModelError> {
+    let mut cur = Cursor { data: bytes, pos: 0 };
+    let id = cur.u16()?;
+    let flags = cur.u16()?;
+    let qd = cur.u16()?;
+    let an = cur.u16()?;
+    let ns = cur.u16()?;
+    let ar = cur.u16()?;
+    if qd != 1 {
+        return Err(ModelError::TruncatedWire);
+    }
+    let qname = cur.name()?;
+    let qtype_code = cur.u16()?;
+    let qtype =
+        RecordType::from_code(qtype_code).ok_or(ModelError::UnknownRecordType(qtype_code))?;
+    let _class = cur.u16()?;
+
+    let mut msg = Message {
+        id,
+        kind: if flags & FLAG_QR != 0 { MessageKind::Response } else { MessageKind::Query },
+        aa: flags & FLAG_AA != 0,
+        rcode: Rcode::from_code((flags & 0x0F) as u8).ok_or(ModelError::TruncatedWire)?,
+        question: Question { name: qname, rtype: qtype },
+        answers: Vec::with_capacity(an as usize),
+        authority: Vec::with_capacity(ns as usize),
+        additional: Vec::with_capacity(ar as usize),
+    };
+    for _ in 0..an {
+        let rr = cur.record()?;
+        msg.answers.push(rr);
+    }
+    for _ in 0..ns {
+        let rr = cur.record()?;
+        msg.authority.push(rr);
+    }
+    for _ in 0..ar {
+        let rr = cur.record()?;
+        msg.additional.push(rr);
+    }
+    Ok(msg)
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u8(&mut self) -> Result<u8, ModelError> {
+        let b = *self.data.get(self.pos).ok_or(ModelError::TruncatedWire)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, ModelError> {
+        let hi = self.u8()?;
+        let lo = self.u8()?;
+        Ok(u16::from_be_bytes([hi, lo]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ModelError> {
+        let a = self.u16()?;
+        let b = self.u16()?;
+        Ok((u32::from(a) << 16) | u32::from(b))
+    }
+
+    fn slice(&mut self, len: usize) -> Result<&[u8], ModelError> {
+        let end = self.pos.checked_add(len).ok_or(ModelError::TruncatedWire)?;
+        let s = self.data.get(self.pos..end).ok_or(ModelError::TruncatedWire)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads a (possibly compressed) name starting at the cursor.
+    fn name(&mut self) -> Result<DomainName, ModelError> {
+        let mut labels = Vec::new();
+        let mut pos = self.pos;
+        let mut jumped = false;
+        let mut guard = 0usize;
+        loop {
+            guard += 1;
+            if guard > 256 {
+                return Err(ModelError::BadCompressionPointer(pos as u16));
+            }
+            let len = *self.data.get(pos).ok_or(ModelError::TruncatedWire)?;
+            if len & POINTER_MASK == POINTER_MASK {
+                let lo = *self.data.get(pos + 1).ok_or(ModelError::TruncatedWire)?;
+                let target = (u16::from(len & !POINTER_MASK) << 8) | u16::from(lo);
+                if usize::from(target) >= pos {
+                    // Forward pointers would allow loops.
+                    return Err(ModelError::BadCompressionPointer(target));
+                }
+                if !jumped {
+                    self.pos = pos + 2;
+                    jumped = true;
+                }
+                pos = usize::from(target);
+                continue;
+            }
+            if len & POINTER_MASK != 0 {
+                return Err(ModelError::BadCompressionPointer(pos as u16));
+            }
+            if len == 0 {
+                if !jumped {
+                    self.pos = pos + 1;
+                }
+                break;
+            }
+            let start = pos + 1;
+            let end = start + usize::from(len);
+            let raw = self.data.get(start..end).ok_or(ModelError::TruncatedWire)?;
+            let text = std::str::from_utf8(raw)
+                .map_err(|_| ModelError::InvalidCharacter('\u{FFFD}'))?;
+            labels.push(Label::new(text)?);
+            pos = end;
+        }
+        DomainName::from_labels(labels)
+    }
+
+    fn record(&mut self) -> Result<ResourceRecord, ModelError> {
+        let name = self.name()?;
+        let code = self.u16()?;
+        let rtype = RecordType::from_code(code).ok_or(ModelError::UnknownRecordType(code))?;
+        let _class = self.u16()?;
+        let ttl = self.u32()?;
+        let rdlen = usize::from(self.u16()?);
+        let rdata_end = self.pos + rdlen;
+        let data = match rtype {
+            RecordType::A => {
+                let o = self.slice(4)?;
+                if rdlen != 4 {
+                    return Err(ModelError::BadRdataLength { rtype: code, len: rdlen });
+                }
+                RecordData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+            }
+            RecordType::Aaaa => {
+                if rdlen != 16 {
+                    return Err(ModelError::BadRdataLength { rtype: code, len: rdlen });
+                }
+                let o = self.slice(16)?;
+                let mut oct = [0u8; 16];
+                oct.copy_from_slice(o);
+                RecordData::Aaaa(Ipv6Addr::from(oct))
+            }
+            RecordType::Ns => RecordData::Ns(self.name()?),
+            RecordType::Cname => RecordData::Cname(self.name()?),
+            RecordType::Ptr => RecordData::Ptr(self.name()?),
+            RecordType::Soa => {
+                let mname = self.name()?;
+                let rname = self.name()?;
+                let serial = self.u32()?;
+                let refresh = self.u32()?;
+                let retry = self.u32()?;
+                let expire = self.u32()?;
+                let minimum = self.u32()?;
+                RecordData::Soa(Soa { mname, rname, serial, refresh, retry, expire, minimum })
+            }
+            RecordType::Txt => {
+                let mut text = String::new();
+                while self.pos < rdata_end {
+                    let len = usize::from(self.u8()?);
+                    let chunk = self.slice(len)?;
+                    text.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| ModelError::InvalidCharacter('\u{FFFD}'))?,
+                    );
+                }
+                RecordData::Txt(text)
+            }
+        };
+        if self.pos != rdata_end {
+            return Err(ModelError::BadRdataLength { rtype: code, len: rdlen });
+        }
+        Ok(ResourceRecord { name, ttl, data })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RrSet;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn roundtrip(msg: &Message) {
+        let bytes = encode(msg);
+        let back = decode(&bytes).expect("decode");
+        assert_eq!(&back, msg);
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        roundtrip(&Message::query(1234, n("www.portal.gov.example"), RecordType::Ns));
+    }
+
+    #[test]
+    fn answer_roundtrip_all_types() {
+        let q = Message::query(7, n("x.gov.example"), RecordType::Ns);
+        let mut r = q.response().authoritative();
+        r.answers = vec![
+            ResourceRecord::new(n("x.gov.example"), 60, RecordData::Ns(n("ns1.x.gov.example"))),
+            ResourceRecord::new(n("x.gov.example"), 60, RecordData::A("192.0.2.7".parse().unwrap())),
+            ResourceRecord::new(
+                n("x.gov.example"),
+                60,
+                RecordData::Aaaa("2001:db8::7".parse().unwrap()),
+            ),
+            ResourceRecord::new(n("x.gov.example"), 60, RecordData::Txt("hello world".into())),
+            ResourceRecord::new(
+                n("x.gov.example"),
+                60,
+                RecordData::Cname(n("y.gov.example")),
+            ),
+            ResourceRecord::new(
+                n("x.gov.example"),
+                60,
+                RecordData::Ptr(n("host.gov.example")),
+            ),
+            ResourceRecord::new(
+                n("x.gov.example"),
+                60,
+                RecordData::Soa(Soa::new(n("ns1.x.gov.example"), n("hm.x.gov.example"))),
+            ),
+        ];
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn referral_roundtrip_with_glue() {
+        let q = Message::query(9, n("deep.portal.gov.example"), RecordType::A);
+        let mut ns = RrSet::new(n("portal.gov.example"), RecordType::Ns, 300);
+        ns.push(RecordData::Ns(n("ns1.portal.gov.example")));
+        ns.push(RecordData::Ns(n("ns2.portal.gov.example")));
+        let r = q
+            .response()
+            .with_authority(&ns)
+            .with_additional(ResourceRecord::new(
+                n("ns1.portal.gov.example"),
+                300,
+                RecordData::A("198.51.100.1".parse().unwrap()),
+            ));
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn compression_shrinks_repeated_names() {
+        let q = Message::query(9, n("portal.gov.example"), RecordType::Ns);
+        let mut ns = RrSet::new(n("portal.gov.example"), RecordType::Ns, 300);
+        for i in 1..=4 {
+            ns.push(RecordData::Ns(
+                format!("ns{i}.portal.gov.example").parse().unwrap(),
+            ));
+        }
+        let r = q.response().authoritative().with_answer(&ns);
+        let compressed = encode(&r).len();
+        // Uncompressed, each of the 4 answers would repeat the 20-byte
+        // owner name and the 20+ byte target suffix.
+        let uncompressed_estimate = 12
+            + r.question.name.wire_len()
+            + 4
+            + r.answers
+                .iter()
+                .map(|rr| rr.name.wire_len() + 10 + rr.data.as_ns().unwrap().wire_len())
+                .sum::<usize>();
+        assert!(
+            compressed < uncompressed_estimate * 2 / 3,
+            "compressed {compressed} not < 2/3 of {uncompressed_estimate}"
+        );
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&Message::query(1, n("a.b.c"), RecordType::A));
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_forward_pointer() {
+        // Header + a name that is just a pointer to itself.
+        let mut bad = vec![0u8, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0];
+        bad.extend_from_slice(&[0xC0, 12]); // pointer to offset 12 = itself
+        bad.extend_from_slice(&[0, 1, 0, 1]);
+        assert!(matches!(decode(&bad), Err(ModelError::BadCompressionPointer(_))));
+    }
+
+    #[test]
+    fn empty_txt_roundtrips() {
+        let q = Message::query(3, n("t.gov.example"), RecordType::Txt);
+        let mut r = q.response().authoritative();
+        r.answers =
+            vec![ResourceRecord::new(n("t.gov.example"), 60, RecordData::Txt(String::new()))];
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn long_txt_roundtrips() {
+        let q = Message::query(3, n("t.gov.example"), RecordType::Txt);
+        let mut r = q.response().authoritative();
+        r.answers = vec![ResourceRecord::new(
+            n("t.gov.example"),
+            60,
+            RecordData::Txt("x".repeat(700)),
+        )];
+        roundtrip(&r);
+    }
+
+    #[test]
+    fn root_name_roundtrips() {
+        roundtrip(&Message::query(2, DomainName::root(), RecordType::Ns));
+    }
+}

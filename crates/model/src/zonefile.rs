@@ -1,0 +1,453 @@
+//! RFC 1035 §5 master-file (zone file) parsing and serialization — the
+//! text format zones are exchanged in, and the place the paper's
+//! relative-name bug is born: a missing trailing dot turns an absolute
+//! name into a relative one (or, the paper's case, a stray dot turns a
+//! relative `ns` into an absolute single-label name).
+//!
+//! The supported subset covers what government zone files in the study
+//! contain: `$ORIGIN`, `$TTL`, comments, A/AAAA/NS/CNAME/PTR/TXT/SOA
+//! records, relative and absolute names, and `@` for the origin.
+//!
+//! ```
+//! use govdns_model::zonefile;
+//!
+//! let text = "\
+//! $ORIGIN gov.zz.
+//! $TTL 3600
+//! @        IN NS  ns1
+//! ns1      IN A   192.0.2.1
+//! portal   IN NS  ns1.portal
+//! ns1.portal IN A 198.51.100.1
+//! ";
+//! let zone = zonefile::parse(text)?;
+//! assert_eq!(zone.origin().to_string(), "gov.zz");
+//! assert_eq!(zone.rrset_count(), 4);
+//! # Ok::<(), zonefile::ZoneFileError>(())
+//! ```
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::{DomainName, ModelError, RecordData, Soa, Ttl, Zone};
+
+/// Errors produced while parsing a master file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ZoneFileError {
+    /// No `$ORIGIN` directive and no absolute owner to infer a zone from.
+    MissingOrigin,
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A name failed validation.
+    BadName {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying error.
+        source: ModelError,
+    },
+    /// A record owner fell outside the zone origin.
+    OutOfZone {
+        /// 1-based line number.
+        line: usize,
+        /// The offending owner.
+        owner: String,
+    },
+}
+
+impl fmt::Display for ZoneFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZoneFileError::MissingOrigin => write!(f, "zone file has no $ORIGIN"),
+            ZoneFileError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            ZoneFileError::BadName { line, source } => {
+                write!(f, "invalid name on line {line}: {source}")
+            }
+            ZoneFileError::OutOfZone { line, owner } => {
+                write!(f, "owner {owner} on line {line} is outside the zone origin")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ZoneFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ZoneFileError::BadName { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Strips a trailing comment (a `;` outside of quotes).
+fn strip_comment(line: &str) -> &str {
+    let mut in_quotes = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            ';' if !in_quotes => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Resolves a presentation-format name against the origin: `@` is the
+/// origin, a trailing dot means absolute, anything else is relative.
+fn resolve_name(
+    token: &str,
+    origin: &DomainName,
+    line: usize,
+) -> Result<DomainName, ZoneFileError> {
+    if token == "@" {
+        return Ok(origin.clone());
+    }
+    if let Some(absolute) = token.strip_suffix('.') {
+        return absolute
+            .parse()
+            .map_err(|source| ZoneFileError::BadName { line, source });
+    }
+    // Relative: append the origin.
+    let combined = if origin.is_root() {
+        token.to_owned()
+    } else {
+        format!("{token}.{origin}")
+    };
+    combined.parse().map_err(|source| ZoneFileError::BadName { line, source })
+}
+
+/// Parses a master file into a [`Zone`].
+///
+/// # Errors
+///
+/// See [`ZoneFileError`]. The first `$ORIGIN` determines the zone's
+/// origin and must precede any record.
+pub fn parse(text: &str) -> Result<Zone, ZoneFileError> {
+    let mut origin: Option<DomainName> = None;
+    let mut default_ttl: Ttl = 3600;
+    let mut zone: Option<Zone> = None;
+    let mut last_owner: Option<DomainName> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw);
+        if line.trim().is_empty() {
+            continue;
+        }
+        let starts_with_space = line.starts_with(' ') || line.starts_with('\t');
+        let mut tokens: Vec<&str> = line.split_whitespace().collect();
+
+        // Directives.
+        match tokens.first().copied() {
+            Some("$ORIGIN") => {
+                let Some(name) = tokens.get(1) else {
+                    return Err(ZoneFileError::Syntax {
+                        line: line_no,
+                        message: "$ORIGIN needs a name".into(),
+                    });
+                };
+                let name: DomainName = name
+                    .trim_end_matches('.')
+                    .parse()
+                    .map_err(|source| ZoneFileError::BadName { line: line_no, source })?;
+                if origin.is_none() {
+                    zone = Some(Zone::new(name.clone()));
+                }
+                origin = Some(name);
+                continue;
+            }
+            Some("$TTL") => {
+                let Some(val) = tokens.get(1).and_then(|t| t.parse::<Ttl>().ok()) else {
+                    return Err(ZoneFileError::Syntax {
+                        line: line_no,
+                        message: "$TTL needs a number of seconds".into(),
+                    });
+                };
+                default_ttl = val;
+                continue;
+            }
+            _ => {}
+        }
+
+        let origin_ref = origin.as_ref().ok_or(ZoneFileError::MissingOrigin)?;
+
+        // Owner: either the first token, or (for continuation lines that
+        // start with whitespace) the previous owner.
+        let owner = if starts_with_space {
+            last_owner.clone().ok_or_else(|| ZoneFileError::Syntax {
+                line: line_no,
+                message: "record with no owner and no previous owner".into(),
+            })?
+        } else {
+            let owner_token = tokens.remove(0);
+            resolve_name(owner_token, origin_ref, line_no)?
+        };
+        last_owner = Some(owner.clone());
+
+        // Optional TTL and class tokens, in either order.
+        let mut ttl = default_ttl;
+        while let Some(&tok) = tokens.first() {
+            if tok.eq_ignore_ascii_case("IN") {
+                tokens.remove(0);
+            } else if let Ok(t) = tok.parse::<Ttl>() {
+                ttl = t;
+                tokens.remove(0);
+            } else {
+                break;
+            }
+        }
+
+        let Some(rtype_token) = tokens.first().copied() else {
+            return Err(ZoneFileError::Syntax {
+                line: line_no,
+                message: "missing record type".into(),
+            });
+        };
+        tokens.remove(0);
+        let rdata_err = |message: &str| ZoneFileError::Syntax {
+            line: line_no,
+            message: message.to_owned(),
+        };
+
+        let data = match rtype_token.to_ascii_uppercase().as_str() {
+            "A" => {
+                let addr: Ipv4Addr = tokens
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| rdata_err("A record needs an IPv4 address"))?;
+                RecordData::A(addr)
+            }
+            "AAAA" => {
+                let addr: Ipv6Addr = tokens
+                    .first()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| rdata_err("AAAA record needs an IPv6 address"))?;
+                RecordData::Aaaa(addr)
+            }
+            "NS" => {
+                let target = tokens.first().ok_or_else(|| rdata_err("NS needs a target"))?;
+                RecordData::Ns(resolve_name(target, origin_ref, line_no)?)
+            }
+            "CNAME" => {
+                let target =
+                    tokens.first().ok_or_else(|| rdata_err("CNAME needs a target"))?;
+                RecordData::Cname(resolve_name(target, origin_ref, line_no)?)
+            }
+            "PTR" => {
+                let target = tokens.first().ok_or_else(|| rdata_err("PTR needs a target"))?;
+                RecordData::Ptr(resolve_name(target, origin_ref, line_no)?)
+            }
+            "TXT" => {
+                // Quoted strings keep their exact whitespace; unquoted
+                // rdata collapses to single spaces (it was tokenized).
+                let text = match (line.find('"'), line.rfind('"')) {
+                    (Some(start), Some(end)) if end > start => {
+                        line[start + 1..end].to_owned()
+                    }
+                    _ => tokens.join(" "),
+                };
+                RecordData::Txt(text)
+            }
+            "SOA" => {
+                if tokens.len() < 7 {
+                    return Err(rdata_err(
+                        "SOA needs mname, rname, serial, refresh, retry, expire, minimum",
+                    ));
+                }
+                let mname = resolve_name(tokens[0], origin_ref, line_no)?;
+                let rname = resolve_name(tokens[1], origin_ref, line_no)?;
+                let nums: Vec<u32> = tokens[2..7]
+                    .iter()
+                    .map(|t| t.parse::<u32>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| rdata_err("SOA timers must be integers"))?;
+                RecordData::Soa(Soa {
+                    mname,
+                    rname,
+                    serial: nums[0],
+                    refresh: nums[1],
+                    retry: nums[2],
+                    expire: nums[3],
+                    minimum: nums[4],
+                })
+            }
+            other => {
+                return Err(ZoneFileError::Syntax {
+                    line: line_no,
+                    message: format!("unsupported record type `{other}`"),
+                })
+            }
+        };
+
+        let zone_ref = zone.as_mut().expect("zone exists once origin is set");
+        if !owner.is_within(zone_ref.origin()) {
+            return Err(ZoneFileError::OutOfZone { line: line_no, owner: owner.to_string() });
+        }
+        zone_ref.add_with_ttl(owner, ttl, data);
+    }
+
+    zone.ok_or(ZoneFileError::MissingOrigin)
+}
+
+/// Serializes a zone back to master-file text (absolute names throughout,
+/// so the output re-parses identically regardless of origin handling).
+pub fn serialize(zone: &Zone) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("$ORIGIN {}.\n", zone.origin()));
+    for set in zone.iter() {
+        for rr in set.to_records() {
+            let data = match &rr.data {
+                RecordData::Ns(n) | RecordData::Cname(n) | RecordData::Ptr(n) => {
+                    format!("{n}.")
+                }
+                RecordData::Soa(soa) => format!(
+                    "{}. {}. {} {} {} {} {}",
+                    soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire,
+                    soa.minimum
+                ),
+                RecordData::Txt(t) => format!("\"{t}\""),
+                other => other.to_string(),
+            };
+            out.push_str(&format!(
+                "{}. {} IN {} {}\n",
+                rr.name,
+                rr.ttl,
+                rr.rtype(),
+                data
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecordType, ZoneLookup};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    const SAMPLE: &str = "\
+; the gov.zz zone
+$ORIGIN gov.zz.
+$TTL 7200
+@        IN SOA ns1 hostmaster 42 7200 900 1209600 3600
+@        IN NS  ns1
+@        IN NS  ns2.backup.example.
+ns1      IN A   192.0.2.1
+www      300 IN A 192.0.2.80
+portal   IN NS  ns1.portal
+ns1.portal IN A 198.51.100.1
+alias    IN CNAME www
+note     IN TXT \"hello ; world\"
+v6       IN AAAA 2001:db8::1
+";
+
+    #[test]
+    fn parses_the_kitchen_sink() {
+        let zone = parse(SAMPLE).unwrap();
+        assert_eq!(zone.origin(), &n("gov.zz"));
+        assert_eq!(zone.soa().unwrap().serial, 42);
+        // Relative and absolute NS targets both resolved.
+        let apex_ns = zone.rrset(&n("gov.zz"), RecordType::Ns).unwrap();
+        let targets: Vec<String> =
+            apex_ns.ns_targets().iter().map(|t| t.to_string()).collect();
+        assert!(targets.contains(&"ns1.gov.zz".to_owned()));
+        assert!(targets.contains(&"ns2.backup.example".to_owned()));
+        // Per-record TTL override.
+        assert_eq!(zone.rrset(&n("www.gov.zz"), RecordType::A).unwrap().ttl(), 300);
+        // Quoted semicolon survives; the comment line doesn't.
+        let txt = zone.rrset(&n("note.gov.zz"), RecordType::Txt).unwrap();
+        assert_eq!(txt.iter().next().unwrap().to_string(), "\"hello ; world\"");
+        // Delegation really is a zone cut.
+        assert!(matches!(
+            zone.lookup(&n("x.portal.gov.zz"), RecordType::A),
+            ZoneLookup::Referral { .. }
+        ));
+    }
+
+    #[test]
+    fn roundtrips_through_serialize() {
+        let zone = parse(SAMPLE).unwrap();
+        let text = serialize(&zone);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, zone);
+    }
+
+    #[test]
+    fn relative_name_bug_is_representable() {
+        // The paper's typo: `ns.` (absolute single label) instead of `ns`
+        // (relative, which would expand to ns.gov.zz).
+        let buggy = "\
+$ORIGIN gov.zz.
+@ IN NS ns.
+";
+        let zone = parse(buggy).unwrap();
+        let targets = zone.rrset(&n("gov.zz"), RecordType::Ns).unwrap();
+        assert_eq!(targets.ns_targets()[0].to_string(), "ns");
+        assert_eq!(targets.ns_targets()[0].level(), 1);
+
+        let correct = "\
+$ORIGIN gov.zz.
+@ IN NS ns
+";
+        let zone = parse(correct).unwrap();
+        let targets = zone.rrset(&n("gov.zz"), RecordType::Ns).unwrap();
+        assert_eq!(targets.ns_targets()[0].to_string(), "ns.gov.zz");
+    }
+
+    #[test]
+    fn continuation_lines_reuse_the_owner() {
+        let text = "\
+$ORIGIN gov.zz.
+multi IN NS ns1
+      IN NS ns2
+";
+        let zone = parse(text).unwrap();
+        assert_eq!(zone.rrset(&n("multi.gov.zz"), RecordType::Ns).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(parse(""), Err(ZoneFileError::MissingOrigin));
+        assert_eq!(parse("@ IN NS ns1\n"), Err(ZoneFileError::MissingOrigin));
+        assert!(matches!(
+            parse("$ORIGIN gov.zz.\n@ IN A not-an-ip\n"),
+            Err(ZoneFileError::Syntax { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("$ORIGIN gov.zz.\nother.example. IN A 192.0.2.1\n"),
+            Err(ZoneFileError::OutOfZone { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse("$ORIGIN gov.zz.\n@ IN WKS whatever\n"),
+            Err(ZoneFileError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse("$ORIGIN gov.zz.\n@ IN SOA ns1 hm 1 2 3\n"),
+            Err(ZoneFileError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn ttl_and_class_in_either_order() {
+        let text = "\
+$ORIGIN gov.zz.
+a 600 IN A 192.0.2.1
+b IN 600 A 192.0.2.2
+c A 192.0.2.3
+";
+        let zone = parse(text).unwrap();
+        assert_eq!(zone.rrset(&n("a.gov.zz"), RecordType::A).unwrap().ttl(), 600);
+        assert_eq!(zone.rrset(&n("b.gov.zz"), RecordType::A).unwrap().ttl(), 600);
+        assert_eq!(zone.rrset(&n("c.gov.zz"), RecordType::A).unwrap().ttl(), 3600);
+    }
+}

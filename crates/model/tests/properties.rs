@@ -1,0 +1,185 @@
+//! Property-based tests for the DNS data model: name parsing, wire codec
+//! round-trips, date arithmetic, and zone lookup invariants.
+
+use proptest::prelude::*;
+
+use govdns_model::{
+    wire, DateRange, DomainName, Message, RecordData, RecordType, ResourceRecord, SimDate, Soa,
+    Zone, ZoneLookup,
+};
+
+fn label_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,14}[a-z0-9]|[a-z]".prop_map(|s| s)
+}
+
+fn name_strategy() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(label_strategy(), 1..5)
+        .prop_map(|labels| labels.join(".").parse().expect("generated labels are valid"))
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RecordData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RecordData::Aaaa(o.into())),
+        name_strategy().prop_map(RecordData::Ns),
+        name_strategy().prop_map(RecordData::Cname),
+        name_strategy().prop_map(RecordData::Ptr),
+        "[ -~]{0,300}".prop_map(RecordData::Txt),
+        (name_strategy(), name_strategy(), any::<u32>()).prop_map(|(m, r, serial)| {
+            RecordData::Soa(Soa::new(m, r).with_serial(serial))
+        }),
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        name_strategy(),
+        prop::sample::select(RecordType::all().to_vec()),
+        prop::collection::vec((name_strategy(), any::<u32>(), rdata_strategy()), 0..6),
+        any::<bool>(),
+    )
+        .prop_map(|(id, qname, qtype, answers, aa)| {
+            let q = Message::query(id, qname, qtype);
+            let mut r = q.response();
+            if aa {
+                r = r.authoritative();
+            }
+            r.answers = answers
+                .into_iter()
+                .map(|(name, ttl, data)| ResourceRecord::new(name, ttl, data))
+                .collect();
+            r
+        })
+}
+
+proptest! {
+    #[test]
+    fn name_parse_display_roundtrip(name in name_strategy()) {
+        let text = name.to_string();
+        let back: DomainName = text.parse().unwrap();
+        prop_assert_eq!(back, name);
+    }
+
+    #[test]
+    fn name_parent_reduces_level(name in name_strategy()) {
+        let parent = name.parent().unwrap();
+        prop_assert_eq!(parent.level() + 1, name.level());
+        prop_assert!(name.is_subdomain_of(&parent));
+    }
+
+    #[test]
+    fn name_suffix_is_always_within(name in name_strategy(), k in 0usize..6) {
+        let s = name.suffix(k);
+        prop_assert!(name.is_within(&s));
+    }
+
+    #[test]
+    fn ancestors_are_monotone(name in name_strategy()) {
+        let chain: Vec<DomainName> = name.ancestors().collect();
+        prop_assert_eq!(chain.len(), name.level() + 1);
+        for w in chain.windows(2) {
+            prop_assert!(w[0].is_subdomain_of(&w[1]));
+        }
+        prop_assert!(chain.last().unwrap().is_root());
+    }
+
+    #[test]
+    fn wire_roundtrip_query(id in any::<u16>(), name in name_strategy()) {
+        let q = Message::query(id, name, RecordType::Ns);
+        let bytes = wire::encode(&q);
+        prop_assert_eq!(wire::decode(&bytes).unwrap(), q);
+    }
+
+    #[test]
+    fn wire_roundtrip_response(msg in message_strategy()) {
+        let bytes = wire::encode(&msg);
+        prop_assert_eq!(wire::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
+    fn date_ymd_roundtrip(days in -20_000i64..40_000) {
+        let d = SimDate::from_days(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(SimDate::from_ymd(y, m, dd), d);
+    }
+
+    #[test]
+    fn date_ordering_matches_days(a in -20_000i64..40_000, b in -20_000i64..40_000) {
+        let (da, db) = (SimDate::from_days(a), SimDate::from_days(b));
+        prop_assert_eq!(da < db, a < b);
+        prop_assert_eq!(da.days_until(db), b - a);
+    }
+
+    #[test]
+    fn range_intersection_is_commutative_and_contained(
+        s1 in 0i64..1000, l1 in 0i64..400, s2 in 0i64..1000, l2 in 0i64..400,
+    ) {
+        let r1 = DateRange::new(SimDate::from_days(s1), SimDate::from_days(s1 + l1));
+        let r2 = DateRange::new(SimDate::from_days(s2), SimDate::from_days(s2 + l2));
+        let i12 = r1.intersect(&r2);
+        let i21 = r2.intersect(&r1);
+        prop_assert_eq!(i12, i21);
+        prop_assert_eq!(i12.is_some(), r1.overlaps(&r2));
+        if let Some(i) = i12 {
+            prop_assert!(i.len_days() <= r1.len_days());
+            prop_assert!(i.len_days() <= r2.len_days());
+            prop_assert!(r1.contains(i.start) && r2.contains(i.start));
+            prop_assert!(r1.contains(i.end) && r2.contains(i.end));
+        }
+    }
+
+    #[test]
+    fn zone_lookup_total(qname in name_strategy()) {
+        // A fixed small zone: lookup must classify every name somewhere
+        // and never panic.
+        let origin: DomainName = "gov.zz".parse().unwrap();
+        let mut z = Zone::new(origin.clone());
+        z.add_ns(origin.clone(), "ns1.gov.zz".parse().unwrap());
+        z.add_ns("child.gov.zz".parse().unwrap(), "ns1.child.gov.zz".parse().unwrap());
+        let r = z.lookup(&qname, RecordType::A);
+        if !qname.is_within(&origin) {
+            prop_assert_eq!(r, ZoneLookup::OutOfZone);
+        } else {
+            prop_assert!(!matches!(r, ZoneLookup::OutOfZone));
+        }
+    }
+}
+
+proptest! {
+    /// Any zone assembled from generated records serializes to master-file
+    /// text that parses back to the identical zone.
+    #[test]
+    fn zonefile_roundtrip(
+        records in prop::collection::vec((label_strategy(), rdata_strategy()), 0..12),
+    ) {
+        let origin: DomainName = "gov.zz".parse().unwrap();
+        let mut zone = govdns_model::Zone::new(origin.clone());
+        for (label, data) in records {
+            // TXT content is restricted to what master files can carry
+            // losslessly in this subset (no quotes/backslashes).
+            let data = match data {
+                RecordData::Txt(t) => {
+                    RecordData::Txt(t.chars().filter(|c| *c != '"' && *c != '\\').collect())
+                }
+                other => other,
+            };
+            let owner = origin.prepend(&label).unwrap();
+            zone.add(owner, data);
+        }
+        let text = govdns_model::zonefile::serialize(&zone);
+        let back = govdns_model::zonefile::parse(&text).unwrap();
+        prop_assert_eq!(back, zone);
+    }
+
+    /// The parser never panics on arbitrary printable input.
+    #[test]
+    fn zonefile_parse_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = govdns_model::zonefile::parse(&text);
+    }
+}

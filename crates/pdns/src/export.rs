@@ -1,0 +1,236 @@
+//! Flat-file import/export for the passive-DNS database.
+//!
+//! The format is one record per line, tab-separated:
+//!
+//! ```text
+//! first_seen<TAB>last_seen<TAB>count<TAB>rrname<TAB>rrtype<TAB>rdata
+//! 2015-03-01\t2020-11-30\t412\tportal.gov.br\tNS\tns1.hostdns.br
+//! ```
+//!
+//! Dates are `YYYY-MM-DD`. This is deliberately the information content of
+//! a Farsight DNSDB export — a real `dnsdb` JSONL dump converts with
+//! `jq -r '[.time_first, .time_last, .count, .rrname, .rrtype, .rdata[]] | @tsv'`
+//! (plus epoch→date formatting) — so the pipeline can run over real
+//! passive-DNS data instead of the simulated feed.
+
+use std::fmt::Write as _;
+
+use govdns_model::{DateRange, DomainName, RecordData, SimDate, Soa};
+
+use crate::{PdnsDb, PdnsEntry};
+
+/// Errors from parsing a TSV export.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+/// Serializes every entry to the TSV format.
+pub fn to_tsv(db: &PdnsDb) -> String {
+    let mut out = String::new();
+    for e in db.iter() {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{}\t{}",
+            e.first_seen,
+            e.last_seen,
+            e.count,
+            e.name,
+            e.rtype(),
+            rdata_text(&e.rdata),
+        );
+    }
+    out
+}
+
+fn rdata_text(data: &RecordData) -> String {
+    match data {
+        // SOA rdata serializes as its 7 presentation fields.
+        RecordData::Soa(soa) => soa.to_string(),
+        // TXT goes raw: the Display form's surrounding quotes would not
+        // survive a round trip.
+        RecordData::Txt(t) => t.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Parses a TSV export into a database. Lines starting with `#` and blank
+/// lines are skipped.
+///
+/// # Errors
+///
+/// Returns a [`TsvError`] naming the first malformed line.
+pub fn from_tsv(text: &str) -> Result<PdnsDb, TsvError> {
+    let mut db = PdnsDb::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        // Only strip a carriage return: trailing tabs delimit a
+        // legitimately empty rdata field (an empty TXT record).
+        let line = raw.strip_suffix('\r').unwrap_or(raw);
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() != 6 {
+            return Err(TsvError {
+                line: line_no,
+                message: format!("expected 6 tab-separated fields, found {}", fields.len()),
+            });
+        }
+        let err = |message: String| TsvError { line: line_no, message };
+        let first: SimDate =
+            fields[0].parse().map_err(|e: String| err(e))?;
+        let last: SimDate = fields[1].parse().map_err(|e: String| err(e))?;
+        if last < first {
+            return Err(err(format!("last_seen {last} precedes first_seen {first}")));
+        }
+        let count: u64 = fields[2]
+            .parse()
+            .map_err(|_| err(format!("bad count `{}`", fields[2])))?;
+        let name: DomainName = fields[3]
+            .parse()
+            .map_err(|e| err(format!("bad rrname `{}`: {e}", fields[3])))?;
+        let rdata = parse_rdata(fields[4], fields[5]).map_err(err)?;
+        db.observe_span(name, rdata, DateRange::new(first, last), count);
+    }
+    Ok(db)
+}
+
+fn parse_rdata(rtype: &str, rdata: &str) -> Result<RecordData, String> {
+    match rtype.to_ascii_uppercase().as_str() {
+        "A" => rdata
+            .parse()
+            .map(RecordData::A)
+            .map_err(|_| format!("bad A rdata `{rdata}`")),
+        "AAAA" => rdata
+            .parse()
+            .map(RecordData::Aaaa)
+            .map_err(|_| format!("bad AAAA rdata `{rdata}`")),
+        "NS" => rdata
+            .trim_end_matches('.')
+            .parse()
+            .map(RecordData::Ns)
+            .map_err(|e| format!("bad NS rdata `{rdata}`: {e}")),
+        "CNAME" => rdata
+            .trim_end_matches('.')
+            .parse()
+            .map(RecordData::Cname)
+            .map_err(|e| format!("bad CNAME rdata `{rdata}`: {e}")),
+        "PTR" => rdata
+            .trim_end_matches('.')
+            .parse()
+            .map(RecordData::Ptr)
+            .map_err(|e| format!("bad PTR rdata `{rdata}`: {e}")),
+        "TXT" => Ok(RecordData::Txt(rdata.to_owned())),
+        "SOA" => {
+            let parts: Vec<&str> = rdata.split_whitespace().collect();
+            if parts.len() != 7 {
+                return Err(format!("SOA rdata needs 7 fields, found {}", parts.len()));
+            }
+            let mname: DomainName = parts[0]
+                .trim_end_matches('.')
+                .parse()
+                .map_err(|e| format!("bad SOA mname: {e}"))?;
+            let rname: DomainName = parts[1]
+                .trim_end_matches('.')
+                .parse()
+                .map_err(|e| format!("bad SOA rname: {e}"))?;
+            let nums: Vec<u32> = parts[2..]
+                .iter()
+                .map(|p| p.parse::<u32>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| "SOA timers must be integers".to_owned())?;
+            Ok(RecordData::Soa(Soa {
+                mname,
+                rname,
+                serial: nums[0],
+                refresh: nums[1],
+                retry: nums[2],
+                expire: nums[3],
+                minimum: nums[4],
+            }))
+        }
+        other => Err(format!("unsupported rrtype `{other}`")),
+    }
+}
+
+/// Round-trips a single entry for testing convenience.
+pub fn entry_to_line(e: &PdnsEntry) -> String {
+    format!(
+        "{}\t{}\t{}\t{}\t{}\t{}",
+        e.first_seen,
+        e.last_seen,
+        e.count,
+        e.name,
+        e.rtype(),
+        rdata_text(&e.rdata),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govdns_model::RecordType;
+
+    const SAMPLE: &str = "\
+# passive-dns export
+2015-03-01\t2020-11-30\t412\tportal.gov.br\tNS\tns1.hostdns.br.
+2016-01-01\t2016-02-01\t3\tportal.gov.br\tA\t192.0.2.80
+
+2018-06-01\t2021-02-01\t99\tportal.gov.br\tSOA\tns1.hostdns.br hostmaster.hostdns.br 7 7200 900 1209600 3600
+";
+
+    #[test]
+    fn parses_sample_with_comments_and_blanks() {
+        let db = from_tsv(SAMPLE).unwrap();
+        assert_eq!(db.len(), 3);
+        let name: DomainName = "portal.gov.br".parse().unwrap();
+        let ns: Vec<_> = db.lookup(&name, Some(RecordType::Ns)).collect();
+        assert_eq!(ns.len(), 1);
+        assert_eq!(ns[0].count, 412);
+        assert_eq!(ns[0].first_seen, SimDate::from_ymd(2015, 3, 1));
+        let soa: Vec<_> = db.lookup(&name, Some(RecordType::Soa)).collect();
+        assert_eq!(soa[0].rdata.as_soa().unwrap().serial, 7);
+    }
+
+    #[test]
+    fn roundtrips() {
+        let db = from_tsv(SAMPLE).unwrap();
+        let text = to_tsv(&db);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(back.len(), db.len());
+        let mut a: Vec<String> = db.iter().map(|e| entry_to_line(&e)).collect();
+        let mut b: Vec<String> = back.iter().map(|e| entry_to_line(&e)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn error_cases_carry_line_numbers() {
+        let bad = "2015-01-01\t2014-01-01\t1\ta.gov.zz\tNS\tns1.x";
+        let e = from_tsv(bad).unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("precedes"));
+
+        let bad = "# ok\nnot-a-date\t2020-01-01\t1\ta.gov.zz\tNS\tns1.x";
+        assert_eq!(from_tsv(bad).unwrap_err().line, 2);
+
+        let bad = "2015-01-01\t2020-01-01\t1\ta.gov.zz\tWKS\twhatever";
+        assert!(from_tsv(bad).unwrap_err().message.contains("unsupported"));
+
+        let bad = "2015-01-01\t2020-01-01\t1\ta.gov.zz\tNS";
+        assert!(from_tsv(bad).unwrap_err().message.contains("6 tab-separated"));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests for passive-DNS coalescing and search invariants.
+
+use proptest::prelude::*;
+
+use govdns_model::{DateRange, DomainName, RecordData, SimDate};
+use govdns_pdns::{filter, PdnsDb};
+
+fn name_strategy() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec("[a-z]{1,6}", 1..4)
+        .prop_map(|labels| format!("{}.gov.zz", labels.join(".")).parse().unwrap())
+}
+
+fn span_strategy() -> impl Strategy<Value = DateRange> {
+    (14_000i64..18_000, 0i64..900).prop_map(|(start, len)| {
+        DateRange::new(SimDate::from_days(start), SimDate::from_days(start + len))
+    })
+}
+
+proptest! {
+    /// Coalescing is order-independent: any permutation of observations
+    /// yields the same first/last/count.
+    #[test]
+    fn coalescing_is_commutative(
+        name in name_strategy(),
+        spans in prop::collection::vec(span_strategy(), 1..8),
+    ) {
+        let rdata = RecordData::Ns("ns1.prov.example".parse().unwrap());
+        let mut forward = PdnsDb::new();
+        for s in &spans {
+            forward.observe_span(name.clone(), rdata.clone(), *s, 1);
+        }
+        let mut backward = PdnsDb::new();
+        for s in spans.iter().rev() {
+            backward.observe_span(name.clone(), rdata.clone(), *s, 1);
+        }
+        let f: Vec<_> = forward.lookup(&name, None).collect();
+        let b: Vec<_> = backward.lookup(&name, None).collect();
+        prop_assert_eq!(f.clone(), b);
+        prop_assert_eq!(f[0].count, spans.len() as u64);
+        prop_assert_eq!(f[0].first_seen, spans.iter().map(|s| s.start).min().unwrap());
+        prop_assert_eq!(f[0].last_seen, spans.iter().map(|s| s.end).max().unwrap());
+    }
+
+    /// Every entry found by a subtree search is genuinely within the
+    /// subtree, and lookup finds it too.
+    #[test]
+    fn subtree_search_is_sound(
+        names in prop::collection::vec(name_strategy(), 1..20),
+        span in span_strategy(),
+    ) {
+        let suffix: DomainName = "gov.zz".parse().unwrap();
+        let rdata = RecordData::Ns("ns1.prov.example".parse().unwrap());
+        let mut db = PdnsDb::new();
+        for n in &names {
+            db.observe_span(n.clone(), rdata.clone(), span, 1);
+        }
+        // Decoys outside the subtree.
+        db.observe_span("gov.zx".parse().unwrap(), rdata.clone(), span, 1);
+        db.observe_span("xgov.zz".parse().unwrap(), rdata.clone(), span, 1);
+
+        let hits: Vec<_> = db.search_subtree(&suffix).collect();
+        let unique: std::collections::BTreeSet<_> =
+            names.iter().map(|n| n.to_string()).collect();
+        prop_assert_eq!(hits.len(), unique.len());
+        for h in &hits {
+            prop_assert!(h.name.is_within(&suffix));
+        }
+    }
+
+    /// A windowed search returns exactly the entries whose span overlaps
+    /// the window.
+    #[test]
+    fn windowed_search_matches_overlap(
+        spans in prop::collection::vec(span_strategy(), 1..20),
+        window in span_strategy(),
+    ) {
+        let suffix: DomainName = "gov.zz".parse().unwrap();
+        let mut db = PdnsDb::new();
+        for (i, s) in spans.iter().enumerate() {
+            db.observe_span(
+                format!("d{i}.gov.zz").parse().unwrap(),
+                RecordData::Ns("ns1.prov.example".parse().unwrap()),
+                *s,
+                1,
+            );
+        }
+        let expected = spans.iter().filter(|s| s.overlaps(&window)).count();
+        let got = db.search_subtree_in(&suffix, window, None).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The stability filter keeps exactly the spans of ≥ 7 days.
+    #[test]
+    fn stability_filter_threshold(spans in prop::collection::vec(span_strategy(), 0..20)) {
+        let mut db = PdnsDb::new();
+        for (i, s) in spans.iter().enumerate() {
+            db.observe_span(
+                format!("d{i}.gov.zz").parse().unwrap(),
+                RecordData::Ns("ns1.prov.example".parse().unwrap()),
+                *s,
+                1,
+            );
+        }
+        let kept = filter::stable(db.iter()).count();
+        let expected = spans.iter().filter(|s| s.len_days() > 7).count();
+        prop_assert_eq!(kept, expected);
+    }
+}
+
+fn rdata_strategy() -> impl Strategy<Value = RecordData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RecordData::A(o.into())),
+        name_strategy().prop_map(RecordData::Ns),
+        "[a-z0-9 ]{0,40}".prop_map(RecordData::Txt),
+    ]
+}
+
+proptest! {
+    /// TSV export/import preserves every entry exactly.
+    #[test]
+    fn tsv_roundtrip(
+        rows in prop::collection::vec(
+            (name_strategy(), rdata_strategy(), span_strategy(), 1u64..500),
+            0..25,
+        ),
+    ) {
+        let mut db = PdnsDb::new();
+        for (name, rdata, span, count) in rows {
+            db.observe_span(name, rdata, span, count);
+        }
+        let text = govdns_pdns::export::to_tsv(&db);
+        let back = govdns_pdns::export::from_tsv(&text).unwrap();
+        prop_assert_eq!(back.len(), db.len());
+        let mut a: Vec<String> =
+            db.iter().map(|e| govdns_pdns::export::entry_to_line(&e)).collect();
+        let mut b: Vec<String> =
+            back.iter().map(|e| govdns_pdns::export::entry_to_line(&e)).collect();
+        a.sort();
+        b.sort();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The TSV parser never panics on arbitrary printable input.
+    #[test]
+    fn tsv_parse_never_panics(text in "[ -~\t\n]{0,300}") {
+        let _ = govdns_pdns::export::from_tsv(&text);
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+/// A /24 IPv4 prefix, the granularity the paper uses for its first
+/// topological-diversity cut (Table I's |24ns| column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix24(u32);
+
+impl Prefix24 {
+    /// The prefix containing `addr`.
+    pub fn of(addr: Ipv4Addr) -> Self {
+        Prefix24(u32::from(addr) >> 8)
+    }
+
+    /// The network address of the prefix (`x.y.z.0`).
+    pub fn network(self) -> Ipv4Addr {
+        Ipv4Addr::from(self.0 << 8)
+    }
+
+    /// The `i`-th host address in the prefix (`i` in `1..=254`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is 0 or 255 (network/broadcast).
+    pub fn host(self, i: u8) -> Ipv4Addr {
+        assert!((1..=254).contains(&i), "host index {i} out of range");
+        Ipv4Addr::from((self.0 << 8) | u32::from(i))
+    }
+}
+
+impl fmt::Display for Prefix24 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/24", self.network())
+    }
+}
+
+/// Convenience wrapper for [`Prefix24::of`].
+pub fn prefix24(addr: Ipv4Addr) -> Prefix24 {
+    Prefix24::of(addr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_by_first_three_octets() {
+        let a = prefix24(Ipv4Addr::new(198, 51, 100, 1));
+        let b = prefix24(Ipv4Addr::new(198, 51, 100, 254));
+        let c = prefix24(Ipv4Addr::new(198, 51, 101, 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn network_and_host() {
+        let p = prefix24(Ipv4Addr::new(10, 2, 3, 99));
+        assert_eq!(p.network(), Ipv4Addr::new(10, 2, 3, 0));
+        assert_eq!(p.host(7), Ipv4Addr::new(10, 2, 3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_broadcast_host() {
+        prefix24(Ipv4Addr::new(10, 0, 0, 0)).host(255);
+    }
+
+    #[test]
+    fn display_is_cidr() {
+        assert_eq!(prefix24(Ipv4Addr::new(203, 0, 113, 9)).to_string(), "203.0.113.0/24");
+    }
+}

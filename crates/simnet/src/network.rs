@@ -1,0 +1,299 @@
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use govdns_model::{wire, Message};
+
+use crate::{AuthoritativeServer, LatencyModel};
+
+/// The result of sending one query into the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// A response arrived after `rtt_ms`.
+    Reply {
+        /// The response message.
+        msg: Message,
+        /// Observed round-trip time, milliseconds.
+        rtt_ms: u32,
+    },
+    /// No response; the querier gave up after `waited_ms`.
+    Timeout {
+        /// Time wasted waiting, milliseconds.
+        waited_ms: u32,
+    },
+}
+
+impl DeliveryOutcome {
+    /// The response, if one arrived.
+    pub fn reply(&self) -> Option<&Message> {
+        match self {
+            DeliveryOutcome::Reply { msg, .. } => Some(msg),
+            DeliveryOutcome::Timeout { .. } => None,
+        }
+    }
+
+    /// Time the exchange cost the querier, milliseconds.
+    pub fn elapsed_ms(&self) -> u32 {
+        match self {
+            DeliveryOutcome::Reply { rtt_ms, .. } => *rtt_ms,
+            DeliveryOutcome::Timeout { waited_ms } => *waited_ms,
+        }
+    }
+}
+
+/// Aggregate traffic counters, kept in wire-format bytes so the simulated
+/// measurement campaign's footprint is comparable to a real one (the
+/// paper's ethics section is about exactly this load).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Queries sent into the network.
+    pub queries_sent: u64,
+    /// Responses received.
+    pub responses_received: u64,
+    /// Exchanges that ended in a timeout.
+    pub timeouts: u64,
+    /// Query bytes on the wire.
+    pub bytes_sent: u64,
+    /// Response bytes on the wire.
+    pub bytes_received: u64,
+    /// Sum of round-trip/wait times, milliseconds.
+    pub total_wait_ms: u64,
+}
+
+/// The simulated internet: a routing table from IPv4 addresses to
+/// authoritative servers, plus latency, loss, and traffic accounting.
+///
+/// `SimNetwork` is `Sync`; the measurement runner queries it from many
+/// threads at once, as the real campaign parallelized its lookups.
+#[derive(Debug)]
+pub struct SimNetwork {
+    servers: HashMap<Ipv4Addr, AuthoritativeServer>,
+    latency: LatencyModel,
+    loss_rate: f64,
+    rng: Mutex<SmallRng>,
+    stats: Mutex<TrafficStats>,
+    per_destination: Mutex<HashMap<Ipv4Addr, u64>>,
+}
+
+impl SimNetwork {
+    /// Creates an empty network with no loss and wide-area latency.
+    pub fn new(seed: u64) -> Self {
+        SimNetwork {
+            servers: HashMap::new(),
+            latency: LatencyModel::default(),
+            loss_rate: 0.0,
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            stats: Mutex::new(TrafficStats::default()),
+            per_destination: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Sets the latency model (builder style).
+    #[must_use]
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the packet-loss probability per exchange, in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `[0, 1]`.
+    #[must_use]
+    pub fn with_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate {rate} outside [0,1]");
+        self.loss_rate = rate;
+        self
+    }
+
+    /// Registers a server at its address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is already taken — address plans are
+    /// generated, so a collision is a construction bug.
+    pub fn add_server(&mut self, server: AuthoritativeServer) {
+        let addr = server.addr();
+        let prev = self.servers.insert(addr, server);
+        assert!(prev.is_none(), "duplicate server at {addr}");
+    }
+
+    /// The server bound to `addr`, if any.
+    pub fn server(&self, addr: Ipv4Addr) -> Option<&AuthoritativeServer> {
+        self.servers.get(&addr)
+    }
+
+    /// Number of registered servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Iterates over all registered servers.
+    pub fn servers(&self) -> impl Iterator<Item = &AuthoritativeServer> {
+        self.servers.values()
+    }
+
+    /// The configured latency model.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Sends `query` to `dst` and waits for the outcome.
+    ///
+    /// Unrouted addresses and [`ServerBehavior::Unresponsive`] servers both
+    /// produce a timeout — from the vantage point they are
+    /// indistinguishable, which is exactly the ambiguity the paper's
+    /// second-round retries exist to resolve.
+    ///
+    /// [`ServerBehavior::Unresponsive`]: crate::ServerBehavior::Unresponsive
+    pub fn deliver(&self, dst: Ipv4Addr, query: &Message) -> DeliveryOutcome {
+        let qbytes = wire::encoded_len(query) as u64;
+        {
+            let mut stats = self.stats.lock();
+            stats.queries_sent += 1;
+            stats.bytes_sent += qbytes;
+        }
+        *self.per_destination.lock().entry(dst).or_insert(0) += 1;
+        let lost = self.loss_rate > 0.0 && self.rng.lock().gen_bool(self.loss_rate);
+        let reply = if lost {
+            None
+        } else {
+            self.servers.get(&dst).and_then(|s| s.handle(query))
+        };
+        match reply {
+            Some(msg) => {
+                let rtt_ms = self.latency.rtt_ms(dst);
+                let mut stats = self.stats.lock();
+                stats.responses_received += 1;
+                stats.bytes_received += wire::encoded_len(&msg) as u64;
+                stats.total_wait_ms += u64::from(rtt_ms);
+                DeliveryOutcome::Reply { msg, rtt_ms }
+            }
+            None => {
+                let waited_ms = self.latency.timeout_ms;
+                let mut stats = self.stats.lock();
+                stats.timeouts += 1;
+                stats.total_wait_ms += u64::from(waited_ms);
+                DeliveryOutcome::Timeout { waited_ms }
+            }
+        }
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        *self.stats.lock()
+    }
+
+    /// The `n` destinations that received the most queries — the load
+    /// concentration the campaign's rate limiting exists to bound (§III-D
+    /// ethics).
+    pub fn busiest_destinations(&self, n: usize) -> Vec<(Ipv4Addr, u64)> {
+        let map = self.per_destination.lock();
+        let mut all: Vec<(Ipv4Addr, u64)> = map.iter().map(|(&a, &c)| (a, c)).collect();
+        all.sort_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServerBehavior};
+    use govdns_model::{DomainName, RecordType, Zone};
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn network_with_one_zone() -> SimNetwork {
+        let mut zone = Zone::new(n("gov.zz"));
+        zone.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        let mut net = SimNetwork::new(7);
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 1), ServerBehavior::Responsive)
+                .with_zone(zone),
+        );
+        net
+    }
+
+    #[test]
+    fn routes_to_registered_server() {
+        let net = network_with_one_zone();
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let out = net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q);
+        assert!(out.reply().unwrap().is_authoritative_answer());
+        assert!(out.elapsed_ms() >= net.latency().base_ms);
+    }
+
+    #[test]
+    fn unrouted_address_times_out() {
+        let net = network_with_one_zone();
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let out = net.deliver(Ipv4Addr::new(203, 0, 113, 200), &q);
+        assert!(out.reply().is_none());
+        assert_eq!(out.elapsed_ms(), net.latency().timeout_ms);
+    }
+
+    #[test]
+    fn accounting_tracks_bytes_and_counts() {
+        let net = network_with_one_zone();
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q);
+        net.deliver(Ipv4Addr::new(203, 0, 113, 200), &q);
+        let s = net.stats();
+        assert_eq!(s.queries_sent, 2);
+        assert_eq!(s.responses_received, 1);
+        assert_eq!(s.timeouts, 1);
+        assert!(s.bytes_sent > 0 && s.bytes_received > s.bytes_sent / 2);
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let mut zone = Zone::new(n("gov.zz"));
+        zone.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        let mut net = SimNetwork::new(7).with_loss_rate(1.0);
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 1), ServerBehavior::Responsive)
+                .with_zone(zone),
+        );
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        assert!(net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q).reply().is_none());
+    }
+
+    #[test]
+    fn partial_loss_is_probabilistic() {
+        let mut zone = Zone::new(n("gov.zz"));
+        zone.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        let mut net = SimNetwork::new(42).with_loss_rate(0.5);
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 1), ServerBehavior::Responsive)
+                .with_zone(zone),
+        );
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let replies = (0..200)
+            .filter(|_| net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q).reply().is_some())
+            .count();
+        assert!((60..140).contains(&replies), "got {replies} replies out of 200");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate server")]
+    fn rejects_address_collision() {
+        let mut net = SimNetwork::new(1);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        net.add_server(AuthoritativeServer::new(a, ServerBehavior::Unresponsive));
+        net.add_server(AuthoritativeServer::new(a, ServerBehavior::Unresponsive));
+    }
+
+    #[test]
+    fn network_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<SimNetwork>();
+    }
+}

@@ -1,0 +1,363 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU16, Ordering};
+
+use parking_lot::Mutex;
+
+use govdns_model::{DomainName, Message, Rcode, RecordData, RecordType, ResourceRecord};
+
+use crate::SimNetwork;
+
+const MAX_REFERRALS: usize = 24;
+const MAX_GLUELESS_DEPTH: usize = 6;
+const MAX_CNAME_CHASE: usize = 4;
+
+/// Why a resolution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ResolveError {
+    /// The name authoritatively does not exist.
+    NxDomain(DomainName),
+    /// Every candidate server timed out or answered uselessly.
+    Unreachable(DomainName),
+    /// Referral chain exceeded the loop budget.
+    TooManyReferrals(DomainName),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NxDomain(n) => write!(f, "name {n} does not exist"),
+            ResolveError::Unreachable(n) => write!(f, "no nameserver reachable for {n}"),
+            ResolveError::TooManyReferrals(n) => {
+                write!(f, "referral loop while resolving {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// A successful resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolveResult {
+    /// Answer records (possibly empty for NODATA).
+    pub records: Vec<ResourceRecord>,
+    /// Total time the resolution took, milliseconds of simulated waiting.
+    pub elapsed_ms: u32,
+    /// Number of queries the resolution spent.
+    pub queries: u32,
+}
+
+impl ResolveResult {
+    /// The IPv4 addresses among the answers.
+    pub fn addresses(&self) -> Vec<Ipv4Addr> {
+        self.records.iter().filter_map(|r| r.data.as_a()).collect()
+    }
+}
+
+/// An iterative resolver walking the simulated DNS from the root.
+///
+/// This plays the role of the study's measurement-host resolver: locating
+/// the authoritative servers of parent zones and resolving nameserver
+/// hostnames to IPv4 addresses. It keeps a positive cache, as the real
+/// pipeline relied on its resolver's cache across 147k domains.
+#[derive(Debug)]
+pub struct StubResolver<'net> {
+    network: &'net SimNetwork,
+    roots: Vec<Ipv4Addr>,
+    cache: Mutex<HashMap<(DomainName, RecordType), Vec<ResourceRecord>>>,
+    next_id: AtomicU16,
+}
+
+impl<'net> StubResolver<'net> {
+    /// Creates a resolver with the given root-server hints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `roots` is empty.
+    pub fn new(network: &'net SimNetwork, roots: Vec<Ipv4Addr>) -> Self {
+        assert!(!roots.is_empty(), "a resolver needs at least one root hint");
+        StubResolver { network, roots, cache: Mutex::new(HashMap::new()), next_id: AtomicU16::new(1) }
+    }
+
+    fn fresh_id(&self) -> u16 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The configured root hints.
+    pub fn roots(&self) -> &[Ipv4Addr] {
+        &self.roots
+    }
+
+    /// Resolves `name`/`rtype` iteratively from the root.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResolveError`]. A NODATA outcome is a success with an empty
+    /// record list.
+    pub fn resolve(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+    ) -> Result<ResolveResult, ResolveError> {
+        self.resolve_inner(name, rtype, 0)
+    }
+
+    /// Resolves a hostname to its IPv4 addresses.
+    ///
+    /// # Errors
+    ///
+    /// See [`ResolveError`].
+    pub fn resolve_a(&self, name: &DomainName) -> Result<Vec<Ipv4Addr>, ResolveError> {
+        Ok(self.resolve(name, RecordType::A)?.addresses())
+    }
+
+    fn resolve_inner(
+        &self,
+        name: &DomainName,
+        rtype: RecordType,
+        depth: usize,
+    ) -> Result<ResolveResult, ResolveError> {
+        if depth > MAX_GLUELESS_DEPTH {
+            return Err(ResolveError::TooManyReferrals(name.clone()));
+        }
+        if let Some(records) = self.cache.lock().get(&(name.clone(), rtype)) {
+            return Ok(ResolveResult { records: records.clone(), elapsed_ms: 0, queries: 0 });
+        }
+
+        let mut servers: Vec<Ipv4Addr> = self.roots.clone();
+        let mut elapsed_ms = 0u32;
+        let mut queries = 0u32;
+        let mut chased = 0usize;
+        let mut qname = name.clone();
+        // Depth of the zone cut the current server set is authoritative
+        // for. A referral only counts as progress if it names a strictly
+        // deeper cut — a lame server's self-referral must not loop.
+        let mut cut_level = 0usize;
+
+        for _ in 0..MAX_REFERRALS {
+            let mut progressed = false;
+            let mut candidates = std::mem::take(&mut servers);
+            candidates.dedup();
+            for dst in &candidates {
+                let q = Message::query(self.fresh_id(), qname.clone(), rtype);
+                let out = self.network.deliver(*dst, &q);
+                elapsed_ms = elapsed_ms.saturating_add(out.elapsed_ms());
+                queries += 1;
+                let Some(reply) = out.reply() else { continue };
+                if reply.aa && reply.rcode == Rcode::NxDomain {
+                    return Err(ResolveError::NxDomain(qname));
+                }
+                if reply.is_authoritative_answer() {
+                    // Chase at most a few CNAME hops.
+                    if rtype != RecordType::Cname {
+                        if let Some(RecordData::Cname(target)) =
+                            reply.answers.first().map(|r| &r.data)
+                        {
+                            if chased < MAX_CNAME_CHASE {
+                                chased += 1;
+                                qname = target.clone();
+                                servers = self.roots.clone();
+                                cut_level = 0;
+                                progressed = true;
+                                break;
+                            }
+                        }
+                    }
+                    let records = reply.answers.clone();
+                    self.cache
+                        .lock()
+                        .insert((qname.clone(), rtype), records.clone());
+                    return Ok(ResolveResult { records, elapsed_ms, queries });
+                }
+                if reply.is_referral() {
+                    let Some(cut) = deepest_cut(reply, &qname) else { continue };
+                    if cut.level() <= cut_level {
+                        // Sideways/upward referral: this server is not
+                        // helping; ask the next one.
+                        continue;
+                    }
+                    let next = self.referral_targets(reply, depth, &mut elapsed_ms, &mut queries);
+                    if !next.is_empty() {
+                        servers = next;
+                        cut_level = cut.level();
+                        progressed = true;
+                        break;
+                    }
+                }
+                // REFUSED/SERVFAIL/non-AA junk: try the next candidate.
+            }
+            if !progressed {
+                return Err(ResolveError::Unreachable(qname));
+            }
+        }
+        Err(ResolveError::TooManyReferrals(qname))
+    }
+
+    /// Extracts the next-hop addresses from a referral: glue where present,
+    /// glueless resolution otherwise.
+    fn referral_targets(
+        &self,
+        reply: &Message,
+        depth: usize,
+        elapsed_ms: &mut u32,
+        queries: &mut u32,
+    ) -> Vec<Ipv4Addr> {
+        let mut next = Vec::new();
+        for target in reply.authority_ns_targets() {
+            let glue: Vec<Ipv4Addr> = reply
+                .additional
+                .iter()
+                .filter(|rr| rr.name == *target)
+                .filter_map(|rr| rr.data.as_a())
+                .collect();
+            if glue.is_empty() {
+                if let Ok(r) = self.resolve_inner(target, RecordType::A, depth + 1) {
+                    *elapsed_ms = elapsed_ms.saturating_add(r.elapsed_ms);
+                    *queries += r.queries;
+                    next.extend(r.addresses());
+                }
+            } else {
+                next.extend(glue);
+            }
+        }
+        next
+    }
+}
+
+/// The deepest authority-section NS owner enclosing `qname` — the zone
+/// cut a referral points at.
+fn deepest_cut(reply: &Message, qname: &DomainName) -> Option<DomainName> {
+    reply
+        .authority
+        .iter()
+        .filter(|rr| rr.rtype() == RecordType::Ns && qname.is_within(&rr.name))
+        .map(|rr| rr.name.clone())
+        .max_by_key(DomainName::level)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AuthoritativeServer, ServerBehavior};
+    use govdns_model::Zone;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    /// Builds a three-level hierarchy: root → zz → gov.zz, with a web host
+    /// inside gov.zz and a glueless out-of-bailiwick nameserver case.
+    fn test_network() -> SimNetwork {
+        let mut net = SimNetwork::new(5);
+
+        let mut root = Zone::new(DomainName::root());
+        root.add_ns(DomainName::root(), n("a.root.example"));
+        root.add_glue(n("a.root.example"), Ipv4Addr::new(10, 0, 0, 1));
+        root.add_ns(n("zz"), n("ns1.nic.zz"));
+        root.add_glue(n("ns1.nic.zz"), Ipv4Addr::new(10, 1, 0, 1));
+        root.add_ns(n("example"), n("ns1.example"));
+        root.add_glue(n("ns1.example"), Ipv4Addr::new(10, 3, 0, 1));
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(10, 0, 0, 1), ServerBehavior::Responsive)
+                .with_zone(root),
+        );
+
+        let mut tld = Zone::new(n("zz"));
+        tld.add_ns(n("zz"), n("ns1.nic.zz"));
+        tld.add_a(n("ns1.nic.zz"), Ipv4Addr::new(10, 1, 0, 1));
+        // Delegation with glue.
+        tld.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        tld.add_glue(n("ns1.gov.zz"), Ipv4Addr::new(10, 2, 0, 1));
+        // Glueless delegation to an out-of-bailiwick server name.
+        tld.add_ns(n("glueless.zz"), n("ns1.example"));
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(10, 1, 0, 1), ServerBehavior::Responsive)
+                .with_zone(tld),
+        );
+
+        let mut gov = Zone::new(n("gov.zz"));
+        gov.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+        gov.add_a(n("ns1.gov.zz"), Ipv4Addr::new(10, 2, 0, 1));
+        gov.add_a(n("www.gov.zz"), Ipv4Addr::new(10, 2, 0, 80));
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(10, 2, 0, 1), ServerBehavior::Responsive)
+                .with_zone(gov),
+        );
+
+        let mut example = Zone::new(n("example"));
+        example.add_ns(n("example"), n("ns1.example"));
+        example.add_a(n("ns1.example"), Ipv4Addr::new(10, 3, 0, 1));
+        let mut glueless = Zone::new(n("glueless.zz"));
+        glueless.add_ns(n("glueless.zz"), n("ns1.example"));
+        glueless.add_a(n("www.glueless.zz"), Ipv4Addr::new(10, 3, 0, 80));
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(10, 3, 0, 1), ServerBehavior::Responsive)
+                .with_zone(example)
+                .with_zone(glueless),
+        );
+
+        net
+    }
+
+    fn resolver(net: &SimNetwork) -> StubResolver<'_> {
+        StubResolver::new(net, vec![Ipv4Addr::new(10, 0, 0, 1)])
+    }
+
+    #[test]
+    fn resolves_through_two_referrals() {
+        let net = test_network();
+        let r = resolver(&net);
+        let addrs = r.resolve_a(&n("www.gov.zz")).unwrap();
+        assert_eq!(addrs, vec![Ipv4Addr::new(10, 2, 0, 80)]);
+    }
+
+    #[test]
+    fn glueless_delegation_needs_a_side_resolution() {
+        let net = test_network();
+        let r = resolver(&net);
+        let addrs = r.resolve_a(&n("www.glueless.zz")).unwrap();
+        assert_eq!(addrs, vec![Ipv4Addr::new(10, 3, 0, 80)]);
+    }
+
+    #[test]
+    fn nxdomain_is_reported() {
+        let net = test_network();
+        let r = resolver(&net);
+        assert!(matches!(
+            r.resolve_a(&n("missing.gov.zz")),
+            Err(ResolveError::NxDomain(_))
+        ));
+    }
+
+    #[test]
+    fn cache_short_circuits_repeat_queries() {
+        let net = test_network();
+        let r = resolver(&net);
+        let first = r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert!(first.queries > 0);
+        let second = r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert_eq!(second.queries, 0);
+        assert_eq!(second.records, first.records);
+    }
+
+    #[test]
+    fn unreachable_when_all_roots_dead() {
+        let net = SimNetwork::new(1);
+        let r = StubResolver::new(&net, vec![Ipv4Addr::new(10, 9, 9, 9)]);
+        assert!(matches!(
+            r.resolve_a(&n("www.gov.zz")),
+            Err(ResolveError::Unreachable(_))
+        ));
+    }
+
+    #[test]
+    fn elapsed_time_accumulates() {
+        let net = test_network();
+        let r = resolver(&net);
+        let res = r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert!(res.elapsed_ms >= net.latency().base_ms * res.queries);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for the simulated network: servers always produce a
+//! well-formed outcome, classification is closed, and accounting is
+//! conserved.
+
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use govdns_model::{DomainName, Message, RecordType, Soa, Zone};
+use govdns_simnet::{AuthoritativeServer, LameMode, ServerBehavior, SimNetwork};
+
+fn name_strategy() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec("[a-z]{1,8}", 1..5)
+        .prop_map(|labels| labels.join(".").parse().expect("valid labels"))
+}
+
+fn rtype_strategy() -> impl Strategy<Value = RecordType> {
+    prop::sample::select(RecordType::all().to_vec())
+}
+
+fn behavior_strategy() -> impl Strategy<Value = ServerBehavior> {
+    prop_oneof![
+        Just(ServerBehavior::Responsive),
+        Just(ServerBehavior::RelativeNameBug),
+        Just(ServerBehavior::Unresponsive),
+        Just(ServerBehavior::Lame(LameMode::Refused)),
+        Just(ServerBehavior::Lame(LameMode::ServFail)),
+        Just(ServerBehavior::Lame(LameMode::UpwardReferral)),
+        Just(ServerBehavior::Lame(LameMode::EmptyNonAuth)),
+        Just(ServerBehavior::Parking {
+            web_ip: Ipv4Addr::new(203, 0, 113, 80),
+            ns_names: vec![
+                "ns1.parking.example".parse().expect("static"),
+                "ns2.parking.example".parse().expect("static"),
+            ],
+        }),
+    ]
+}
+
+fn sample_zone() -> Zone {
+    let n = |s: &str| -> DomainName { s.parse().unwrap() };
+    let mut z = Zone::new(n("gov.zz"));
+    z.set_soa(Soa::new(n("ns1.gov.zz"), n("hostmaster.gov.zz")));
+    z.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+    z.add_a(n("ns1.gov.zz"), Ipv4Addr::new(10, 0, 0, 1));
+    z.add_ns(n("child.gov.zz"), n("ns1.child.gov.zz"));
+    z.add_glue(n("ns1.child.gov.zz"), Ipv4Addr::new(10, 0, 0, 2));
+    z.add_a(n("www.gov.zz"), Ipv4Addr::new(10, 0, 0, 80));
+    z
+}
+
+proptest! {
+    /// Every behavior yields either silence or a response that echoes the
+    /// query id and question; responsive behaviors never time out.
+    #[test]
+    fn server_outcomes_are_well_formed(
+        behavior in behavior_strategy(),
+        qname in name_strategy(),
+        rtype in rtype_strategy(),
+        id in any::<u16>(),
+    ) {
+        let server = AuthoritativeServer::new(Ipv4Addr::new(10, 0, 0, 1), behavior.clone())
+            .with_zone(sample_zone());
+        let q = Message::query(id, qname.clone(), rtype);
+        match server.handle(&q) {
+            None => prop_assert!(matches!(behavior, ServerBehavior::Unresponsive)),
+            Some(r) => {
+                prop_assert_eq!(r.id, id);
+                prop_assert_eq!(&r.question.name, &qname);
+                prop_assert_eq!(r.question.rtype, rtype);
+                // A response is never both an answer and a referral.
+                prop_assert!(!(r.is_authoritative_answer() && r.is_referral()));
+            }
+        }
+    }
+
+    /// Parking answers every A/NS question authoritatively, whatever the
+    /// name.
+    #[test]
+    fn parking_is_omniscient(qname in name_strategy()) {
+        let server = AuthoritativeServer::new(
+            Ipv4Addr::new(10, 9, 9, 9),
+            ServerBehavior::Parking {
+                web_ip: Ipv4Addr::new(203, 0, 113, 80),
+                ns_names: vec!["ns1.parking.example".parse().unwrap()],
+            },
+        );
+        for rtype in [RecordType::A, RecordType::Ns] {
+            let r = server.handle(&Message::query(1, qname.clone(), rtype)).unwrap();
+            prop_assert!(r.is_authoritative_answer(), "{rtype} for {qname}");
+        }
+    }
+
+    /// Traffic accounting is conserved: replies + timeouts = queries.
+    #[test]
+    fn accounting_is_conserved(
+        targets in prop::collection::vec(any::<[u8; 4]>(), 1..40),
+        loss_pct in 0u8..=100,
+    ) {
+        let mut net = SimNetwork::new(5).with_loss_rate(f64::from(loss_pct) / 100.0);
+        net.add_server(
+            AuthoritativeServer::new(Ipv4Addr::new(10, 0, 0, 1), ServerBehavior::Responsive)
+                .with_zone(sample_zone()),
+        );
+        let q = Message::query(1, "gov.zz".parse().unwrap(), RecordType::Ns);
+        for t in &targets {
+            net.deliver((*t).into(), &q);
+        }
+        let s = net.stats();
+        prop_assert_eq!(s.queries_sent, targets.len() as u64);
+        prop_assert_eq!(s.responses_received + s.timeouts, s.queries_sent);
+        // Per-destination counts sum to the total.
+        let sum: u64 = net.busiest_destinations(usize::MAX).iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(sum, s.queries_sent);
+    }
+}

@@ -1,0 +1,231 @@
+use std::net::Ipv4Addr;
+
+use govdns_simnet::{Asn, AsnDb};
+
+use crate::deployment::DiversityPolicy;
+
+/// Handle to an autonomous system allocated by the [`AddressPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsnAlloc(usize);
+
+#[derive(Debug, Clone)]
+struct AllocState {
+    asn: Asn,
+    /// /24 network bases (u32 of `x.y.z.0`) owned by this AS.
+    next_24: u32,
+    /// Base of the current /16 (u32 of `x.y.0.0`).
+    slash16_base: u32,
+    /// Host cursor inside the "singles" /24 (index 0 of each /16).
+    next_single_host: u32,
+}
+
+/// The world's address plan: hands out autonomous systems and addresses,
+/// building the [`AsnDb`] (the MaxMind GeoIP2-ASN stand-in) as it goes.
+///
+/// Each AS starts with one /16; further /16s are appended when exhausted.
+/// Within an AS, /24 index 0 serves single-host requests and indexes
+/// 1..256 serve nameserver pairs, so pair-placement policies are exact.
+#[derive(Debug)]
+pub struct AddressPlan {
+    db: AsnDb,
+    next_asn: Asn,
+    next_slash16: u32,
+    allocs: Vec<AllocState>,
+}
+
+impl AddressPlan {
+    /// Creates an empty plan. Address space grows upward from `11.0.0.0`.
+    pub fn new() -> Self {
+        AddressPlan {
+            db: AsnDb::new(),
+            next_asn: 64_512,
+            // /16 index: 11.0.0.0 is block 11 * 256.
+            next_slash16: 11 * 256,
+            allocs: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh autonomous system with one /16.
+    pub fn allocate_asn(&mut self) -> AsnAlloc {
+        let asn = self.next_asn;
+        self.next_asn += 1;
+        let base = self.take_slash16(asn);
+        self.allocs.push(AllocState {
+            asn,
+            next_24: 1, // /24 #0 is the singles pool
+            slash16_base: base,
+            next_single_host: 1,
+        });
+        AsnAlloc(self.allocs.len() - 1)
+    }
+
+    fn take_slash16(&mut self, asn: Asn) -> u32 {
+        let base = self.next_slash16 << 16;
+        self.next_slash16 += 1;
+        assert!(
+            self.next_slash16 < 223 * 256,
+            "address plan exhausted unicast space"
+        );
+        self.db.allocate(Ipv4Addr::from(base), Ipv4Addr::from(base | 0xFFFF), asn);
+        base
+    }
+
+    /// The AS number behind a handle.
+    pub fn asn_of(&self, a: AsnAlloc) -> Asn {
+        self.allocs[a.0].asn
+    }
+
+    /// A fresh single-host address in the AS (web servers, parent-zone
+    /// nameservers, parking hosts).
+    pub fn fresh_host(&mut self, a: AsnAlloc) -> Ipv4Addr {
+        let needs_new_16 = {
+            let st = &self.allocs[a.0];
+            st.next_single_host > 254
+        };
+        if needs_new_16 {
+            let asn = self.allocs[a.0].asn;
+            let base = self.take_slash16(asn);
+            let st = &mut self.allocs[a.0];
+            st.slash16_base = base;
+            st.next_24 = 1;
+            st.next_single_host = 1;
+        }
+        let st = &mut self.allocs[a.0];
+        let ip = st.slash16_base | st.next_single_host;
+        st.next_single_host += 1;
+        Ipv4Addr::from(ip)
+    }
+
+    /// A fresh /24 network base in the AS.
+    fn fresh_24(&mut self, a: AsnAlloc) -> u32 {
+        let needs_new_16 = {
+            let st = &self.allocs[a.0];
+            st.next_24 > 255
+        };
+        if needs_new_16 {
+            let asn = self.allocs[a.0].asn;
+            let base = self.take_slash16(asn);
+            let st = &mut self.allocs[a.0];
+            st.slash16_base = base;
+            st.next_24 = 1;
+            st.next_single_host = 1;
+        }
+        let st = &mut self.allocs[a.0];
+        let net = st.slash16_base | (st.next_24 << 8);
+        st.next_24 += 1;
+        net
+    }
+
+    /// Addresses for one nameserver pair under `policy`. For
+    /// [`DiversityPolicy::MultiAsn`] the second address comes from `b`;
+    /// other policies draw from `a` only.
+    pub fn pair_ips(
+        &mut self,
+        a: AsnAlloc,
+        b: AsnAlloc,
+        policy: DiversityPolicy,
+    ) -> (Ipv4Addr, Ipv4Addr) {
+        match policy {
+            DiversityPolicy::SameIp => {
+                let net = self.fresh_24(a);
+                let ip = Ipv4Addr::from(net | 1);
+                (ip, ip)
+            }
+            DiversityPolicy::SameSlash24 => {
+                let net = self.fresh_24(a);
+                (Ipv4Addr::from(net | 1), Ipv4Addr::from(net | 2))
+            }
+            DiversityPolicy::MultiSlash24 => {
+                let n1 = self.fresh_24(a);
+                let n2 = self.fresh_24(a);
+                (Ipv4Addr::from(n1 | 1), Ipv4Addr::from(n2 | 1))
+            }
+            DiversityPolicy::MultiAsn => {
+                let n1 = self.fresh_24(a);
+                let n2 = self.fresh_24(b);
+                (Ipv4Addr::from(n1 | 1), Ipv4Addr::from(n2 | 1))
+            }
+        }
+    }
+
+    /// A read view of the ASN database built so far.
+    pub fn asn_db(&self) -> &AsnDb {
+        &self.db
+    }
+
+    /// Finishes the plan, yielding the ASN database.
+    pub fn into_asn_db(self) -> AsnDb {
+        self.db
+    }
+}
+
+impl Default for AddressPlan {
+    fn default() -> Self {
+        AddressPlan::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use govdns_simnet::prefix24;
+
+    #[test]
+    fn asns_are_distinct_and_registered() {
+        let mut plan = AddressPlan::new();
+        let a = plan.allocate_asn();
+        let b = plan.allocate_asn();
+        assert_ne!(plan.asn_of(a), plan.asn_of(b));
+        let ip = plan.fresh_host(a);
+        assert_eq!(plan.asn_db().lookup(ip), Some(plan.asn_of(a)));
+    }
+
+    #[test]
+    fn policies_place_pairs_correctly() {
+        let mut plan = AddressPlan::new();
+        let a = plan.allocate_asn();
+        let b = plan.allocate_asn();
+        let db = |plan: &AddressPlan, ip| plan.asn_db().lookup(ip).unwrap();
+
+        let (x, y) = plan.pair_ips(a, b, DiversityPolicy::SameIp);
+        assert_eq!(x, y);
+
+        let (x, y) = plan.pair_ips(a, b, DiversityPolicy::SameSlash24);
+        assert_ne!(x, y);
+        assert_eq!(prefix24(x), prefix24(y));
+
+        let (x, y) = plan.pair_ips(a, b, DiversityPolicy::MultiSlash24);
+        assert_ne!(prefix24(x), prefix24(y));
+        assert_eq!(db(&plan, x), db(&plan, y));
+
+        let (x, y) = plan.pair_ips(a, b, DiversityPolicy::MultiAsn);
+        assert_ne!(prefix24(x), prefix24(y));
+        assert_ne!(db(&plan, x), db(&plan, y));
+    }
+
+    #[test]
+    fn exhausting_a_slash16_grows_the_as() {
+        let mut plan = AddressPlan::new();
+        let a = plan.allocate_asn();
+        let b = plan.allocate_asn();
+        let asn = plan.asn_of(a);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            // 300 multi-24 pairs need 600 /24s: more than one /16.
+            let (x, y) = plan.pair_ips(a, b, DiversityPolicy::MultiSlash24);
+            assert!(seen.insert(x) && seen.insert(y), "addresses must be unique");
+            assert_eq!(plan.asn_db().lookup(x), Some(asn));
+            assert_eq!(plan.asn_db().lookup(y), Some(asn));
+        }
+    }
+
+    #[test]
+    fn single_hosts_are_unique() {
+        let mut plan = AddressPlan::new();
+        let a = plan.allocate_asn();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..600 {
+            assert!(seen.insert(plan.fresh_host(a)));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! The paper's published aggregates, used in two ways: as generation
+//! targets for [`WorldGenerator`](crate::WorldGenerator) and as the
+//! expected values EXPERIMENTS.md compares measured output against.
+//!
+//! Counts are at paper scale (the world's `scale` knob multiplies them);
+//! rates are scale-invariant.
+
+/// First year of the longitudinal window.
+pub const FIRST_YEAR: i32 = 2011;
+/// Last full year of the longitudinal window.
+pub const LAST_YEAR: i32 = 2020;
+
+/// Domains with NS records in PDNS, per year 2011–2020 (Fig 2; thousands
+/// interpolated between the published 113.5k start, ~194k 2019 peak and
+/// 192.6k end with the China consolidation dip).
+pub const DOMAINS_PER_YEAR: [u32; 10] = [
+    113_500, 121_000, 129_000, 137_500, 146_500, 156_000, 166_500, 178_000, 194_000, 192_600,
+];
+
+/// Single-nameserver domains per year (Fig 6/7 context: 4.8k → 5.9k).
+pub const D1NS_PER_YEAR: [u32; 10] =
+    [4_800, 4_900, 5_000, 5_100, 5_250, 5_400, 5_500, 5_650, 5_800, 5_900];
+
+/// Annual survival probability of a single-NS domain. `0.84^9 ≈ 0.21`,
+/// matching Fig 6's "21% of the 2011 cohort still active in 2020".
+pub const D1NS_SURVIVAL_RATE: f64 = 0.84;
+
+/// Annual survival probability of a replicated domain.
+pub const MULTI_NS_SURVIVAL_RATE: f64 = 0.97;
+
+/// Fraction of single-NS domains on a private (in-`d_gov`) deployment
+/// (Fig 7: "over 71%" every year).
+pub const D1NS_PRIVATE_SHARE: f64 = 0.75;
+
+/// Fraction of all domains on a private deployment (Fig 7: "less than
+/// 34%").
+pub const OVERALL_PRIVATE_SHARE: f64 = 0.31;
+
+/// Share of active-measurement domains using at least two nameservers
+/// (§IV-A: 98.4%).
+pub const MULTI_NS_SHARE_ACTIVE: f64 = 0.984;
+
+/// Of the single-NS domains probed actively, the fraction with no
+/// authoritative response at all (Fig 8 headline: 60.1%).
+pub const D1NS_STALE_RATE: f64 = 0.601;
+
+/// Active collection funnel at paper scale (§III-B).
+pub mod funnel {
+    /// Domains queried after PDNS discovery and disposable filtering.
+    pub const QUERIED: u32 = 147_000;
+    /// Domains with at least one response from a parent-zone nameserver.
+    pub const PARENT_RESPONSIVE: u32 = 115_000;
+    /// Domains where at least one parent response was non-empty.
+    pub const PARENT_NONEMPTY: u32 = 96_000;
+}
+
+/// DNS hierarchy level mix among studied domains (§III-B).
+pub mod levels {
+    /// Second-level domains: "less than 1%".
+    pub const SECOND: f64 = 0.008;
+    /// Third-level domains: 85.4%.
+    pub const THIRD: f64 = 0.854;
+    /// Fourth-level domains: 10.9%.
+    pub const FOURTH: f64 = 0.109;
+    /// Fifth level and deeper: the remainder.
+    pub const FIFTH_PLUS: f64 = 1.0 - SECOND - THIRD - FOURTH;
+}
+
+/// Table I: share of multi-NS domains whose nameservers resolve to more
+/// than one IP, more than one /24, and more than one ASN — total and for
+/// the ten countries with the most records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiversityTarget {
+    /// ISO alpha-2 code, or "**" for the all-country aggregate.
+    pub country: &'static str,
+    /// Multi-NS domains at paper scale.
+    pub domains: u32,
+    /// Fraction with |IP| > 1.
+    pub multi_ip: f64,
+    /// Fraction with |/24| > 1.
+    pub multi_24: f64,
+    /// Fraction with |ASN| > 1.
+    pub multi_asn: f64,
+}
+
+/// Table I rows (total plus top-10 countries).
+pub const DIVERSITY_TARGETS: [DiversityTarget; 11] = [
+    DiversityTarget { country: "**", domains: 94_848, multi_ip: 0.898, multi_24: 0.715, multi_asn: 0.329 },
+    DiversityTarget { country: "CN", domains: 13_623, multi_ip: 0.973, multi_24: 0.957, multi_asn: 0.524 },
+    DiversityTarget { country: "TH", domains: 8_941, multi_ip: 0.361, multi_24: 0.317, multi_asn: 0.136 },
+    DiversityTarget { country: "BR", domains: 7_271, multi_ip: 0.957, multi_24: 0.544, multi_asn: 0.137 },
+    DiversityTarget { country: "MX", domains: 5_256, multi_ip: 0.900, multi_24: 0.674, multi_asn: 0.257 },
+    DiversityTarget { country: "GB", domains: 4_788, multi_ip: 0.997, multi_24: 0.961, multi_asn: 0.255 },
+    DiversityTarget { country: "TR", domains: 4_528, multi_ip: 0.911, multi_24: 0.726, multi_asn: 0.421 },
+    DiversityTarget { country: "IN", domains: 4_426, multi_ip: 0.934, multi_24: 0.841, multi_asn: 0.106 },
+    DiversityTarget { country: "AU", domains: 3_707, multi_ip: 0.992, multi_24: 0.917, multi_asn: 0.090 },
+    DiversityTarget { country: "UA", domains: 3_421, multi_ip: 0.990, multi_24: 0.623, multi_asn: 0.451 },
+    DiversityTarget { country: "AR", domains: 2_795, multi_ip: 0.976, multi_24: 0.718, multi_asn: 0.305 },
+];
+
+/// Default diversity profile for countries outside the top ten, chosen so
+/// the weighted total approaches Table I's aggregate row.
+pub const DEFAULT_DIVERSITY: DiversityTarget = DiversityTarget {
+    country: "--",
+    domains: 0,
+    multi_ip: 0.92,
+    multi_24: 0.715,
+    multi_asn: 0.40,
+};
+
+/// Defective delegations (§IV-C).
+pub mod delegation {
+    /// Domains with at least one defective delegation: 29.5%.
+    pub const ANY_DEFECTIVE_RATE: f64 = 0.295;
+    /// Domains with a *partial* defective delegation considering parent
+    /// zone information: 25.4%.
+    pub const PARTIAL_RATE: f64 = 0.254;
+    /// Registrable nameserver domains found via defective delegations, at
+    /// paper scale.
+    pub const AVAILABLE_NS_DOMAINS: u32 = 805;
+    /// Domains relying on those registrable nameserver domains.
+    pub const AFFECTED_DOMAINS: u32 = 1_121;
+    /// Countries with affected domains.
+    pub const AFFECTED_COUNTRIES: u32 = 49;
+    /// Of the affected domains, those with no authoritative response at
+    /// all (stale): "more than half (625)".
+    pub const AFFECTED_FULLY_STALE: u32 = 625;
+    /// Registration cost distribution (Fig 12).
+    pub const COST_MIN_USD: f64 = 0.01;
+    /// Median registration cost.
+    pub const COST_MEDIAN_USD: f64 = 11.99;
+    /// Maximum (premium) registration cost.
+    pub const COST_MAX_USD: f64 = 20_000.0;
+}
+
+/// Parent/child consistency (§IV-D, Fig 13).
+pub mod consistency {
+    /// Responsive domains with identical parent and child NS sets: 76.8%.
+    pub const EQUAL_RATE: f64 = 0.768;
+    /// Second-level domains with identical sets: 93.5%.
+    pub const EQUAL_RATE_SECOND_LEVEL: f64 = 0.935;
+    /// Among `P != C` domains, those also having a partial defective
+    /// delegation: 40.9%.
+    pub const DISAGREE_WITH_LAME_RATE: f64 = 0.409;
+    /// Breakdown of the non-equal cases, as fractions of *all* responsive
+    /// domains. These sum to `1 - EQUAL_RATE`.
+    pub mod breakdown {
+        /// Parent's set is a strict subset of the child's.
+        pub const P_SUBSET_C: f64 = 0.050;
+        /// Child's set is a strict subset of the parent's.
+        pub const C_SUBSET_P: f64 = 0.082;
+        /// Sets intersect without containment.
+        pub const PARTIAL_OVERLAP: f64 = 0.060;
+        /// Sets disjoint but resolving to overlapping IPv4 addresses.
+        pub const DISJOINT_IP_OVERLAP: f64 = 0.016;
+        /// Sets disjoint with disjoint addresses.
+        pub const DISJOINT_NO_IP: f64 = 0.024;
+    }
+    /// Registrable nameserver domains reachable only via inconsistency
+    /// (no defective delegation): 13 at paper scale.
+    pub const AVAILABLE_NS_DOMAINS: u32 = 13;
+    /// Domains those 13 serve.
+    pub const AFFECTED_DOMAINS: u32 = 26;
+    /// Countries involved.
+    pub const AFFECTED_COUNTRIES: u32 = 7;
+    /// Minimum registration cost among them (USD).
+    pub const COST_MIN_USD: f64 = 300.0;
+}
+
+/// Seed-selection quirks (§III-A).
+pub mod seeds {
+    /// UN member states (and portal links).
+    pub const COUNTRIES: u32 = 193;
+    /// Portal links whose FQDN does not resolve.
+    pub const UNRESOLVABLE_LINKS: u32 = 11;
+    /// Of those, countries whose MSQ lists a different, working domain.
+    pub const MSQ_MISMATCHES: u32 = 2;
+    /// Portal links serving third-party ads (squatted).
+    pub const SQUATTED_LINKS: u32 = 1;
+    /// Countries where the gov suffix could not be verified, so the
+    /// registered domain is used instead.
+    pub const UNVERIFIABLE_SUFFIXES: u32 = 3;
+    /// Countries whose portal is a registered domain outside any gov
+    /// suffix, verified via MSQ/Whois (the regjeringen.no case).
+    pub const REGISTERED_DOMAIN_PORTALS: u32 = 1;
+}
+
+/// Provider-centralization headlines (§IV-B).
+pub mod providers {
+    /// Countries using any single top provider in 2011 (Table III).
+    pub const TOP_PROVIDER_COUNTRIES_2011: u32 = 52;
+    /// Countries using any single top provider in 2020 (Table III): a 60%
+    /// increase.
+    pub const TOP_PROVIDER_COUNTRIES_2020: u32 = 85;
+    /// Sub-region groups (22 UN sub-regions + the 10 largest countries
+    /// treated as their own groups).
+    pub const SUBREGION_GROUPS: u32 = 32;
+}
+
+/// Scales a paper-scale count by the world's scale factor.
+pub fn scaled(count: u32, scale: f64) -> u32 {
+    ((f64::from(count)) * scale).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yearly_counts_are_calibrated_to_the_figures() {
+        assert_eq!(DOMAINS_PER_YEAR[0], 113_500);
+        assert_eq!(DOMAINS_PER_YEAR[9], 192_600);
+        // The 2019→2020 dip (China consolidation) is present.
+        assert!(DOMAINS_PER_YEAR[9] < DOMAINS_PER_YEAR[8]);
+        // Growth factor ~1.7 overall.
+        let growth = f64::from(DOMAINS_PER_YEAR[9]) / f64::from(DOMAINS_PER_YEAR[0]);
+        assert!((1.65..1.75).contains(&growth));
+        let d1ns_growth = f64::from(D1NS_PER_YEAR[9]) / f64::from(D1NS_PER_YEAR[0]);
+        assert!((1.15..1.25).contains(&d1ns_growth));
+    }
+
+    #[test]
+    fn survival_rate_matches_cohort_overlap() {
+        let remaining = D1NS_SURVIVAL_RATE.powi(9);
+        assert!((0.19..0.23).contains(&remaining), "2011 cohort residue {remaining}");
+    }
+
+    #[test]
+    fn level_mix_sums_to_one() {
+        let total = levels::SECOND + levels::THIRD + levels::FOURTH + levels::FIFTH_PLUS;
+        assert!((total - 1.0).abs() < 1e-9);
+        const { assert!(levels::FIFTH_PLUS >= 0.0) };
+    }
+
+    #[test]
+    fn consistency_breakdown_sums_to_disagreement() {
+        use consistency::breakdown as b;
+        let sum = b::P_SUBSET_C + b::C_SUBSET_P + b::PARTIAL_OVERLAP + b::DISJOINT_IP_OVERLAP
+            + b::DISJOINT_NO_IP;
+        assert!((sum - (1.0 - consistency::EQUAL_RATE)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diversity_targets_include_all_top10() {
+        assert_eq!(DIVERSITY_TARGETS[0].country, "**");
+        assert_eq!(DIVERSITY_TARGETS.len(), 11);
+        let sum: u32 = DIVERSITY_TARGETS[1..].iter().map(|t| t.domains).sum();
+        // The top 10 hold ~62% of the 94,848 multi-NS domains.
+        assert!((55_000..70_000).contains(&sum));
+    }
+
+    #[test]
+    fn scaled_rounds() {
+        assert_eq!(scaled(100, 0.5), 50);
+        assert_eq!(scaled(147_000, 1.0), 147_000);
+        assert_eq!(scaled(3, 0.5), 2);
+    }
+}

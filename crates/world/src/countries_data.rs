@@ -1,0 +1,294 @@
+//! The 193 UN member states: ISO codes, UN M49 sub-regions, and size
+//! tiers calibrated to the paper's per-country domain counts (Table I top
+//! ten; Fig 4's heavy tail; the four named countries with fewer than ten
+//! responsive domains).
+
+use crate::country::{Country, CountryCode, EgovTier, SubRegion};
+
+use EgovTier::{High, Low, Medium, Minimal};
+use SubRegion::*;
+
+/// Raw rows: `(iso2, name, sub-region, tier)`.
+#[rustfmt::skip]
+const TABLE: &[(&str, &str, SubRegion, EgovTier)] = &[
+    // Northern Africa
+    ("dz", "Algeria", NorthernAfrica, Medium),
+    ("eg", "Egypt", NorthernAfrica, High),
+    ("ly", "Libya", NorthernAfrica, Low),
+    ("ma", "Morocco", NorthernAfrica, Medium),
+    ("sd", "Sudan", NorthernAfrica, Low),
+    ("tn", "Tunisia", NorthernAfrica, Medium),
+    // Eastern Africa
+    ("bi", "Burundi", EasternAfrica, Low),
+    ("km", "Comoros", EasternAfrica, Minimal),
+    ("dj", "Djibouti", EasternAfrica, Minimal),
+    ("er", "Eritrea", EasternAfrica, Minimal),
+    ("et", "Ethiopia", EasternAfrica, Low),
+    ("ke", "Kenya", EasternAfrica, Medium),
+    ("mg", "Madagascar", EasternAfrica, Low),
+    ("mw", "Malawi", EasternAfrica, Low),
+    ("mu", "Mauritius", EasternAfrica, Medium),
+    ("mz", "Mozambique", EasternAfrica, Low),
+    ("rw", "Rwanda", EasternAfrica, Medium),
+    ("sc", "Seychelles", EasternAfrica, Low),
+    ("so", "Somalia", EasternAfrica, Minimal),
+    ("ss", "South Sudan", EasternAfrica, Minimal),
+    ("tz", "Tanzania", EasternAfrica, Medium),
+    ("ug", "Uganda", EasternAfrica, Medium),
+    ("zm", "Zambia", EasternAfrica, Low),
+    ("zw", "Zimbabwe", EasternAfrica, Low),
+    // Middle Africa
+    ("ao", "Angola", MiddleAfrica, Low),
+    ("cm", "Cameroon", MiddleAfrica, Low),
+    ("cf", "Central African Republic", MiddleAfrica, Minimal),
+    ("td", "Chad", MiddleAfrica, Minimal),
+    ("cg", "Congo", MiddleAfrica, Low),
+    ("cd", "DR Congo", MiddleAfrica, Low),
+    ("gq", "Equatorial Guinea", MiddleAfrica, Minimal),
+    ("ga", "Gabon", MiddleAfrica, Low),
+    ("st", "Sao Tome and Principe", MiddleAfrica, Minimal),
+    // Southern Africa
+    ("bw", "Botswana", SouthernAfrica, Low),
+    ("sz", "Eswatini", SouthernAfrica, Low),
+    ("ls", "Lesotho", SouthernAfrica, Low),
+    ("na", "Namibia", SouthernAfrica, Low),
+    ("za", "South Africa", SouthernAfrica, High),
+    // Western Africa
+    ("bj", "Benin", WesternAfrica, Low),
+    ("bf", "Burkina Faso", WesternAfrica, Minimal),
+    ("cv", "Cabo Verde", WesternAfrica, Low),
+    ("ci", "Cote d'Ivoire", WesternAfrica, Low),
+    ("gm", "Gambia", WesternAfrica, Minimal),
+    ("gh", "Ghana", WesternAfrica, Medium),
+    ("gn", "Guinea", WesternAfrica, Minimal),
+    ("gw", "Guinea-Bissau", WesternAfrica, Minimal),
+    ("lr", "Liberia", WesternAfrica, Minimal),
+    ("ml", "Mali", WesternAfrica, Low),
+    ("mr", "Mauritania", WesternAfrica, Minimal),
+    ("ne", "Niger", WesternAfrica, Low),
+    ("ng", "Nigeria", WesternAfrica, Medium),
+    ("sn", "Senegal", WesternAfrica, Medium),
+    ("sl", "Sierra Leone", WesternAfrica, Minimal),
+    ("tg", "Togo", WesternAfrica, Low),
+    // Caribbean
+    ("ag", "Antigua and Barbuda", Caribbean, Minimal),
+    ("bs", "Bahamas", Caribbean, Minimal),
+    ("bb", "Barbados", Caribbean, Minimal),
+    ("cu", "Cuba", Caribbean, Medium),
+    ("dm", "Dominica", Caribbean, Minimal),
+    ("do", "Dominican Republic", Caribbean, Medium),
+    ("gd", "Grenada", Caribbean, Minimal),
+    ("ht", "Haiti", Caribbean, Low),
+    ("jm", "Jamaica", Caribbean, Medium),
+    ("kn", "Saint Kitts and Nevis", Caribbean, Minimal),
+    ("lc", "Saint Lucia", Caribbean, Minimal),
+    ("vc", "Saint Vincent and the Grenadines", Caribbean, Minimal),
+    ("tt", "Trinidad and Tobago", Caribbean, Low),
+    // Central America
+    ("bz", "Belize", CentralAmerica, Minimal),
+    ("cr", "Costa Rica", CentralAmerica, Medium),
+    ("sv", "El Salvador", CentralAmerica, Medium),
+    ("gt", "Guatemala", CentralAmerica, Medium),
+    ("hn", "Honduras", CentralAmerica, Low),
+    ("mx", "Mexico", CentralAmerica, EgovTier::Top10(5_256)),
+    ("ni", "Nicaragua", CentralAmerica, Low),
+    ("pa", "Panama", CentralAmerica, Medium),
+    // South America
+    ("ar", "Argentina", SouthAmerica, EgovTier::Top10(2_795)),
+    ("bo", "Bolivia", SouthAmerica, Minimal),
+    ("br", "Brazil", SouthAmerica, EgovTier::Top10(7_271)),
+    ("cl", "Chile", SouthAmerica, High),
+    ("co", "Colombia", SouthAmerica, High),
+    ("ec", "Ecuador", SouthAmerica, High),
+    ("gy", "Guyana", SouthAmerica, Minimal),
+    ("py", "Paraguay", SouthAmerica, Medium),
+    ("pe", "Peru", SouthAmerica, High),
+    ("sr", "Suriname", SouthAmerica, Minimal),
+    ("uy", "Uruguay", SouthAmerica, Medium),
+    ("ve", "Venezuela", SouthAmerica, Medium),
+    // Northern America
+    ("ca", "Canada", NorthernAmerica, High),
+    ("us", "United States", NorthernAmerica, High),
+    // Central Asia
+    ("kz", "Kazakhstan", CentralAsia, High),
+    ("kg", "Kyrgyzstan", CentralAsia, Low),
+    ("tj", "Tajikistan", CentralAsia, Low),
+    ("tm", "Turkmenistan", CentralAsia, Minimal),
+    ("uz", "Uzbekistan", CentralAsia, High),
+    // Eastern Asia
+    ("cn", "China", EasternAsia, EgovTier::Top10(13_623)),
+    ("jp", "Japan", EasternAsia, High),
+    ("kp", "North Korea", EasternAsia, Minimal),
+    ("kr", "South Korea", EasternAsia, High),
+    ("mn", "Mongolia", EasternAsia, Low),
+    // South-eastern Asia
+    ("bn", "Brunei", SouthEasternAsia, Minimal),
+    ("kh", "Cambodia", SouthEasternAsia, Low),
+    ("id", "Indonesia", SouthEasternAsia, High),
+    ("la", "Laos", SouthEasternAsia, Low),
+    ("my", "Malaysia", SouthEasternAsia, High),
+    ("mm", "Myanmar", SouthEasternAsia, Low),
+    ("ph", "Philippines", SouthEasternAsia, High),
+    ("sg", "Singapore", SouthEasternAsia, Medium),
+    ("th", "Thailand", SouthEasternAsia, EgovTier::Top10(8_941)),
+    ("tl", "Timor-Leste", SouthEasternAsia, Minimal),
+    ("vn", "Viet Nam", SouthEasternAsia, High),
+    // Southern Asia
+    ("af", "Afghanistan", SouthernAsia, Low),
+    ("bd", "Bangladesh", SouthernAsia, Medium),
+    ("bt", "Bhutan", SouthernAsia, Minimal),
+    ("in", "India", SouthernAsia, EgovTier::Top10(4_426)),
+    ("ir", "Iran", SouthernAsia, Medium),
+    ("mv", "Maldives", SouthernAsia, Minimal),
+    ("np", "Nepal", SouthernAsia, Low),
+    ("pk", "Pakistan", SouthernAsia, Medium),
+    ("lk", "Sri Lanka", SouthernAsia, Medium),
+    // Western Asia
+    ("am", "Armenia", WesternAsia, Low),
+    ("az", "Azerbaijan", WesternAsia, Medium),
+    ("bh", "Bahrain", WesternAsia, Low),
+    ("cy", "Cyprus", WesternAsia, Medium),
+    ("ge", "Georgia", WesternAsia, Medium),
+    ("iq", "Iraq", WesternAsia, Low),
+    ("il", "Israel", WesternAsia, High),
+    ("jo", "Jordan", WesternAsia, Medium),
+    ("kw", "Kuwait", WesternAsia, Low),
+    ("lb", "Lebanon", WesternAsia, Low),
+    ("om", "Oman", WesternAsia, Low),
+    ("qa", "Qatar", WesternAsia, Low),
+    ("sa", "Saudi Arabia", WesternAsia, High),
+    ("sy", "Syria", WesternAsia, Minimal),
+    ("tr", "Turkey", WesternAsia, EgovTier::Top10(4_528)),
+    ("ae", "United Arab Emirates", WesternAsia, Minimal),
+    ("ye", "Yemen", WesternAsia, Minimal),
+    // Eastern Europe
+    ("by", "Belarus", EasternEurope, Medium),
+    ("bg", "Bulgaria", EasternEurope, Minimal),
+    ("cz", "Czechia", EasternEurope, High),
+    ("hu", "Hungary", EasternEurope, High),
+    ("pl", "Poland", EasternEurope, High),
+    ("md", "Moldova", EasternEurope, Medium),
+    ("ro", "Romania", EasternEurope, High),
+    ("ru", "Russia", EasternEurope, High),
+    ("sk", "Slovakia", EasternEurope, Medium),
+    ("ua", "Ukraine", EasternEurope, EgovTier::Top10(3_421)),
+    // Northern Europe
+    ("dk", "Denmark", NorthernEurope, High),
+    ("ee", "Estonia", NorthernEurope, Medium),
+    ("fi", "Finland", NorthernEurope, High),
+    ("is", "Iceland", NorthernEurope, Low),
+    ("ie", "Ireland", NorthernEurope, High),
+    ("lv", "Latvia", NorthernEurope, Medium),
+    ("lt", "Lithuania", NorthernEurope, Medium),
+    ("no", "Norway", NorthernEurope, High),
+    ("se", "Sweden", NorthernEurope, High),
+    ("gb", "United Kingdom", NorthernEurope, EgovTier::Top10(4_788)),
+    // Southern Europe
+    ("al", "Albania", SouthernEurope, Low),
+    ("ad", "Andorra", SouthernEurope, Minimal),
+    ("ba", "Bosnia and Herzegovina", SouthernEurope, Low),
+    ("hr", "Croatia", SouthernEurope, Medium),
+    ("gr", "Greece", SouthernEurope, High),
+    ("it", "Italy", SouthernEurope, High),
+    ("mt", "Malta", SouthernEurope, Low),
+    ("me", "Montenegro", SouthernEurope, Low),
+    ("mk", "North Macedonia", SouthernEurope, Low),
+    ("pt", "Portugal", SouthernEurope, High),
+    ("sm", "San Marino", SouthernEurope, Minimal),
+    ("rs", "Serbia", SouthernEurope, Medium),
+    ("si", "Slovenia", SouthernEurope, Medium),
+    ("es", "Spain", SouthernEurope, High),
+    // Western Europe
+    ("at", "Austria", WesternEurope, High),
+    ("be", "Belgium", WesternEurope, High),
+    ("fr", "France", WesternEurope, High),
+    ("de", "Germany", WesternEurope, High),
+    ("li", "Liechtenstein", WesternEurope, Minimal),
+    ("lu", "Luxembourg", WesternEurope, Medium),
+    ("mc", "Monaco", WesternEurope, Minimal),
+    ("nl", "Netherlands", WesternEurope, High),
+    ("ch", "Switzerland", WesternEurope, High),
+    // Australia and New Zealand
+    ("au", "Australia", AustraliaNewZealand, EgovTier::Top10(3_707)),
+    ("nz", "New Zealand", AustraliaNewZealand, High),
+    // Melanesia
+    ("fj", "Fiji", Melanesia, Low),
+    ("pg", "Papua New Guinea", Melanesia, Minimal),
+    ("sb", "Solomon Islands", Melanesia, Minimal),
+    ("vu", "Vanuatu", Melanesia, Minimal),
+    // Micronesia
+    ("ki", "Kiribati", Micronesia, Minimal),
+    ("mh", "Marshall Islands", Micronesia, Minimal),
+    ("fm", "Micronesia", Micronesia, Minimal),
+    ("nr", "Nauru", Micronesia, Minimal),
+    ("pw", "Palau", Micronesia, Minimal),
+    // Polynesia
+    ("ws", "Samoa", Polynesia, Minimal),
+    ("to", "Tonga", Polynesia, Minimal),
+    ("tv", "Tuvalu", Polynesia, Minimal),
+];
+
+/// The 193 UN member countries of the synthetic world.
+pub fn countries() -> Vec<Country> {
+    TABLE
+        .iter()
+        .map(|&(code, name, sub_region, tier)| Country {
+            code: CountryCode::new(code),
+            name,
+            sub_region,
+            tier,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    #[test]
+    fn exactly_193_members_with_unique_codes() {
+        let all = countries();
+        assert_eq!(all.len(), 193);
+        let codes: BTreeSet<_> = all.iter().map(|c| c.code).collect();
+        assert_eq!(codes.len(), 193);
+    }
+
+    #[test]
+    fn exactly_ten_top10_with_paper_counts() {
+        let all = countries();
+        let top: BTreeMap<&str, u32> = all
+            .iter()
+            .filter_map(|c| match c.tier {
+                EgovTier::Top10(n) => Some((c.name, n)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(top.len(), 10);
+        assert_eq!(top["China"], 13_623);
+        assert_eq!(top["Argentina"], 2_795);
+        let sum: u32 = top.values().sum();
+        assert_eq!(sum, 58_756);
+    }
+
+    #[test]
+    fn every_sub_region_has_a_non_top10_member() {
+        // Needed for the 22 + 10 = 32 sub-region groups of Tables II-III.
+        let all = countries();
+        for sr in SubRegion::all() {
+            assert!(
+                all.iter().any(|c| c.sub_region == *sr && !c.is_top10()),
+                "sub-region {sr} has no non-top-10 country"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_named_minimal_countries_are_minimal() {
+        let all = countries();
+        for code in ["bo", "bg", "bf", "ae"] {
+            let c = all.iter().find(|c| c.code.as_str() == code).unwrap();
+            assert_eq!(c.tier, EgovTier::Minimal, "{} should be Minimal", c.name);
+        }
+    }
+}

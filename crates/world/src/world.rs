@@ -1,0 +1,94 @@
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+use govdns_model::{DomainName, SimDate};
+use govdns_pdns::PdnsDb;
+use govdns_simnet::{AsnDb, SimNetwork};
+
+use crate::country::{Country, CountryCode};
+use crate::faults::FaultPlan;
+use crate::provider::ProviderCatalog;
+use crate::registrar::Registrar;
+use crate::timeline::DomainTimeline;
+use crate::unkb::{RegistryDocs, UnKnowledgeBase};
+use crate::webarchive::WebArchive;
+
+/// Ground truth for one generated domain — what the generator configured,
+/// against which validation tests compare what the pipeline measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainTruth {
+    /// The domain's 2011–2021 deployment history.
+    pub timeline: DomainTimeline,
+    /// Misconfigurations injected into the April-2021 snapshot.
+    pub faults: FaultPlan,
+    /// NS targets as configured in the parent zone (April 2021); empty if
+    /// the delegation was removed.
+    pub parent_ns: Vec<DomainName>,
+    /// NS targets as configured in the child zone (April 2021); empty if
+    /// the zone is gone.
+    pub child_ns: Vec<DomainName>,
+    /// Whether the domain still exists in April 2021.
+    pub alive_2021: bool,
+}
+
+/// Everything the generator decided, keyed for validation.
+#[derive(Debug, Clone, Default)]
+pub struct WorldTruth {
+    /// Seed government domain per country.
+    pub d_gov: BTreeMap<CountryCode, DomainName>,
+    /// Per-domain ground truth.
+    pub domains: Vec<DomainTruth>,
+}
+
+impl WorldTruth {
+    /// Ground truth for one domain, if it exists.
+    pub fn domain(&self, name: &DomainName) -> Option<&DomainTruth> {
+        self.domains.iter().find(|d| d.timeline.name == *name)
+    }
+}
+
+/// The generated world: every substrate the measurement pipeline needs,
+/// plus ground truth for validation.
+#[derive(Debug)]
+pub struct World {
+    /// The 193 UN member countries.
+    pub countries: Vec<Country>,
+    /// The provider market.
+    pub catalog: ProviderCatalog,
+    /// The simulated internet (April-2021 snapshot).
+    pub network: SimNetwork,
+    /// Root-server hints for resolvers.
+    pub roots: Vec<Ipv4Addr>,
+    /// The passive-DNS database accumulated over 2010–2021.
+    pub pdns: PdnsDb,
+    /// The prefix→ASN database (GeoIP2-ASN stand-in).
+    pub asn_db: AsnDb,
+    /// The registrar storefront (GoDaddy stand-in).
+    pub registrar: Registrar,
+    /// Earliest government snapshots (Web Archive stand-in).
+    pub webarchive: WebArchive,
+    /// The UN E-Government Knowledge Base stand-in.
+    pub unkb: UnKnowledgeBase,
+    /// ccTLD registry documentation stand-in.
+    pub registry_docs: RegistryDocs,
+    /// The date of the active measurement campaign.
+    pub collection_date: SimDate,
+    pub(crate) truth: WorldTruth,
+}
+
+impl World {
+    /// Generation ground truth — for validation, not for the pipeline.
+    pub fn truth(&self) -> &WorldTruth {
+        &self.truth
+    }
+
+    /// The country with the given code.
+    pub fn country(&self, code: CountryCode) -> Option<&Country> {
+        self.countries.iter().find(|c| c.code == code)
+    }
+
+    /// The seed government domain of a country.
+    pub fn d_gov(&self, code: CountryCode) -> Option<&DomainName> {
+        self.truth.d_gov.get(&code)
+    }
+}

@@ -1,0 +1,118 @@
+//! Direct checks that generated worlds hit their calibration targets:
+//! seed-selection quirk counts, the top-10 country ordering, provider
+//! anchors, and registrar pricing.
+
+use std::collections::BTreeMap;
+
+use govdns_model::DateRange;
+use govdns_simnet::StubResolver;
+use govdns_world::{calibration, CountryCode, WorldConfig, WorldGenerator};
+
+fn world() -> govdns_world::World {
+    WorldGenerator::new(WorldConfig::small(2024).with_scale(0.04)).generate()
+}
+
+#[test]
+fn unkb_quirks_have_exact_counts() {
+    let w = world();
+    let resolver = StubResolver::new(&w.network, w.roots.clone());
+    let mut unresolvable = 0;
+    let mut msq_mismatches = 0;
+    for entry in w.unkb.iter() {
+        let resolved = resolver.resolve_a(&entry.portal_fqdn).is_ok_and(|a| !a.is_empty());
+        if !resolved {
+            unresolvable += 1;
+        }
+        if entry.msq_fqdn.as_ref().is_some_and(|m| *m != entry.portal_fqdn) && resolved {
+            // The squatted portal: resolves, but the MSQ disagrees and
+            // the portal's registered domain has no government evidence.
+            if entry.portal_fqdn.suffix(1).to_string() == "com" {
+                msq_mismatches += 1;
+            }
+        }
+    }
+    assert_eq!(
+        unresolvable,
+        calibration::seeds::UNRESOLVABLE_LINKS as usize,
+        "unresolvable portal links"
+    );
+    assert_eq!(msq_mismatches, calibration::seeds::SQUATTED_LINKS as usize, "squatted links");
+}
+
+#[test]
+fn top10_countries_appear_in_paper_order() {
+    let w = world();
+    // Count responsive domains per country from ground truth.
+    let window = DateRange::year(2020);
+    let mut per_country: BTreeMap<CountryCode, usize> = BTreeMap::new();
+    for d in &w.truth().domains {
+        if d.alive_2021 && !d.parent_ns.is_empty() && d.timeline.active_in(&window) {
+            let country = d.timeline.country;
+            *per_country.entry(country).or_insert(0) += 1;
+        }
+    }
+    let mut ranked: Vec<(CountryCode, usize)> = per_country.into_iter().collect();
+    ranked.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+    let top: Vec<&str> = ranked.iter().take(10).map(|(c, _)| c.as_str()).collect();
+    // Table I order: CN, TH, BR, MX, GB, TR, IN, AU, UA, AR.
+    assert_eq!(top, vec!["cn", "th", "br", "mx", "gb", "tr", "in", "au", "ua", "ar"]);
+}
+
+#[test]
+fn provider_anchor_counts_scale() {
+    let w = world();
+    let aws = w.catalog.named().find(|p| p.label == "AWS DNS").unwrap();
+    assert_eq!(aws.count_2020, 5_193.0);
+    assert_eq!(aws.count_2011, 5.0);
+    let dnspod = w.catalog.named().find(|p| p.label == "dnspod.net").unwrap();
+    assert_eq!(dnspod.scope.map(|c| c.as_str().to_owned()), Some("cn".to_owned()));
+    // Interpolation is monotone for growers and hits the anchors.
+    assert!((aws.target_count(2020) - 5_193.0).abs() < 1.0);
+    assert!(aws.target_count(2015) > aws.target_count(2012));
+}
+
+#[test]
+fn registrar_prices_match_figure_12_distribution() {
+    let w = world();
+    let mut prices: Vec<f64> = w.registrar.iter_available().map(|(_, p)| p).collect();
+    assert!(prices.len() > 10, "available domains: {}", prices.len());
+    prices.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    assert!(prices[0] >= calibration::delegation::COST_MIN_USD);
+    assert!(*prices.last().unwrap() <= calibration::delegation::COST_MAX_USD);
+    let median = prices[prices.len() / 2];
+    assert!(
+        (3.0..60.0).contains(&median),
+        "median {median} (paper: 11.99; premium parked names pull it up slightly)"
+    );
+}
+
+#[test]
+fn fault_rates_land_in_calibrated_bands() {
+    let w = world();
+    use govdns_world::FaultClass;
+    let responsive: Vec<_> = w
+        .truth()
+        .domains
+        .iter()
+        .filter(|d| d.alive_2021 && !d.parent_ns.is_empty() && !d.child_ns.is_empty())
+        .collect();
+    let total = responsive.len() as f64;
+    let partial = responsive
+        .iter()
+        .filter(|d| d.faults.classes().iter().any(|c| matches!(c, FaultClass::PartialLame { .. })))
+        .count() as f64;
+    assert!(
+        (0.12..0.28).contains(&(partial / total)),
+        "partial-lame rate {}",
+        partial / total
+    );
+    let inconsistent = responsive
+        .iter()
+        .filter(|d| d.faults.inconsistency().is_some())
+        .count() as f64;
+    assert!(
+        (0.10..0.30).contains(&(inconsistent / total)),
+        "inconsistency rate {}",
+        inconsistent / total
+    );
+}

@@ -1,0 +1,92 @@
+//! Country deep-dive: everything the pipeline knows about one country's
+//! government DNS — its seed, discovered zones, replication, defects,
+//! consistency, and provider history.
+//!
+//! ```sh
+//! cargo run --release --example country_report <iso2> [scale] [seed]
+//! cargo run --release --example country_report br 0.05
+//! ```
+
+use govdns::core::analysis::consistency::classify;
+use govdns::core::analysis::longitudinal::Longitudinal;
+use govdns::prelude::*;
+use govdns::world::CountryCode;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let code = args.next().unwrap_or_else(|| "br".to_owned());
+    let Ok(code) = code.parse::<CountryCode>() else {
+        eprintln!("usage: country_report <iso2> [scale] [seed]");
+        std::process::exit(2);
+    };
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(55);
+
+    eprintln!("generating world (scale {scale})...");
+    let world = WorldGenerator::new(WorldConfig::small(seed).with_scale(scale)).generate();
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+
+    let country = world.country(code).expect("ISO code belongs to a UN member");
+    let seed_domain = report
+        .dataset
+        .seeds
+        .iter()
+        .find(|s| s.country == code)
+        .expect("every country has a seed");
+    println!("{} ({}) — {}", country.name, code, country.sub_region);
+    println!("seed domain: {} ({:?})", seed_domain.name, seed_domain.kind);
+
+    let probes: Vec<_> = report
+        .dataset
+        .probes_with_country()
+        .filter(|&(_, c)| c == code)
+        .map(|(p, _)| p)
+        .collect();
+    let responsive: Vec<_> = probes.iter().filter(|p| p.parent_nonempty()).collect();
+    println!(
+        "domains probed: {}   with live delegation: {}",
+        probes.len(),
+        responsive.len()
+    );
+
+    let single = responsive.iter().filter(|p| p.ns_union().len() == 1).count();
+    let defective = responsive.iter().filter(|p| p.defective().0).count();
+    let full = responsive.iter().filter(|p| p.defective().1).count();
+    let disagree = responsive
+        .iter()
+        .filter(|p| {
+            classify(p).is_some_and(|c| {
+                c != govdns::core::analysis::consistency::ConsistencyClass::Equal
+            })
+        })
+        .count();
+    println!("single-nameserver domains: {single}");
+    println!("defective delegations: {defective} (fully dead: {full})");
+    println!("parent/child disagreements: {disagree}");
+
+    // Worst offenders.
+    println!("\nmost fragile domains:");
+    let mut worst: Vec<_> = responsive
+        .iter()
+        .filter(|p| p.defective().0)
+        .map(|p| {
+            let dead = p.servers.iter().filter(|s| s.is_defective()).count();
+            (dead, p.servers.len(), &p.domain)
+        })
+        .collect();
+    worst.sort_by_key(|&(dead, total, _)| std::cmp::Reverse((dead * 100) / total.max(1)));
+    for (dead, total, domain) in worst.into_iter().take(10) {
+        println!("  {domain}: {dead}/{total} nameservers defective");
+    }
+
+    // Ten-year deployment history.
+    let lon = Longitudinal::build(&campaign, &report.dataset.seeds);
+    println!("\nPDNS history (domains seen per year):");
+    for year in Longitudinal::years() {
+        let n = lon.active_in_year(year).filter(|h| h.country == code).count();
+        let bar = "#".repeat((n / 2).min(60));
+        println!("  {year}: {n:>5} {bar}");
+    }
+}

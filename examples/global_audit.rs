@@ -1,0 +1,41 @@
+//! Global audit: regenerate every table and figure of the paper at a
+//! configurable scale, printing the full report and (optionally) writing
+//! each table as CSV into a report directory.
+//!
+//! This is the binary behind EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example global_audit [scale] [seed] [outdir]
+//! ```
+
+use std::path::Path;
+
+use govdns::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.10);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20220627);
+    let outdir = args.next();
+
+    eprintln!("generating world at {:.0}% of paper scale (seed {seed})...", scale * 100.0);
+    let world = WorldGenerator::new(WorldConfig::small(seed).with_scale(scale)).generate();
+    eprintln!(
+        "world: {} servers, {} PDNS entries",
+        world.network.server_count(),
+        world.pdns.len()
+    );
+
+    eprintln!("running campaign and analyses...");
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+
+    println!("{}", report.render());
+
+    if let Some(dir) = outdir {
+        let dir = Path::new(&dir);
+        report.write_csv_bundle(dir).expect("write CSV bundle");
+        eprintln!("CSV tables written to {}", dir.display());
+    }
+}

@@ -1,0 +1,86 @@
+//! Hijack hunt: the security story of §IV-C/D. Finds defective
+//! delegations whose nameserver domains are registrable, prices the
+//! attack at the registrar, and lists the exposed government domains —
+//! including the subtler inconsistency-only (parked) surface.
+//!
+//! ```sh
+//! cargo run --release --example hijack_hunt [scale] [seed]
+//! ```
+
+use govdns::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1337);
+
+    eprintln!("generating world (scale {scale})...");
+    let world = WorldGenerator::new(WorldConfig::small(seed).with_scale(scale)).generate();
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+
+    eprintln!("probing and analyzing...");
+    let report = Report::generate(&campaign, RunnerConfig::default());
+    let d = &report.delegation;
+
+    println!("== dangling NS domains registrable right now ==");
+    let mut ranked: Vec<_> = d.available.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.affected.len().cmp(&a.affected.len()).then(
+            a.price_usd.partial_cmp(&b.price_usd).expect("prices are finite"),
+        )
+    });
+    for a in &ranked {
+        println!(
+            "{:<28} {:>10.2} USD  exposes {} domain(s) in {} country(ies)",
+            a.name.to_string(),
+            a.price_usd,
+            a.affected.len(),
+            a.countries.len()
+        );
+        for victim in a.affected.iter().take(4) {
+            println!("    -> {victim}");
+        }
+        if a.affected.len() > 4 {
+            println!("    -> ... and {} more", a.affected.len() - 4);
+        }
+    }
+    println!();
+    println!(
+        "total: {} registrable d_ns, {} exposed domains, {} countries; {} of the exposed domains are already fully dark",
+        d.available.len(),
+        d.affected_domains,
+        d.affected_countries,
+        d.affected_fully_stale
+    );
+    if !d.cost_cdf.is_empty() {
+        println!(
+            "attack budget: min {:.2} USD, median {:.2} USD, max {:.2} USD",
+            d.cost_cdf.min().expect("non-empty"),
+            d.cost_cdf.quantile(0.5),
+            d.cost_cdf.max().expect("non-empty"),
+        );
+    }
+
+    println!();
+    println!("== parked/inconsistency-only surface (no defective delegation) ==");
+    let c = &report.consistency;
+    for p in &c.parked {
+        println!(
+            "{:<28} {:>10.2} USD  referenced (parent-side only) by {} domain(s)",
+            p.name.to_string(),
+            p.price_usd,
+            p.affected.len()
+        );
+        for victim in &p.affected {
+            println!("    -> {victim}");
+        }
+    }
+    println!(
+        "total: {} registrable d_ns over {} domains in {} countries (cheapest: {})",
+        c.parked.len(),
+        c.parked_affected_domains,
+        c.parked_affected_countries,
+        c.parked_min_price.map_or("-".to_owned(), |p| format!("{p:.2} USD")),
+    );
+}

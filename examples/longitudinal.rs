@@ -1,0 +1,64 @@
+//! Longitudinal: the ten-year passive-DNS story — growth, the single-NS
+//! cohort's churn, private-deployment shares, and the centralization of
+//! the provider market (Figs 2, 3, 6, 7; Tables II–III).
+//!
+//! ```sh
+//! cargo run --release --example longitudinal [scale] [seed]
+//! ```
+
+use govdns::core::analysis::longitudinal::Longitudinal;
+use govdns::core::analysis::providers::ProviderAnalysis;
+use govdns::core::analysis::replication::{PrivateShare, SingleNsChurn, YearlyTotals};
+use govdns::core::seed::select_seeds;
+use govdns::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2011);
+
+    eprintln!("generating world (scale {scale})...");
+    let world = WorldGenerator::new(WorldConfig::small(seed).with_scale(scale)).generate();
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+
+    // The longitudinal analyses need only the PDNS side of the pipeline:
+    // seed selection plus the historical index — no active probing.
+    eprintln!("selecting seeds and indexing a decade of passive DNS...");
+    let seeds = select_seeds(&campaign);
+    let lon = Longitudinal::build(&campaign, &seeds);
+
+    let yearly = YearlyTotals::compute(&lon);
+    println!("== Fig 2/3: PDNS growth ==");
+    println!("{}", yearly.table().to_text());
+    let growth = yearly.domains(2020) as f64 / yearly.domains(2011).max(1) as f64;
+    println!(
+        "growth 2011→2020: {:.2}x (paper: 1.70x), with the 2019→2020 consolidation dip: {}",
+        growth,
+        if yearly.domains(2019) > yearly.domains(2020) { "present" } else { "absent" }
+    );
+
+    println!("\n== Fig 6: the single-NS cohort never stands still ==");
+    let churn = SingleNsChurn::compute(&lon);
+    println!("{}", churn.table().to_text());
+
+    println!("== Fig 7: who runs their own nameservers ==");
+    println!("{}", PrivateShare::compute(&lon).table().to_text());
+
+    println!("== Tables II-III: the provider market, 2011 vs 2020 ==");
+    let providers = ProviderAnalysis::compute(&lon, &campaign);
+    println!("{}", providers.table2().to_text());
+    println!("top providers by country coverage, 2011:");
+    println!("{}", providers.table3(2011).to_text());
+    println!("top providers by country coverage, 2020:");
+    println!("{}", providers.table3(2020).to_text());
+    println!(
+        "countries on the single most widespread provider: {} (2011) → {} (2020), {:+.0}%",
+        providers.top_provider_countries(2011),
+        providers.top_provider_countries(2020),
+        100.0
+            * (providers.top_provider_countries(2020) as f64
+                / providers.top_provider_countries(2011).max(1) as f64
+                - 1.0)
+    );
+}

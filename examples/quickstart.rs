@@ -1,0 +1,76 @@
+//! Quickstart: generate a small synthetic e-government world, run the
+//! full measurement pipeline, and print a one-page health summary.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [scale] [seed]
+//! ```
+
+use govdns::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    eprintln!("generating world (scale {scale}, seed {seed})...");
+    let world = WorldGenerator::new(WorldConfig::small(seed).with_scale(scale)).generate();
+    eprintln!(
+        "world ready: {} servers, {} PDNS entries, {} countries",
+        world.network.server_count(),
+        world.pdns.len(),
+        world.countries.len()
+    );
+
+    eprintln!("running measurement campaign...");
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+
+    let f = report.funnel;
+    println!("government DNS health summary");
+    println!("=============================");
+    println!("domains queried:            {}", f.queried);
+    println!("  parent zone responded:    {}", f.parent_responsive);
+    println!("  delegation still present: {}", f.parent_nonempty);
+    println!("  zone answered:            {}", f.child_responsive);
+    println!();
+    println!(
+        "replication:   {:.1}% of domains run ≥2 nameservers; {} run exactly one",
+        report.active_replication.multi_ns_share, report.active_replication.d1ns_total
+    );
+    println!(
+        "staleness:     {:.1}% of single-NS domains no longer answer at all",
+        report.active_replication.d1ns_stale_share
+    );
+    let t = report.diversity.total();
+    println!(
+        "diversity:     of {} replicated domains, {:.1}% span >1 address, {:.1}% >1 /24, {:.1}% >1 AS",
+        t.domains, t.multi_ip_pct, t.multi_24_pct, t.multi_asn_pct
+    );
+    println!(
+        "delegations:   {:.1}% have a defective (lame) delegation; {} fully dead",
+        report.delegation.any_defective_pct(),
+        report.delegation.fully_defective
+    );
+    println!(
+        "hijack risk:   {} registrable nameserver domains expose {} government domains in {} countries",
+        report.delegation.available.len(),
+        report.delegation.affected_domains,
+        report.delegation.affected_countries
+    );
+    println!(
+        "consistency:   {:.1}% of zones agree with their parent (P = C)",
+        report.consistency.equal_pct
+    );
+    println!(
+        "centralization: top provider served {} countries in 2011, {} in 2020",
+        report.providers.top_provider_countries(2011),
+        report.providers.top_provider_countries(2020)
+    );
+    println!(
+        "campaign cost:  {} queries, {} KiB sent, {} KiB received",
+        report.dataset.traffic.queries_sent,
+        report.dataset.traffic.bytes_sent / 1024,
+        report.dataset.traffic.bytes_received / 1024
+    );
+}

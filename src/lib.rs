@@ -1,0 +1,48 @@
+//! # govdns
+//!
+//! A full reproduction of *"A Comprehensive, Longitudinal Study of
+//! Government DNS Deployment at Global Scale"* (DSN 2022) as a Rust
+//! workspace: the paper's measurement pipeline plus every substrate it
+//! needs, simulated and calibrated to the published aggregates.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`model`] — DNS data model (names, records, zones, messages, wire
+//!   format),
+//! * [`simnet`] — the simulated internet of authoritative servers,
+//! * [`pdns`] — the passive-DNS database and sensor feed,
+//! * [`world`] — the calibrated synthetic e-government world generator,
+//! * [`core`] — the measurement pipeline and the §IV analyses.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use govdns::prelude::*;
+//!
+//! // A small world (1% of paper scale keeps the doctest fast).
+//! let world = WorldGenerator::new(WorldConfig::small(7).with_scale(0.01)).generate();
+//! let matchers = world.catalog.matchers();
+//! let campaign = Campaign::new(&world, &matchers);
+//! let report = Report::generate(&campaign, RunnerConfig::default());
+//!
+//! assert_eq!(report.dataset.seeds.len(), 193);
+//! assert!(report.active_replication.multi_ns_share > 90.0);
+//! println!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use govdns_core as core;
+pub use govdns_model as model;
+pub use govdns_pdns as pdns;
+pub use govdns_simnet as simnet;
+pub use govdns_world as world;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use govdns_core::report::Report;
+    pub use govdns_core::{Campaign, MeasurementDataset, RunnerConfig};
+    pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
+    pub use govdns_world::{World, WorldConfig, WorldGenerator};
+}

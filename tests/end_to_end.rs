@@ -1,0 +1,221 @@
+//! Workspace-level integration tests: the full stack exercised through
+//! the facade crate, including failure injection and determinism.
+
+use govdns::prelude::*;
+use govdns::world::{SensorConfig, WorldGenerator as WG};
+
+fn tiny(seed: u64) -> govdns::world::World {
+    WG::new(WorldConfig::small(seed).with_scale(0.01)).generate()
+}
+
+#[test]
+fn full_pipeline_through_the_facade() {
+    let world = tiny(99);
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+    assert_eq!(report.dataset.seeds.len(), 193);
+    assert!(report.funnel.queried > 400);
+    assert!(report.funnel.child_responsive > 0);
+    let text = report.render();
+    assert!(text.contains("Table I"));
+}
+
+#[test]
+fn pipeline_is_deterministic_without_loss() {
+    let run = |seed: u64| {
+        let world = tiny(seed);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let report = Report::generate(&campaign, RunnerConfig { workers: 4, ..Default::default() });
+        (
+            report.funnel,
+            report.delegation.any_defective,
+            report.consistency.comparable,
+            report.active_replication.d1ns_total,
+        )
+    };
+    assert_eq!(run(77), run(77));
+    assert_ne!(run(77), run(78), "different seeds should differ somewhere");
+}
+
+#[test]
+fn packet_loss_triggers_second_round_retries() {
+    let world = WG::new(
+        WorldConfig::small(5).with_scale(0.01).with_loss_rate(0.25),
+    )
+    .generate();
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+    assert!(
+        report.dataset.retried > 0,
+        "25% loss should force second-round probes (got {})",
+        report.dataset.retried
+    );
+    // Despite loss, the pipeline still finds plenty of healthy domains.
+    assert!(report.funnel.child_responsive * 2 > report.funnel.parent_nonempty);
+}
+
+#[test]
+fn imperfect_sensors_shrink_but_do_not_break_discovery() {
+    let perfect = tiny(31);
+    let lossy = WG::new(
+        WorldConfig::small(31)
+            .with_scale(0.01)
+            .with_sensor(SensorConfig { coverage: 0.8, ..SensorConfig::realistic() }),
+    )
+    .generate();
+    let count = |w: &govdns::world::World| {
+        let matchers = w.catalog.matchers();
+        let campaign = Campaign::new(w, &matchers);
+        let seeds = govdns::core::seed::select_seeds(&campaign);
+        govdns::core::discovery::discover(
+            &campaign,
+            &seeds,
+            govdns::core::discovery::DiscoveryConfig::paper(w.collection_date),
+        )
+        .len()
+    };
+    let full = count(&perfect);
+    let partial = count(&lossy);
+    assert!(partial < full, "coverage 0.8 should lose domains: {partial} vs {full}");
+    assert!(partial * 10 > full * 6, "but not most of them: {partial} vs {full}");
+}
+
+#[test]
+fn traffic_accounting_is_plausible() {
+    let world = tiny(12);
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig { max_qps: 100, ..Default::default() });
+    let t = report.dataset.traffic;
+    assert!(t.queries_sent > 1_000);
+    assert_eq!(t.responses_received + t.timeouts, t.queries_sent);
+    // Responses are bigger than queries on average.
+    assert!(t.bytes_received > t.bytes_sent);
+    // Average response stays within typical UDP DNS sizes.
+    let avg_resp = t.bytes_received / t.responses_received.max(1);
+    assert!((20..512).contains(&avg_resp), "avg response {avg_resp} bytes");
+}
+
+#[test]
+fn wire_format_roundtrips_through_the_facade() {
+    use govdns::model::{wire, Message};
+    let q = Message::query(7, "portal.gov.br".parse().unwrap(), RecordType::Ns);
+    assert_eq!(wire::decode(&wire::encode(&q)).unwrap(), q);
+}
+
+#[test]
+fn worker_count_does_not_change_results() {
+    // Per-domain probes are independent; only scheduling differs.
+    let outcome = |workers: usize| {
+        let world = tiny(63);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let ds = govdns::core::run_campaign(
+            &campaign,
+            RunnerConfig { workers, ..RunnerConfig::default() },
+        );
+        let mut summary: Vec<(String, bool, usize)> = ds
+            .probes
+            .iter()
+            .map(|p| {
+                (p.domain.to_string(), p.has_authoritative_answer(), p.ns_union().len())
+            })
+            .collect();
+        summary.sort();
+        summary
+    };
+    assert_eq!(outcome(1), outcome(8));
+}
+
+#[test]
+fn ethics_accounting_shows_bounded_hotspots() {
+    let world = tiny(21);
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+    assert!(report.busiest_server_queries > 0);
+    // The busiest server (typically a root or a big gTLD) must stay a
+    // bounded fraction of the campaign.
+    let share =
+        report.busiest_server_queries as f64 / report.dataset.traffic.queries_sent as f64;
+    assert!(share < 0.35, "hotspot share {share}");
+    assert!(report.render().contains("ethics accounting"));
+}
+
+mod consistency_properties {
+    use govdns::core::analysis::consistency::{classify, ConsistencyClass};
+
+    /// classify() must be a pure function of the two NS sets (plus
+    /// addresses for the disjoint split): permuting input order never
+    /// changes the class.
+    #[test]
+    fn classify_is_order_independent() {
+        use govdns::prelude::*;
+        let world = WorldGenerator::new(WorldConfig::small(5).with_scale(0.01)).generate();
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let ds = govdns::core::run_campaign(&campaign, RunnerConfig::default());
+        let mut checked = 0;
+        for p in &ds.probes {
+            let Some(class) = classify(p) else { continue };
+            let mut shuffled = p.clone();
+            shuffled.parent_ns.reverse();
+            shuffled.child_ns.reverse();
+            shuffled.servers.reverse();
+            assert_eq!(classify(&shuffled), Some(class));
+            // Sanity: Equal iff the sets are equal.
+            let pset: std::collections::BTreeSet<_> = p.parent_ns.iter().collect();
+            let cset: std::collections::BTreeSet<_> = p.child_ns.iter().collect();
+            assert_eq!(class == ConsistencyClass::Equal, pset == cset);
+            checked += 1;
+        }
+        assert!(checked > 300, "checked {checked}");
+    }
+}
+
+#[test]
+fn csv_bundle_writes_all_tables() {
+    let world = tiny(44);
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let report = Report::generate(&campaign, RunnerConfig::default());
+    let dir = std::env::temp_dir().join(format!("govdns-bundle-{}", std::process::id()));
+    report.write_csv_bundle(&dir).unwrap();
+    let files: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .collect();
+    for needle in [
+        "fig02_03_yearly.csv",
+        "table1_diversity.csv",
+        "fig13_consistency.csv",
+        "dataset_summary.csv",
+        "concentration.csv",
+    ] {
+        assert!(files.iter().any(|f| f == needle), "missing {needle} in {files:?}");
+    }
+    assert!(files.len() >= 17);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Robustness: the headline rates hold across independent seeds (run
+/// explicitly with `cargo test -- --ignored`; three worlds take a while).
+#[test]
+#[ignore = "slow: generates three worlds"]
+fn headline_rates_hold_across_seeds() {
+    for seed in [101, 202, 303] {
+        let world = WG::new(WorldConfig::small(seed).with_scale(0.02)).generate();
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let report = Report::generate(&campaign, RunnerConfig::default());
+        let multi = report.active_replication.multi_ns_share;
+        assert!((95.0..100.0).contains(&multi), "seed {seed}: multi-NS {multi}");
+        let equal = report.consistency.equal_pct;
+        assert!((70.0..85.0).contains(&equal), "seed {seed}: P=C {equal}");
+        let defective = report.delegation.any_defective_pct();
+        assert!((20.0..38.0).contains(&defective), "seed {seed}: defective {defective}");
+    }
+}
