@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, full test suite, and warning-free clippy.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+
+echo "ci: all green"

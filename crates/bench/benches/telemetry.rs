@@ -1,0 +1,51 @@
+//! Telemetry hot-path microbenches: the per-query overhead the pipeline
+//! pays for observability must stay in the nanosecond range.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use govdns_telemetry::{Histogram, Registry};
+
+fn telemetry(c: &mut Criterion) {
+    let registry = Registry::new();
+
+    // Counter increment through a cached handle — the cost every
+    // simulated query pays once telemetry is attached.
+    let counter = registry.counter("net.queries");
+    c.bench_function("counter_inc", |b| b.iter(|| black_box(&counter).inc()));
+
+    // Handle lookup through the registry (the cold path sinks avoid).
+    c.bench_function("registry_counter_lookup", |b| {
+        b.iter(|| black_box(registry.counter(black_box("net.queries"))))
+    });
+
+    // Histogram record: bucket scan plus three CAS-updated scalars.
+    let latencies = registry.histogram_latency_ms("net.rtt_ms");
+    let mut group = c.benchmark_group("histogram_record");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("latency_low_bucket", |b| {
+        b.iter(|| black_box(&latencies).record(black_box(3.0)))
+    });
+    group.bench_function("latency_overflow", |b| {
+        b.iter(|| black_box(&latencies).record(black_box(50_000.0)))
+    });
+    group.finish();
+
+    // Span start/finish pair (two Instant reads plus a stage fold).
+    c.bench_function("span_start_finish", |b| {
+        b.iter(|| registry.span(black_box("probe.domain")).finish())
+    });
+
+    // Snapshot of a populated registry, as taken once per campaign.
+    let h = Histogram::latency_ms();
+    for i in 0..1000 {
+        h.record(f64::from(i % 512));
+    }
+    for i in 0u64..20 {
+        registry.counter(&format!("c{i}")).add(i);
+    }
+    c.bench_function("registry_snapshot", |b| b.iter(|| black_box(registry.snapshot())));
+}
+
+criterion_group!(benches, telemetry);
+criterion_main!(benches);

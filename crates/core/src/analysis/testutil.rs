@@ -174,6 +174,7 @@ pub(crate) fn dataset(probes: Vec<(DomainProbe, &str)>) -> MeasurementDataset {
         traffic: Default::default(),
         collection_date: SimDate::from_ymd(2021, 4, 15),
         retried: 0,
+        telemetry: Default::default(),
     }
 }
 

@@ -4,6 +4,7 @@ use serde::{Deserialize, Serialize};
 
 use govdns_model::{DomainName, SimDate};
 use govdns_simnet::TrafficStats;
+use govdns_telemetry::TelemetrySnapshot;
 use govdns_world::CountryCode;
 
 use crate::discovery::DiscoveredDomain;
@@ -39,6 +40,9 @@ pub struct MeasurementDataset {
     pub collection_date: SimDate,
     /// Probes that received a second round.
     pub retried: usize,
+    /// Frozen pipeline telemetry: stage timings, response-class
+    /// counters, latency/size histograms, and the §III-D query ledger.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl MeasurementDataset {
@@ -208,6 +212,7 @@ mod tests {
             traffic: TrafficStats::default(),
             collection_date: SimDate::from_ymd(2021, 4, 15),
             retried: 0,
+            telemetry: TelemetrySnapshot::default(),
         };
         let f = ds.funnel();
         assert_eq!(f.queried, 4);

@@ -45,5 +45,5 @@ pub mod tables;
 pub use campaign::Campaign;
 pub use dataset::{Funnel, MeasurementDataset};
 pub use probe::{DomainProbe, ProbeClient, ResponseClass, ServerObservation, ServerProbe};
-pub use ratelimit::RateLimiter;
-pub use runner::{RunnerConfig, run_campaign};
+pub use ratelimit::{QueryRound, RateLimiter};
+pub use runner::{CampaignTelemetry, RunnerConfig, run_campaign, run_campaign_with};

@@ -8,6 +8,7 @@
 //! ④ authoritative answers give the child-side set `C`; nameservers that
 //! appear only in `C` are then resolved and queried as well.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
@@ -15,8 +16,9 @@ use serde::{Deserialize, Serialize};
 
 use govdns_model::{DomainName, Message, Rcode, RecordType, Soa};
 use govdns_simnet::{SimNetwork, StubResolver};
+use govdns_telemetry::{Counter, Registry};
 
-use crate::ratelimit::RateLimiter;
+use crate::ratelimit::{QueryRound, RateLimiter};
 
 const MAX_WALK_DEPTH: usize = 12;
 const MAX_CHILD_HOSTS: usize = 32;
@@ -231,18 +233,74 @@ impl DomainProbe {
     }
 }
 
+/// Cached telemetry handles for probing: one counter per
+/// [`ResponseClass`] variant, plus the registry for per-domain spans.
+#[derive(Debug)]
+struct ProbeSink {
+    registry: Registry,
+    authoritative: Counter,
+    referral: Counter,
+    empty: Counter,
+    rejected: Counter,
+    timeout: Counter,
+}
+
+impl ProbeSink {
+    fn new(registry: &Registry) -> Self {
+        ProbeSink {
+            registry: registry.clone(),
+            authoritative: registry.counter("probe.class.authoritative"),
+            referral: registry.counter("probe.class.referral"),
+            empty: registry.counter("probe.class.empty"),
+            rejected: registry.counter("probe.class.rejected"),
+            timeout: registry.counter("probe.class.timeout"),
+        }
+    }
+
+    fn tally(&self, class: &ResponseClass) {
+        match class {
+            ResponseClass::Authoritative(_) => self.authoritative.inc(),
+            ResponseClass::Referral { .. } => self.referral.inc(),
+            ResponseClass::Empty(_) => self.empty.inc(),
+            ResponseClass::Rejected(_) => self.rejected.inc(),
+            ResponseClass::Timeout => self.timeout.inc(),
+        }
+    }
+}
+
 /// The active-measurement client: walks the hierarchy and probes domains.
+///
+/// One client per worker thread (the telemetry round context makes it
+/// deliberately `!Sync`).
 #[derive(Debug)]
 pub struct ProbeClient<'n> {
     network: &'n SimNetwork,
     resolver: StubResolver<'n>,
     limiter: RateLimiter,
+    telemetry: Option<ProbeSink>,
+    /// The ledger round the client is currently probing in.
+    round: Cell<QueryRound>,
 }
 
 impl<'n> ProbeClient<'n> {
     /// Creates a client with its own resolver cache and rate limiter.
     pub fn new(network: &'n SimNetwork, roots: Vec<Ipv4Addr>, limiter: RateLimiter) -> Self {
-        ProbeClient { network, resolver: StubResolver::new(network, roots), limiter }
+        ProbeClient {
+            network,
+            resolver: StubResolver::new(network, roots),
+            limiter,
+            telemetry: None,
+            round: Cell::new(QueryRound::Round1),
+        }
+    }
+
+    /// Starts tallying per-class response counters
+    /// (`probe.class.{authoritative,referral,empty,rejected,timeout}`)
+    /// and per-domain `probe.domain` spans into `registry`.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: &Registry) -> Self {
+        self.telemetry = Some(ProbeSink::new(registry));
+        self
     }
 
     /// The client's resolver (shared cache).
@@ -252,6 +310,8 @@ impl<'n> ProbeClient<'n> {
 
     /// Probes one domain per the Figure-1 procedure.
     pub fn probe(&self, domain: &DomainName) -> DomainProbe {
+        let span = self.telemetry.as_ref().map(|t| t.registry.span("probe.domain"));
+        self.round.set(QueryRound::Round1);
         let mut probe = DomainProbe {
             domain: domain.clone(),
             parent_zone: None,
@@ -268,6 +328,9 @@ impl<'n> ProbeClient<'n> {
         self.walk_to_parent(domain, &mut probe);
         self.query_child_side(domain, &mut probe);
         self.fetch_soa(domain, &mut probe);
+        if let Some(span) = span {
+            span.finish();
+        }
         probe
     }
 
@@ -281,7 +344,7 @@ impl<'n> ProbeClient<'n> {
         else {
             return;
         };
-        self.limiter.acquire();
+        self.limiter.acquire_for(QueryRound::Soa, Some(addr));
         let q = Message::query((probe.queries % 0xFFFF) as u16, domain.clone(), RecordType::Soa);
         let out = self.network.deliver(addr, &q);
         probe.queries += 1;
@@ -299,6 +362,7 @@ impl<'n> ProbeClient<'n> {
     /// Re-runs the child-side queries (the paper's second round for
     /// transient failures) and merges the results into `probe`.
     pub fn retry_child_side(&self, probe: &mut DomainProbe) {
+        self.round.set(QueryRound::Round2);
         let domain = probe.domain.clone();
         let mut fresh = DomainProbe {
             domain: domain.clone(),
@@ -339,22 +403,31 @@ impl<'n> ProbeClient<'n> {
         probe.queries += fresh.queries;
         probe.elapsed_ms = probe.elapsed_ms.saturating_add(fresh.elapsed_ms);
         probe.rounds += 1;
+        self.round.set(QueryRound::Round1);
     }
 
     fn send(&self, dst: Ipv4Addr, qname: &DomainName, probe: &mut DomainProbe) -> ResponseClass {
-        self.limiter.acquire();
+        self.limiter.acquire_for(self.round.get(), Some(dst));
         let q = Message::query((probe.queries % 0xFFFF) as u16, qname.clone(), RecordType::Ns);
         let out = self.network.deliver(dst, &q);
         probe.queries += 1;
         probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
-        ResponseClass::of(out.reply(), qname)
+        let class = ResponseClass::of(out.reply(), qname);
+        if let Some(sink) = &self.telemetry {
+            sink.tally(&class);
+        }
+        class
     }
 
     /// Resolves a hostname, charging the probe for the side queries.
     fn side_resolve(&self, host: &DomainName, probe: &mut DomainProbe) -> Vec<Ipv4Addr> {
-        self.limiter.acquire();
+        self.limiter.acquire_for(QueryRound::Side, None);
         match self.resolver.resolve(host, RecordType::A) {
             Ok(res) => {
+                // Book the resolver's extra queries beyond the one
+                // already acquired (a cache hit costs zero, which the
+                // upfront acquire conservatively over-counts).
+                self.limiter.account(QueryRound::Side, u64::from(res.queries).saturating_sub(1));
                 probe.queries += res.queries;
                 probe.elapsed_ms = probe.elapsed_ms.saturating_add(res.elapsed_ms);
                 res.addresses()
@@ -658,6 +731,25 @@ mod tests {
         assert_eq!(p.rounds, 2);
         assert!(p.queries > queries_before);
         assert!(!p.has_authoritative_answer(), "retry cannot revive a dead zone");
+    }
+
+    #[test]
+    fn telemetry_tallies_classes_and_rounds() {
+        let (net, roots) = network();
+        let registry = Registry::new();
+        let limiter = RateLimiter::with_telemetry(200, 0, &registry);
+        let c = ProbeClient::new(&net, roots, limiter.clone()).with_telemetry(&registry);
+        let mut p = c.probe(&n("stale.gov.zz"));
+        c.retry_child_side(&mut p);
+        let snap = registry.snapshot();
+        assert!(snap.counters["probe.class.referral"] > 0);
+        assert!(snap.counters["probe.class.timeout"] > 0);
+        assert_eq!(snap.stages["probe.domain"].count, 1);
+        let ledger = limiter.ledger();
+        assert!(ledger.per_round["round1"] > 0);
+        assert!(ledger.per_round["round2"] > 0, "retry must book into round 2");
+        assert_eq!(ledger.total, limiter.issued());
+        assert_eq!(snap.counters["ratelimit.issued"], limiter.issued());
     }
 
     #[test]

@@ -15,7 +15,9 @@ use crate::analysis::remedies::RemediationSummary;
 use crate::analysis::replication::{
     ActiveReplication, DomainsPerCountry, PrivateShare, SingleNsChurn, YearlyTotals,
 };
-use crate::{run_campaign, Campaign, Funnel, MeasurementDataset, RunnerConfig};
+use crate::{
+    run_campaign_with, Campaign, CampaignTelemetry, Funnel, MeasurementDataset, RunnerConfig,
+};
 
 /// Level mix of the studied domains (§III-B).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -91,14 +93,30 @@ pub struct Report {
 impl Report {
     /// Runs the full pipeline and all analyses.
     pub fn generate(campaign: &Campaign<'_>, config: RunnerConfig) -> Self {
-        let dataset = run_campaign(campaign, config);
+        Report::generate_with(campaign, config, &CampaignTelemetry::default())
+    }
+
+    /// Runs the full pipeline and all analyses, recording telemetry
+    /// into `ctl` — including a wall-clock span for the analysis stage
+    /// itself. The final snapshot (pipeline + analysis) is embedded in
+    /// the report's dataset.
+    pub fn generate_with(
+        campaign: &Campaign<'_>,
+        config: RunnerConfig,
+        ctl: &CampaignTelemetry,
+    ) -> Self {
+        let dataset = run_campaign_with(campaign, config, ctl);
+        let analysis_span = ctl.registry().span("analysis");
         let mut report = Report::from_dataset(campaign, dataset);
+        analysis_span.finish();
         report.busiest_server_queries = campaign
             .network
             .busiest_destinations(1)
             .first()
             .map(|&(_, c)| c)
             .unwrap_or(0);
+        // Re-freeze so the embedded snapshot covers the analysis span.
+        report.dataset.telemetry = ctl.registry().snapshot();
         report
     }
 
@@ -151,6 +169,11 @@ impl Report {
         write("fig14_disagreement.csv", self.consistency.per_country_table().to_csv())?;
         write("concentration.csv", self.concentration.table(30).to_csv())?;
         write("dataset_summary.csv", self.dataset.to_summary_csv())?;
+        write("telemetry_scalars.csv", self.dataset.telemetry.scalars_csv())?;
+        write("telemetry_stages.csv", self.dataset.telemetry.stages_csv())?;
+        write("telemetry_histograms.csv", self.dataset.telemetry.histograms_csv())?;
+        write("telemetry_toplists.csv", self.dataset.telemetry.toplists_csv())?;
+        write("telemetry_ledger.csv", self.dataset.telemetry.ledger_csv())?;
         Ok(())
     }
 
@@ -301,6 +324,11 @@ impl Report {
                     .map_or("-".to_owned(), |p| format!("{p:.2} USD")),
             ),
         );
+        if !self.dataset.telemetry.counters.is_empty()
+            || !self.dataset.telemetry.stages.is_empty()
+        {
+            section("pipeline telemetry", self.dataset.telemetry.render_text());
+        }
         section(
             "§V-B — remediation workload",
             format!(

@@ -1,7 +1,19 @@
 //! The campaign runner: seeds → discovery → parallel probing → second
 //! round → dataset.
+//!
+//! Observability: [`run_campaign_with`] accepts a [`CampaignTelemetry`]
+//! that wires the whole pipeline into one
+//! [`Registry`](govdns_telemetry::Registry) — per-stage wall-clock
+//! spans, network counters, worker utilization, progress callbacks, and
+//! the §III-D query ledger. The resulting snapshot is embedded in the
+//! returned [`MeasurementDataset`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use parking_lot::Mutex;
+
+use govdns_telemetry::{ProgressEvent, Registry};
 
 use crate::discovery::{self, DiscoveryConfig};
 use crate::probe::{DomainProbe, ProbeClient};
@@ -19,36 +31,143 @@ pub struct RunnerConfig {
     /// Whether to run the second round for domains whose parent returned
     /// NS records but whose nameservers all stayed silent.
     pub second_round: bool,
+    /// Per-destination soft cap for the query ledger (0 = uncapped):
+    /// destinations that received at least this many queries are flagged
+    /// in the ethics accounting.
+    pub destination_cap: u64,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        RunnerConfig { workers: 8, max_qps: 200, second_round: true }
+        RunnerConfig { workers: 8, max_qps: 200, second_round: true, destination_cap: 0 }
+    }
+}
+
+/// Observability control for a campaign run: the registry every pipeline
+/// component records into, plus an optional progress callback.
+pub struct CampaignTelemetry {
+    registry: Registry,
+    progress_every: usize,
+    progress: Option<Box<dyn Fn(ProgressEvent) + Send + Sync>>,
+    limiter: Mutex<Option<RateLimiter>>,
+}
+
+impl Default for CampaignTelemetry {
+    fn default() -> Self {
+        CampaignTelemetry {
+            registry: Registry::new(),
+            progress_every: 0,
+            progress: None,
+            limiter: Mutex::new(None),
+        }
+    }
+}
+
+impl std::fmt::Debug for CampaignTelemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignTelemetry")
+            .field("registry", &self.registry)
+            .field("progress_every", &self.progress_every)
+            .field("progress", &self.progress.as_ref().map(|_| "<callback>"))
+            .finish_non_exhaustive()
+    }
+}
+
+impl CampaignTelemetry {
+    /// A fresh registry with no progress callback.
+    pub fn new() -> Self {
+        CampaignTelemetry::default()
+    }
+
+    /// Invokes `callback` after every `every` probed domains (and once
+    /// at the end of the probing stage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    #[must_use]
+    pub fn with_progress(
+        mut self,
+        every: usize,
+        callback: impl Fn(ProgressEvent) + Send + Sync + 'static,
+    ) -> Self {
+        assert!(every > 0, "progress interval must be positive");
+        self.progress_every = every;
+        self.progress = Some(Box::new(callback));
+        self
+    }
+
+    /// The registry the pipeline records into.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The rate limiter of the most recent run, once a campaign has
+    /// started (useful for asserting ledger totals after the fact).
+    pub fn limiter(&self) -> Option<RateLimiter> {
+        self.limiter.lock().clone()
+    }
+
+    fn emit(&self, stage: &str, done: usize, total: usize, queries_issued: u64) {
+        if let Some(cb) = &self.progress {
+            cb(ProgressEvent { stage: stage.to_owned(), done, total, queries_issued });
+        }
     }
 }
 
 /// Runs the full §III pipeline over a campaign's inputs.
 pub fn run_campaign(campaign: &Campaign<'_>, config: RunnerConfig) -> MeasurementDataset {
+    run_campaign_with(campaign, config, &CampaignTelemetry::default())
+}
+
+/// Runs the full §III pipeline, recording telemetry into `ctl`.
+///
+/// Telemetry is strictly observational: the probing behavior (and hence
+/// the dataset) is identical with or without it.
+pub fn run_campaign_with(
+    campaign: &Campaign<'_>,
+    config: RunnerConfig,
+    ctl: &CampaignTelemetry,
+) -> MeasurementDataset {
+    let registry = ctl.registry.clone();
+    campaign.network.attach_telemetry(&registry);
+
+    let seed_span = registry.span("seed");
     let seeds = seed::select_seeds(campaign);
+    seed_span.finish();
+
+    let discovery_span = registry.span("discovery");
     let discovered =
         discovery::discover(campaign, &seeds, DiscoveryConfig::paper(campaign.collection_date));
+    discovery_span.finish();
 
-    let limiter = RateLimiter::new(config.max_qps);
+    let limiter = RateLimiter::with_telemetry(config.max_qps, config.destination_cap, &registry);
+    *ctl.limiter.lock() = Some(limiter.clone());
     let workers = config.workers.max(1);
+    registry.gauge("runner.workers").set(workers as i64);
+
     let results: Vec<Mutex<Option<DomainProbe>>> =
         (0..discovered.len()).map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let retried = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
+    let completed = AtomicUsize::new(0);
+    let retried = AtomicUsize::new(0);
+    let total = discovered.len();
+    let probed_counter = registry.counter("runner.domains_probed");
+    let retried_counter = registry.counter("runner.retried");
+    let busy_ms = registry.histogram_latency_ms("runner.worker_busy_ms");
 
+    let probing_span = registry.span("round1");
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 // One client (and resolver cache) per worker, as the real
                 // pipeline sharded its query load.
                 let client =
-                    ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone());
+                    ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone())
+                        .with_telemetry(&registry);
+                let busy_start = Instant::now();
                 loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(d) = discovered.get(i) else { break };
                     let mut probe = client.probe(&d.name);
                     // Second round: parent listed nameservers, none of
@@ -57,20 +176,44 @@ pub fn run_campaign(campaign: &Campaign<'_>, config: RunnerConfig) -> Measuremen
                         && probe.parent_nonempty()
                         && !probe.servers.iter().any(|s| s.responded())
                     {
+                        let retry_span = registry.span("round2");
                         client.retry_child_side(&mut probe);
-                        retried.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        retry_span.finish();
+                        retried.fetch_add(1, Ordering::Relaxed);
+                        retried_counter.inc();
                     }
                     *results[i].lock() = Some(probe);
+                    probed_counter.inc();
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if ctl.progress_every > 0
+                        && (done.is_multiple_of(ctl.progress_every) || done == total)
+                    {
+                        ctl.emit("probing", done, total, limiter.issued());
+                    }
                 }
+                // Worker utilization: how long each worker spent probing.
+                busy_ms.record(busy_start.elapsed().as_secs_f64() * 1e3);
             });
         }
     })
     .expect("probe workers do not panic");
+    probing_span.finish();
 
     let probes: Vec<DomainProbe> = results
         .into_iter()
         .map(|m| m.into_inner().expect("every index was processed"))
         .collect();
+
+    registry.set_ledger(limiter.ledger());
+    registry.set_toplist(
+        "busiest destinations",
+        campaign
+            .network
+            .busiest_destinations(10)
+            .into_iter()
+            .map(|(addr, count)| (addr.to_string(), count))
+            .collect(),
+    );
 
     MeasurementDataset {
         seeds,
@@ -79,5 +222,6 @@ pub fn run_campaign(campaign: &Campaign<'_>, config: RunnerConfig) -> Measuremen
         traffic: campaign.network.stats(),
         collection_date: campaign.collection_date,
         retried: retried.into_inner(),
+        telemetry: registry.snapshot(),
     }
 }

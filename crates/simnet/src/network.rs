@@ -1,14 +1,42 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use govdns_model::{wire, Message};
+use govdns_telemetry::{Counter, Histogram, Registry};
 
 use crate::{AuthoritativeServer, LatencyModel};
+
+/// Cached telemetry handles for the per-query hot path: interned once
+/// at attach time so `deliver` touches bare atomics only.
+#[derive(Debug)]
+struct NetSink {
+    queries: Counter,
+    replies: Counter,
+    timeouts: Counter,
+    lost: Counter,
+    rtt_ms: Histogram,
+    query_bytes: Histogram,
+    response_bytes: Histogram,
+}
+
+impl NetSink {
+    fn new(registry: &Registry) -> Self {
+        NetSink {
+            queries: registry.counter("net.queries"),
+            replies: registry.counter("net.replies"),
+            timeouts: registry.counter("net.timeouts"),
+            lost: registry.counter("net.lost"),
+            rtt_ms: registry.histogram_latency_ms("net.rtt_ms"),
+            query_bytes: registry.histogram_bytes("net.query_bytes"),
+            response_bytes: registry.histogram_bytes("net.response_bytes"),
+        }
+    }
+}
 
 /// The result of sending one query into the simulated network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,6 +105,7 @@ pub struct SimNetwork {
     rng: Mutex<SmallRng>,
     stats: Mutex<TrafficStats>,
     per_destination: Mutex<HashMap<Ipv4Addr, u64>>,
+    telemetry: RwLock<Option<NetSink>>,
 }
 
 impl SimNetwork {
@@ -89,7 +118,19 @@ impl SimNetwork {
             rng: Mutex::new(SmallRng::seed_from_u64(seed)),
             stats: Mutex::new(TrafficStats::default()),
             per_destination: Mutex::new(HashMap::new()),
+            telemetry: RwLock::new(None),
         }
+    }
+
+    /// Starts mirroring per-query traffic into `registry`: counters
+    /// `net.{queries,replies,timeouts,lost}`, the `net.rtt_ms` latency
+    /// histogram, and `net.{query,response}_bytes` size histograms.
+    ///
+    /// Takes `&self` because the runner only ever holds a shared
+    /// reference to the network. Recording never touches the network
+    /// RNG, so attaching telemetry cannot perturb simulated outcomes.
+    pub fn attach_telemetry(&self, registry: &Registry) {
+        *self.telemetry.write() = Some(NetSink::new(registry));
     }
 
     /// Sets the latency model (builder style).
@@ -165,17 +206,35 @@ impl SimNetwork {
         } else {
             self.servers.get(&dst).and_then(|s| s.handle(query))
         };
+        let sink = self.telemetry.read();
+        if let Some(sink) = &*sink {
+            sink.queries.inc();
+            sink.query_bytes.record(qbytes as f64);
+            if lost {
+                sink.lost.inc();
+            }
+        }
         match reply {
             Some(msg) => {
                 let rtt_ms = self.latency.rtt_ms(dst);
+                let rbytes = wire::encoded_len(&msg) as u64;
+                if let Some(sink) = &*sink {
+                    sink.replies.inc();
+                    sink.rtt_ms.record(f64::from(rtt_ms));
+                    sink.response_bytes.record(rbytes as f64);
+                }
                 let mut stats = self.stats.lock();
                 stats.responses_received += 1;
-                stats.bytes_received += wire::encoded_len(&msg) as u64;
+                stats.bytes_received += rbytes;
                 stats.total_wait_ms += u64::from(rtt_ms);
                 DeliveryOutcome::Reply { msg, rtt_ms }
             }
             None => {
                 let waited_ms = self.latency.timeout_ms;
+                if let Some(sink) = &*sink {
+                    sink.timeouts.inc();
+                    sink.rtt_ms.record(f64::from(waited_ms));
+                }
                 let mut stats = self.stats.lock();
                 stats.timeouts += 1;
                 stats.total_wait_ms += u64::from(waited_ms);
@@ -295,5 +354,71 @@ mod tests {
     fn network_is_sync() {
         fn assert_sync<T: Sync + Send>() {}
         assert_sync::<SimNetwork>();
+    }
+
+    #[test]
+    fn telemetry_mirrors_traffic_stats() {
+        let net = network_with_one_zone();
+        let registry = Registry::new();
+        net.attach_telemetry(&registry);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q);
+        net.deliver(Ipv4Addr::new(203, 0, 113, 200), &q);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["net.queries"], 2);
+        assert_eq!(snap.counters["net.replies"], 1);
+        assert_eq!(snap.counters["net.timeouts"], 1);
+        assert_eq!(snap.counters["net.lost"], 0);
+        assert_eq!(snap.histograms["net.rtt_ms"].count, 2);
+        assert_eq!(snap.histograms["net.query_bytes"].count, 2);
+        assert_eq!(snap.histograms["net.response_bytes"].count, 1);
+        let s = net.stats();
+        assert_eq!(snap.counters["net.queries"], s.queries_sent);
+        assert_eq!(snap.counters["net.replies"], s.responses_received);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_loss_outcomes() {
+        let run = |attach: bool| {
+            let mut zone = Zone::new(n("gov.zz"));
+            zone.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+            let mut net = SimNetwork::new(42).with_loss_rate(0.5);
+            net.add_server(
+                AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 1), ServerBehavior::Responsive)
+                    .with_zone(zone),
+            );
+            if attach {
+                net.attach_telemetry(&Registry::new());
+            }
+            let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+            (0..50)
+                .map(|_| net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q).reply().is_some())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn busiest_destinations_orders_and_breaks_ties() {
+        let net = network_with_one_zone();
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        let b = Ipv4Addr::new(203, 0, 113, 5);
+        let c = Ipv4Addr::new(198, 51, 100, 9);
+        // a: 3 queries, b: 1, c: 1 — b and c tie, lower address first.
+        for _ in 0..3 {
+            net.deliver(a, &q);
+        }
+        net.deliver(b, &q);
+        net.deliver(c, &q);
+
+        let top = net.busiest_destinations(3);
+        assert_eq!(top, vec![(a, 3), (c, 1), (b, 1)]);
+
+        // n larger than the number of destinations truncates gracefully.
+        assert_eq!(net.busiest_destinations(10).len(), 3);
+        // n smaller keeps only the busiest.
+        assert_eq!(net.busiest_destinations(1), vec![(a, 3)]);
+        assert!(net.busiest_destinations(0).is_empty());
     }
 }

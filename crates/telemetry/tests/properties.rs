@@ -1,0 +1,70 @@
+//! Property tests for the telemetry primitives: percentile estimates
+//! must be monotone in the quantile, and snapshot merging must behave
+//! like the sum it claims to be.
+
+use govdns_telemetry::{Histogram, Registry};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn percentiles_are_monotone(
+        values in prop::collection::vec(0u32..20_000, 1..200),
+        a in 0u32..101,
+        b in 0u32..101,
+    ) {
+        let h = Histogram::latency_ms();
+        for &v in &values {
+            h.record(f64::from(v));
+        }
+        let s = h.snapshot();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let plo = s.percentile(f64::from(lo) / 100.0);
+        let phi = s.percentile(f64::from(hi) / 100.0);
+        prop_assert!(plo <= phi, "p{} = {} > p{} = {}", lo, plo, hi, phi);
+        prop_assert!(s.min <= plo, "p{} = {} below min {}", lo, plo, s.min);
+        prop_assert!(phi <= s.max, "p{} = {} above max {}", hi, phi, s.max);
+    }
+
+    #[test]
+    fn counter_merge_is_associative(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let snap = |v: u64| {
+            let r = Registry::new();
+            r.counter("queries").add(v);
+            r.gauge("depth").add(v as i64 % 1000);
+            r.snapshot()
+        };
+        // (a ⊕ b) ⊕ c
+        let mut left = snap(a);
+        left.merge(&snap(b));
+        left.merge(&snap(c));
+        // a ⊕ (b ⊕ c)
+        let mut bc = snap(b);
+        bc.merge(&snap(c));
+        let mut right = snap(a);
+        right.merge(&bc);
+        prop_assert_eq!(left.counters["queries"], right.counters["queries"]);
+        prop_assert_eq!(left.counters["queries"], a + b + c);
+        prop_assert_eq!(left.gauges["depth"], right.gauges["depth"]);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything(
+        xs in prop::collection::vec(0u32..20_000, 0..100),
+        ys in prop::collection::vec(0u32..20_000, 0..100),
+    ) {
+        let part_a = Histogram::latency_ms();
+        let part_b = Histogram::latency_ms();
+        let whole = Histogram::latency_ms();
+        for &v in &xs {
+            part_a.record(f64::from(v));
+            whole.record(f64::from(v));
+        }
+        for &v in &ys {
+            part_b.record(f64::from(v));
+            whole.record(f64::from(v));
+        }
+        let mut merged = part_a.snapshot();
+        merged.merge(&part_b.snapshot());
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+}

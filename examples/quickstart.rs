@@ -24,7 +24,16 @@ fn main() {
     eprintln!("running measurement campaign...");
     let matchers = world.catalog.matchers();
     let campaign = Campaign::new(&world, &matchers);
-    let report = Report::generate(&campaign, RunnerConfig::default());
+    let ctl = CampaignTelemetry::new().with_progress(250, |e: ProgressEvent| {
+        eprintln!(
+            "  probed {}/{} domains ({:.0}%), {} queries issued",
+            e.done,
+            e.total,
+            100.0 * e.fraction(),
+            e.queries_issued
+        );
+    });
+    let report = Report::generate_with(&campaign, RunnerConfig::default(), &ctl);
 
     let f = report.funnel;
     println!("government DNS health summary");
@@ -73,4 +82,8 @@ fn main() {
         report.dataset.traffic.bytes_sent / 1024,
         report.dataset.traffic.bytes_received / 1024
     );
+    println!();
+    println!("pipeline telemetry");
+    println!("==================");
+    print!("{}", report.dataset.telemetry.render_text());
 }

@@ -12,7 +12,9 @@
 //! * [`simnet`] — the simulated internet of authoritative servers,
 //! * [`pdns`] — the passive-DNS database and sensor feed,
 //! * [`world`] — the calibrated synthetic e-government world generator,
-//! * [`core`] — the measurement pipeline and the §IV analyses.
+//! * [`core`] — the measurement pipeline and the §IV analyses,
+//! * [`telemetry`] — pipeline observability: metrics, span timing, and
+//!   the §III-D query ledger.
 //!
 //! ## Quickstart
 //!
@@ -37,12 +39,14 @@ pub use govdns_core as core;
 pub use govdns_model as model;
 pub use govdns_pdns as pdns;
 pub use govdns_simnet as simnet;
+pub use govdns_telemetry as telemetry;
 pub use govdns_world as world;
 
 /// The types most programs need.
 pub mod prelude {
     pub use govdns_core::report::Report;
-    pub use govdns_core::{Campaign, MeasurementDataset, RunnerConfig};
+    pub use govdns_core::{Campaign, CampaignTelemetry, MeasurementDataset, RunnerConfig};
     pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
+    pub use govdns_telemetry::{ProgressEvent, Registry, TelemetrySnapshot};
     pub use govdns_world::{World, WorldConfig, WorldGenerator};
 }

@@ -197,8 +197,112 @@ fn csv_bundle_writes_all_tables() {
     ] {
         assert!(files.iter().any(|f| f == needle), "missing {needle} in {files:?}");
     }
-    assert!(files.len() >= 17);
+    assert!(files.len() >= 22);
+    for needle in [
+        "telemetry_scalars.csv",
+        "telemetry_stages.csv",
+        "telemetry_histograms.csv",
+        "telemetry_toplists.csv",
+        "telemetry_ledger.csv",
+    ] {
+        assert!(files.iter().any(|f| f == needle), "missing {needle} in {files:?}");
+    }
+    let ledger_csv = std::fs::read_to_string(dir.join("telemetry_ledger.csv")).unwrap();
+    assert!(ledger_csv.contains("round:round1"), "ledger csv:\n{ledger_csv}");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn telemetry_snapshot_covers_the_whole_pipeline() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    let world = tiny(55);
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let events = Arc::new(AtomicUsize::new(0));
+    let seen = events.clone();
+    let ctl = CampaignTelemetry::new()
+        .with_progress(50, move |e: ProgressEvent| {
+            assert!(e.done <= e.total);
+            assert!(e.queries_issued > 0);
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+    let report = Report::generate_with(&campaign, RunnerConfig::default(), &ctl);
+    let snap = &report.dataset.telemetry;
+
+    // Per-stage wall-clock durations for every pipeline phase.
+    for stage in ["seed", "discovery", "round1", "analysis", "probe.domain"] {
+        let s = &snap.stages[stage];
+        assert!(s.count > 0, "stage {stage} never ran");
+        assert!(s.total_secs > 0.0, "stage {stage} has zero duration");
+    }
+
+    // At least four response-class counters, consistent with traffic.
+    let classes: Vec<_> =
+        snap.counters.keys().filter(|k| k.starts_with("probe.class.")).collect();
+    assert!(classes.len() >= 4, "classes: {classes:?}");
+    assert_eq!(
+        snap.counter_total("net."),
+        snap.counters["net.queries"]
+            + snap.counters["net.replies"]
+            + snap.counters["net.timeouts"]
+            + snap.counters["net.lost"]
+    );
+    assert_eq!(snap.counters["net.queries"], report.dataset.traffic.queries_sent);
+
+    // The query-latency histogram carries percentiles.
+    let rtt = &snap.histograms["net.rtt_ms"];
+    assert_eq!(rtt.count, report.dataset.traffic.queries_sent);
+    assert!(rtt.p50() <= rtt.p90() && rtt.p90() <= rtt.p99());
+    assert!(rtt.p99() <= rtt.max && rtt.min <= rtt.p50());
+
+    // Top-N busiest destinations, busiest first.
+    let top = &snap.toplists["busiest destinations"];
+    assert!(!top.is_empty() && top.len() <= 10);
+    assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    assert_eq!(top[0].1, report.busiest_server_queries);
+
+    // The per-round query ledger reconciles with the rate limiter.
+    let issued = ctl.limiter().expect("campaign ran").issued();
+    let ledger = snap.ledger.as_ref().expect("campaign publishes a ledger");
+    assert_eq!(ledger.total, issued);
+    assert_eq!(ledger.per_round.values().sum::<u64>(), issued);
+    assert!(ledger.per_round["round1"] > 0);
+    assert_eq!(snap.counters["ratelimit.issued"], issued);
+
+    // Progress events fired and the snapshot renders everywhere.
+    assert!(events.load(Ordering::Relaxed) > 0, "no progress events");
+    let text = report.render();
+    assert!(text.contains("pipeline telemetry"));
+    assert!(text.contains("query ledger"));
+    assert!(snap.to_json().contains("\"ledger\""));
+}
+
+#[test]
+fn telemetry_is_purely_observational() {
+    // Instrumentation must not change what the pipeline measures: both
+    // entry points produce the identical dataset. One worker keeps the
+    // resolver-cache schedule (and hence traffic totals) deterministic.
+    let config = RunnerConfig { workers: 1, ..RunnerConfig::default() };
+    let run = |telemetry: bool| {
+        let world = tiny(63);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let ds = if telemetry {
+            govdns::core::run_campaign_with(&campaign, config, &CampaignTelemetry::new())
+        } else {
+            govdns::core::run_campaign(&campaign, config)
+        };
+        let mut summary: Vec<(String, bool, usize)> = ds
+            .probes
+            .iter()
+            .map(|p| (p.domain.to_string(), p.has_authoritative_answer(), p.ns_union().len()))
+            .collect();
+        summary.sort();
+        (ds.traffic, summary)
+    };
+    assert_eq!(run(false), run(true));
 }
 
 /// Robustness: the headline rates hold across independent seeds (run

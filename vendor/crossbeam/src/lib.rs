@@ -1,0 +1,63 @@
+//! Stand-in for the slice of `crossbeam` this workspace uses:
+//! `crossbeam::scope`, implemented on top of `std::thread::scope`.
+//!
+//! Behavioral difference: if a spawned thread panics, std's scoped
+//! threads re-raise the panic at the end of the scope instead of
+//! returning `Err` — for callers that `.expect()` the result (as this
+//! workspace does) the observable behavior is identical.
+
+/// Scoped-thread support mirroring `crossbeam::thread`.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to [`scope`]'s closure; supports spawning.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope handle
+        /// (crossbeam-style), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Result type of [`scope`]: crossbeam reports child panics as `Err`.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Creates a scope in which threads borrowing from the environment
+    /// can be spawned; joins them all before returning.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_collects() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = std::sync::atomic::AtomicU64::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum, std::sync::atomic::Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.into_inner(), 10);
+    }
+}

@@ -1,0 +1,538 @@
+//! Stand-in for the slice of `proptest` this workspace uses.
+//!
+//! Implements random-input property testing without shrinking: each
+//! `proptest!` test body runs `PROPTEST_CASES` times (default 32) with
+//! inputs drawn from the given strategies, seeded deterministically
+//! from the test name so failures are reproducible. Supported strategy
+//! surface: regex-subset string literals, integer ranges, tuples,
+//! `Just`, `prop_map`, `prop_oneof!`, `any::<T>()`,
+//! `prop::collection::vec`, and `prop::sample::select`.
+
+pub mod test_runner {
+    //! Deterministic case-count and RNG plumbing.
+
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = rand::rngs::SmallRng;
+
+    /// Number of cases per property, `PROPTEST_CASES` env override.
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(32)
+    }
+
+    /// A generator seeded from the test's name (FNV-1a), so every run
+    /// of a given property sees the same input sequence.
+    pub fn rng_for(name: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod strategy {
+    //! The core [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Object-safe: `prop_oneof!` stores arms as
+    /// `Box<dyn Strategy<Value = V>>`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Sized-only extension methods (kept separate so [`Strategy`]
+    /// stays object-safe).
+    pub trait StrategyExt: Strategy + Sized {
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy> StrategyExt for S {}
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`StrategyExt::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over non-empty `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.arms[rng.gen_range(0..self.arms.len())].generate(rng)
+        }
+    }
+
+    /// Type-erases a strategy so heterogeneous arms can share a `Vec`.
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// A string literal is a regex-subset pattern generating matching
+    /// strings (see [`crate::string`] for the supported syntax).
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0.0);
+    impl_tuple_strategy!(S0.0, S1.1);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+    impl_tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: rand::StandardSample> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T` (uniform over its domain).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with length drawn from
+    /// `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics at generation time if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options.choose(rng).expect("select over empty options").clone()
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset used as string strategies.
+    //!
+    //! Supported syntax: literal characters, `\n`/`\t`/`\\` escapes,
+    //! character classes with ranges (`[a-z0-9-]`, trailing `-` is
+    //! literal), `{n}` / `{n,m}` quantifiers, and top-level `|`
+    //! alternation. No `*`, `+`, `?`, groups, or anchors.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    struct Element {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates one string matching `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset.
+    pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+        let alternatives = split_alternatives(pattern);
+        let alt = &alternatives[rng.gen_range(0..alternatives.len())];
+        let mut out = String::new();
+        for el in parse_sequence(alt) {
+            let n = rng.gen_range(el.min..=el.max);
+            for _ in 0..n {
+                out.push(el.chars[rng.gen_range(0..el.chars.len())]);
+            }
+        }
+        out
+    }
+
+    fn split_alternatives(pattern: &str) -> Vec<String> {
+        let mut parts = vec![String::new()];
+        let mut in_class = false;
+        let mut escaped = false;
+        for c in pattern.chars() {
+            if escaped {
+                parts.last_mut().unwrap().push(c);
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => {
+                    parts.last_mut().unwrap().push(c);
+                    escaped = true;
+                }
+                '[' if !in_class => {
+                    in_class = true;
+                    parts.last_mut().unwrap().push(c);
+                }
+                ']' if in_class => {
+                    in_class = false;
+                    parts.last_mut().unwrap().push(c);
+                }
+                '|' if !in_class => parts.push(String::new()),
+                _ => parts.last_mut().unwrap().push(c),
+            }
+        }
+        parts
+    }
+
+    fn parse_sequence(s: &str) -> Vec<Element> {
+        let chars: Vec<char> = s.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let (set, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    set
+                }
+                '\\' => {
+                    i += 2;
+                    vec![unescape(chars[i - 1])]
+                }
+                c => {
+                    assert!(
+                        !"(){}*+?^$.".contains(c),
+                        "unsupported regex syntax {c:?} in {s:?}"
+                    );
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("quantifier lower bound"),
+                        hi.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            out.push(Element { chars: set, min, max });
+        }
+        out
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut set = Vec::new();
+        while chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            if chars[i] == '-' && chars[i + 1] != ']' {
+                i += 1;
+                let hi = if chars[i] == '\\' {
+                    i += 1;
+                    unescape(chars[i])
+                } else {
+                    chars[i]
+                };
+                i += 1;
+                for code in (lo as u32)..=(hi as u32) {
+                    set.push(char::from_u32(code).expect("valid char range"));
+                }
+            } else {
+                set.push(lo);
+            }
+        }
+        assert!(!set.is_empty(), "empty character class");
+        (set, i + 1)
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+}
+
+/// Namespace mirror so `prop::collection::vec` etc. resolve through the
+/// prelude glob, as in the real crate.
+pub mod prop {
+    pub use crate::{collection, sample, strategy};
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy, StrategyExt};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __strategies = ($($strat,)+);
+            let mut __rng = $crate::test_runner::rng_for(stringify!($name));
+            for __case in 0..$crate::test_runner::cases() {
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                $body
+            }
+        }
+
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::test_runner::rng_for("regex");
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("[a-z][a-z0-9-]{0,14}[a-z0-9]|[a-z]", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 16, "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+
+            let p = crate::string::generate_matching("[ -~\t\n]{0,30}", &mut rng);
+            assert!(p.len() <= 30);
+            assert!(p.chars().all(|c| (' '..='~').contains(&c) || c == '\t' || c == '\n'));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_drives_strategies(
+            v in prop::collection::vec(any::<u8>(), 1..5),
+            k in 0usize..6,
+            pick in prop::sample::select(vec![10u32, 20, 30]),
+            w in prop_oneof![Just(1u8), Just(2u8), 3u8..=9],
+        ) {
+            prop_assert!((1..5).contains(&v.len()));
+            prop_assert!(k < 6);
+            prop_assert!(pick % 10 == 0);
+            prop_assert!((1..=9).contains(&w));
+            prop_assert_ne!(w, 0);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! This workspace derives `Serialize`/`Deserialize` widely for API
+//! hygiene but never performs actual serde serialization (report
+//! rendering is hand-written text/CSV/JSON). The stub therefore
+//! provides the trait names, blanket implementations, and re-exports
+//! the no-op derives — enough for every `use serde::{...}` and
+//! `#[derive(...)]` in the tree to compile unchanged.
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for common imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for common imports.
+pub mod ser {
+    pub use crate::Serialize;
+}

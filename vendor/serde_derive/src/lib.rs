@@ -1,0 +1,19 @@
+//! No-op derive macros standing in for `serde_derive`.
+//!
+//! The sibling `serde` stub blanket-implements its marker traits for
+//! every type, so these derives only need to exist (and accept the
+//! `#[serde(...)]` helper attribute) — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
