@@ -1,10 +1,47 @@
 #!/usr/bin/env bash
-# Local CI gate: release build, full test suite, and warning-free clippy.
+# Local CI gate: formatting, release build, full test suite (incl. doc
+# tests), warning-free clippy, the chaos determinism smoke, and the
+# telemetry bench guard. Mirrored by .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== fmt =="
+cargo fmt --check
+
+echo "== build (release) =="
 cargo build --release
+
+echo "== tests =="
 cargo test -q
+
+echo "== doc tests =="
+cargo test -q --doc
+
+echo "== clippy =="
 cargo clippy --all-targets -- -D warnings
+
+echo "== chaos smoke: identical seeds => identical output =="
+chaos_a="$(mktemp)"
+chaos_b="$(mktemp)"
+trap 'rm -f "$chaos_a" "$chaos_b"' EXIT
+cargo run -q --release --example chaos -- --seed 7 > "$chaos_a"
+cargo run -q --release --example chaos -- --seed 7 > "$chaos_b"
+diff -u "$chaos_a" "$chaos_b"
+grep -q "dataset fingerprint" "$chaos_a"
+
+echo "== bench guard: telemetry hot path =="
+# The vendored criterion stand-in prints one "ns/iter" line per bench;
+# keep the numbers as a machine-readable artifact for trend-watching.
+cargo bench -q -p govdns-bench --bench telemetry | tee /dev/stderr | awk '
+    BEGIN { print "{"; first = 1 }
+    / ns\/iter / {
+        if (!first) printf ",\n"
+        first = 0
+        printf "  \"%s\": %s", $2, $3
+    }
+    END { if (!first) printf "\n"; print "}" }
+' > BENCH_telemetry.json
+python3 -c "import json; d = json.load(open('BENCH_telemetry.json')); assert d, 'no benches parsed'" \
+    || { echo "bench guard: BENCH_telemetry.json is empty or invalid" >&2; exit 1; }
 
 echo "ci: all green"

@@ -12,9 +12,8 @@ fn substrates(c: &mut Criterion) {
     let f = fixture();
 
     // Wire codec round-trip on a realistic referral-sized response.
-    let sample_domain: DomainName = f.dataset.discovered[f.dataset.discovered.len() / 2]
-        .name
-        .clone();
+    let sample_domain: DomainName =
+        f.dataset.discovered[f.dataset.discovered.len() / 2].name.clone();
     let q = Message::query(1, sample_domain.clone(), RecordType::Ns);
     let reply = {
         // Grab a real response from the network.
@@ -39,12 +38,8 @@ fn substrates(c: &mut Criterion) {
     group.finish();
 
     // Authoritative zone lookup through a loaded server.
-    let busiest = f
-        .world
-        .network
-        .servers()
-        .max_by_key(|s| s.zones().len())
-        .expect("network has servers");
+    let busiest =
+        f.world.network.servers().max_by_key(|s| s.zones().len()).expect("network has servers");
     let busy_q = Message::query(2, sample_domain.clone(), RecordType::Ns);
     c.bench_function("server_handle_query", |b| {
         b.iter(|| black_box(busiest.handle(black_box(&busy_q))))

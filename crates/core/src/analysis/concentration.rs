@@ -33,10 +33,7 @@ pub struct SeedConcentration {
 impl SeedConcentration {
     /// The dominant provider's share of responsive domains, in percent.
     pub fn top_share_pct(&self) -> f64 {
-        self.providers
-            .first()
-            .map(|&(_, n)| stats::pct(n, self.responsive))
-            .unwrap_or(0.0)
+        self.providers.first().map(|&(_, n)| stats::pct(n, self.responsive)).unwrap_or(0.0)
     }
 }
 
@@ -60,8 +57,7 @@ impl ConcentrationAnalysis {
             let seed = ds.seed_of(i).clone();
             let slot = per_seed.entry(seed.clone()).or_default();
             slot.0 += 1;
-            let mut labels: std::collections::BTreeSet<String> =
-                std::collections::BTreeSet::new();
+            let mut labels: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
             let mut private = false;
             for host in probe.ns_union() {
                 if host.is_within(&seed) {
@@ -131,21 +127,14 @@ impl ConcentrationAnalysis {
 
     /// Renders the top seeds with their top providers.
     pub fn table(&self, top_seeds: usize) -> TextTable {
-        let mut t = TextTable::new([
-            "d_gov",
-            "responsive",
-            "private",
-            "top providers (share)",
-            "HHI",
-        ]);
+        let mut t =
+            TextTable::new(["d_gov", "responsive", "private", "top providers (share)", "HHI"]);
         for s in self.seeds.iter().take(top_seeds) {
             let top: Vec<String> = s
                 .providers
                 .iter()
                 .take(3)
-                .map(|(label, n)| {
-                    format!("{label} ({})", fmt_pct(stats::pct(*n, s.responsive)))
-                })
+                .map(|(label, n)| format!("{label} ({})", fmt_pct(stats::pct(*n, s.responsive))))
                 .collect();
             t.push_row([
                 s.seed.to_string(),

@@ -269,16 +269,10 @@ mod tests {
             .build();
         assert_eq!(classify(&p), Some(ConsistencyClass::Equal));
         // P ⊂ C.
-        let p = ProbeBuilder::new("a.gov.zz")
-            .parent(&["ns1.x"])
-            .child(&["ns1.x", "ns2.x"])
-            .build();
+        let p = ProbeBuilder::new("a.gov.zz").parent(&["ns1.x"]).child(&["ns1.x", "ns2.x"]).build();
         assert_eq!(classify(&p), Some(ConsistencyClass::PSubsetC));
         // C ⊂ P.
-        let p = ProbeBuilder::new("a.gov.zz")
-            .parent(&["ns1.x", "ns2.x"])
-            .child(&["ns1.x"])
-            .build();
+        let p = ProbeBuilder::new("a.gov.zz").parent(&["ns1.x", "ns2.x"]).child(&["ns1.x"]).build();
         assert_eq!(classify(&p), Some(ConsistencyClass::CSubsetP));
         // Partial overlap.
         let p = ProbeBuilder::new("a.gov.zz")

@@ -23,6 +23,9 @@ pub struct CountryDefects {
     pub full: usize,
     /// Domains with a defective nameserver among the parent-listed set.
     pub partial_parent: usize,
+    /// Domains that answered only degraded (retries / second round) —
+    /// the flakiness dimension a dead-or-alive classification hides.
+    pub degraded: usize,
 }
 
 /// One registrable dangling NS domain.
@@ -50,6 +53,8 @@ pub struct DelegationAnalysis {
     pub partial_parent: usize,
     /// Fully defective delegations.
     pub fully_defective: usize,
+    /// Domains that answered, but only after retries or a second round.
+    pub degraded: usize,
     /// Per-country breakdown (Figs 10a/10b).
     pub per_country: BTreeMap<CountryCode, CountryDefects>,
     /// Registrable dangling NS domains (Fig 11).
@@ -74,6 +79,7 @@ impl DelegationAnalysis {
         let mut any_defective = 0usize;
         let mut fully_defective = 0usize;
         let mut partial_parent = 0usize;
+        let mut degraded = 0usize;
         let mut domains = 0usize;
         let mut available: BTreeMap<DomainName, AvailableNsDomain> = BTreeMap::new();
         let mut affected: BTreeSet<DomainName> = BTreeSet::new();
@@ -94,14 +100,15 @@ impl DelegationAnalysis {
                 any_defective += 1;
                 slot.partial_or_full += 1;
             }
+            if probe.degraded() {
+                degraded += 1;
+                slot.degraded += 1;
+            }
             if full {
                 fully_defective += 1;
                 slot.full += 1;
             }
-            let parent_defective = probe
-                .servers
-                .iter()
-                .any(|s| s.in_parent && s.is_defective());
+            let parent_defective = probe.servers.iter().any(|s| s.in_parent && s.is_defective());
             if parent_defective && !full {
                 partial_parent += 1;
                 slot.partial_parent += 1;
@@ -144,6 +151,7 @@ impl DelegationAnalysis {
             any_defective,
             partial_parent,
             fully_defective,
+            degraded,
             per_country,
             affected_domains: affected.len(),
             affected_countries: affected_countries.len(),
@@ -163,6 +171,11 @@ impl DelegationAnalysis {
         stats::pct(self.partial_parent, self.domains)
     }
 
+    /// Share of domains that answered only degraded.
+    pub fn degraded_pct(&self) -> f64 {
+        stats::pct(self.degraded, self.domains)
+    }
+
     /// Renders Figs 10a/10b: the 20 countries with the most defective
     /// delegations.
     pub fn per_country_table(&self) -> TextTable {
@@ -175,6 +188,7 @@ impl DelegationAnalysis {
             "defective %",
             "fully defective",
             "partial (parent)",
+            "degraded",
         ]);
         for (c, d) in rows.into_iter().take(20) {
             t.push_row([
@@ -184,6 +198,7 @@ impl DelegationAnalysis {
                 fmt_pct(stats::pct(d.partial_or_full, d.domains)),
                 d.full.to_string(),
                 d.partial_parent.to_string(),
+                d.degraded.to_string(),
             ]);
         }
         t

@@ -117,8 +117,7 @@ impl DiversityTable {
 
     /// Renders Table I.
     pub fn table(&self) -> TextTable {
-        let mut t =
-            TextTable::new(["country", "domains", "|IP|>1", "|/24|>1", "|ASN|>1"]);
+        let mut t = TextTable::new(["country", "domains", "|IP|>1", "|/24|>1", "|ASN|>1"]);
         for r in &self.rows {
             t.push_row([
                 r.country.map_or_else(|| "total".to_owned(), |c| c.to_string()),

@@ -11,9 +11,9 @@ use govdns_world::{Country, CountryCode};
 
 use crate::analysis::longitudinal::Longitudinal;
 use crate::stats;
-use govdns_world::MatchTarget;
 use crate::tables::{fmt_pct, TextTable};
 use crate::Campaign;
+use govdns_world::MatchTarget;
 
 /// The providers Table II tracks (ordered alphabetically as in the
 /// paper).
@@ -186,7 +186,11 @@ impl ProviderAnalysis {
                 let Some(ys) = ys else { return "-".into() };
                 let u = ys.usage(label);
                 match what {
-                    0 => format!("{} ({})", u.domains, fmt_pct(stats::pct(u.domains, ys.total_domains))),
+                    0 => format!(
+                        "{} ({})",
+                        u.domains,
+                        fmt_pct(stats::pct(u.domains, ys.total_domains))
+                    ),
                     1 => format!("{} ({})", u.d1p, fmt_pct(stats::pct(u.d1p, ys.total_domains))),
                     _ => format!(
                         "{} ({})",
@@ -216,11 +220,7 @@ impl ProviderAnalysis {
             for (label, s) in ys.top_by_countries(10) {
                 t.push_row([
                     label.to_owned(),
-                    format!(
-                        "{} ({})",
-                        s.domains,
-                        fmt_pct(stats::pct(s.domains, ys.total_domains))
-                    ),
+                    format!("{} ({})", s.domains, fmt_pct(stats::pct(s.domains, ys.total_domains))),
                     format!(
                         "{} ({})",
                         s.groups.len(),

@@ -39,6 +39,10 @@ pub enum Remedy {
         /// What an attacker would pay.
         price_usd: f64,
     },
+    /// Investigate intermittent failures: the domain answered, but only
+    /// after backoff retries or a second probing round (flapping server,
+    /// aggressive rate limiter, or a lossy/truncating path).
+    MonitorFlakiness,
     /// Add at least one more nameserver (single-NS deployment).
     AddReplica,
     /// Place nameservers in more than one /24 or AS.
@@ -109,20 +113,17 @@ pub fn plan_for(probe: &DomainProbe, campaign: &Campaign<'_>) -> RemediationPlan
     // Parent/child divergence: emit the CSYNC-shaped delta.
     if let Some(class) = classify(probe) {
         if class != ConsistencyClass::Equal {
-            let add: Vec<DomainName> = probe
-                .child_ns
-                .iter()
-                .filter(|h| !probe.parent_ns.contains(h))
-                .cloned()
-                .collect();
-            let remove: Vec<DomainName> = probe
-                .parent_ns
-                .iter()
-                .filter(|h| !probe.child_ns.contains(h))
-                .cloned()
-                .collect();
+            let add: Vec<DomainName> =
+                probe.child_ns.iter().filter(|h| !probe.parent_ns.contains(h)).cloned().collect();
+            let remove: Vec<DomainName> =
+                probe.parent_ns.iter().filter(|h| !probe.child_ns.contains(h)).cloned().collect();
             remedies.push(Remedy::SynchronizeParent { add, remove });
         }
+    }
+
+    // Degraded availability: answered, but not cleanly.
+    if probe.degraded() {
+        remedies.push(Remedy::MonitorFlakiness);
     }
 
     // Replication and placement advice.
@@ -165,6 +166,8 @@ pub struct RemediationSummary {
     pub hijack_exposures: usize,
     /// Under-replicated or under-diversified deployments.
     pub placement_advice: usize,
+    /// Domains flagged for flakiness follow-up (degraded answers).
+    pub flakiness_followups: usize,
 }
 
 impl RemediationSummary {
@@ -190,6 +193,7 @@ impl RemediationSummary {
                     Remedy::DropNameserver(_) | Remedy::FixNameserverName(_) => s.ns_fixes += 1,
                     Remedy::SynchronizeParent { .. } => s.synchronizations += 1,
                     Remedy::AddReplica | Remedy::DiversifyPlacement => s.placement_advice += 1,
+                    Remedy::MonitorFlakiness => s.flakiness_followups += 1,
                     Remedy::ReclaimDanglingDomain { .. } | Remedy::RegistryLock => {}
                 }
             }
@@ -218,10 +222,8 @@ mod tests {
 
     #[test]
     fn stale_zone_gets_a_removal() {
-        let probe = ProbeBuilder::new("a.gov.zz")
-            .parent(&["ns1.x"])
-            .dead("ns1.x", [192, 0, 2, 1])
-            .build();
+        let probe =
+            ProbeBuilder::new("a.gov.zz").parent(&["ns1.x"]).dead("ns1.x", [192, 0, 2, 1]).build();
         let fixture = CampaignFixture::default();
         let plan = plan_for(&probe, &fixture.campaign());
         assert_eq!(plan.remedies, vec![Remedy::RemoveDelegation]);
@@ -295,6 +297,24 @@ mod tests {
             .build();
         let plan = plan_for(&cramped, &fixture.campaign());
         assert!(plan.remedies.contains(&Remedy::DiversifyPlacement));
+    }
+
+    #[test]
+    fn degraded_domain_gets_a_flakiness_followup() {
+        let fixture = CampaignFixture::default();
+        let probe = ProbeBuilder::new("a.gov.zz")
+            .parent(&["ns1.x", "ns2.x"])
+            .child(&["ns1.x", "ns2.x"])
+            .degraded_serving("ns1.x", [192, 0, 2, 1])
+            .serving("ns2.x", [198, 51, 100, 1])
+            .build();
+        let plan = plan_for(&probe, &fixture.campaign());
+        assert_eq!(plan.remedies, vec![Remedy::MonitorFlakiness]);
+
+        let ds = dataset(vec![(probe, "zz")]);
+        let s = RemediationSummary::compute(&ds, &fixture.campaign());
+        assert_eq!(s.flakiness_followups, 1);
+        assert_eq!(s.needing_action, 1);
     }
 
     #[test]

@@ -155,12 +155,9 @@ impl SingleNsChurn {
             let (year, cur) = &w[1];
             let new = cur.difference(prev).count();
             let from_2011 = cur.intersection(base).count();
-            let active_names: BTreeSet<&DomainName> = lon
-                .active_in_year(*year)
-                .map(|h| &h.name)
-                .collect();
-            let gone_2011 =
-                base.iter().filter(|n| !active_names.contains(*n)).count();
+            let active_names: BTreeSet<&DomainName> =
+                lon.active_in_year(*year).map(|h| &h.name).collect();
+            let gone_2011 = base.iter().filter(|n| !active_names.contains(*n)).count();
             churn.push((
                 *year,
                 stats::pct(new, cur.len()),
@@ -260,6 +257,13 @@ pub struct ActiveReplication {
     pub high_d1ns_countries: Vec<(CountryCode, usize, usize)>,
     /// Countries where no responsive domain has fewer than 2 NS.
     pub all_replicated_countries: usize,
+    /// Responsive domains that answered only degradedly (backoff retries
+    /// or a second round) — the replication picture for these is shakier
+    /// than the NS counts alone suggest.
+    pub degraded_total: usize,
+    /// Of the degraded domains, how many are single-NS: flakiness with
+    /// no replica to absorb it.
+    pub degraded_d1ns: usize,
 }
 
 impl ActiveReplication {
@@ -271,6 +275,8 @@ impl ActiveReplication {
         let mut d1ns_stale = 0usize;
         let mut by_seed: BTreeMap<DomainName, (usize, usize)> = BTreeMap::new();
         let mut per_country: BTreeMap<CountryCode, (usize, usize)> = BTreeMap::new();
+        let mut degraded_total = 0usize;
+        let mut degraded_d1ns = 0usize;
 
         for (i, probe) in ds.probes.iter().enumerate() {
             if !probe.parent_nonempty() {
@@ -278,6 +284,12 @@ impl ActiveReplication {
             }
             let n = probe.ns_union().len();
             counts.push(n as f64);
+            if probe.degraded() {
+                degraded_total += 1;
+                if n == 1 {
+                    degraded_d1ns += 1;
+                }
+            }
             let country = ds.country_of(i);
             let slot = per_country.entry(country).or_insert((0, 0));
             slot.0 += 1;
@@ -315,6 +327,8 @@ impl ActiveReplication {
             d1ns_stale_by_seed,
             high_d1ns_countries,
             all_replicated_countries,
+            degraded_total,
+            degraded_d1ns,
         }
     }
 
@@ -416,8 +430,7 @@ mod tests {
         let d1_2016 = c.d1ns_per_year.iter().find(|r| r.0 == 2016).unwrap().1;
         assert_eq!(d1_2011, 1);
         assert_eq!(d1_2016, 1);
-        let (_, pct_new, pct_2011, pct_gone) =
-            *c.churn.iter().find(|r| r.0 == 2016).unwrap();
+        let (_, pct_new, pct_2011, pct_gone) = *c.churn.iter().find(|r| r.0 == 2016).unwrap();
         assert_eq!(pct_new, 100.0);
         assert_eq!(pct_2011, 0.0);
         assert_eq!(pct_gone, 100.0, "b is inactive by 2016");
@@ -468,12 +481,12 @@ mod tests {
                     .build(),
                 "zz",
             ),
-            // Live single-NS.
+            // Live single-NS, but only after retries: degraded.
             (
                 ProbeBuilder::new("b.gov.zz")
                     .parent(&["ns1.b.gov.zz"])
                     .child(&["ns1.b.gov.zz"])
-                    .serving("ns1.b.gov.zz", [192, 0, 2, 3])
+                    .degraded_serving("ns1.b.gov.zz", [192, 0, 2, 3])
                     .build(),
                 "zz",
             ),
@@ -506,6 +519,9 @@ mod tests {
         assert_eq!(ar.high_d1ns_countries[0].0, govdns_world::CountryCode::new("zz"));
         // yy has no single-NS domain.
         assert_eq!(ar.all_replicated_countries, 1);
+        // b.gov.zz answered only after retries and has no replica.
+        assert_eq!(ar.degraded_total, 1);
+        assert_eq!(ar.degraded_d1ns, 1);
         assert!(ar.cdf_table().to_text().contains("share"));
         assert!(ar.stale_table().to_text().contains("gov.zz"));
         let _ = n("x");

@@ -41,6 +41,7 @@ impl ProbeBuilder {
                 parent_observations: vec![ServerObservation {
                     addr: Ipv4Addr::new(10, 0, 0, 1),
                     class: ResponseClass::Empty(0),
+                    attempts: 1,
                 }],
                 parent_ns: Vec::new(),
                 child_ns: Vec::new(),
@@ -78,8 +79,19 @@ impl ProbeBuilder {
                 class: ResponseClass::Authoritative(
                     self.probe.child_ns.clone().into_iter().collect(),
                 ),
+                attempts: 1,
             }],
+            recovered_in_round2: false,
         });
+        self
+    }
+
+    /// Adds a server that answers authoritatively, but only after
+    /// backoff retries — a *degraded* exchange.
+    pub(crate) fn degraded_serving(mut self, host: &str, addr: [u8; 4]) -> Self {
+        self = self.serving(host, addr);
+        let server = self.probe.servers.last_mut().expect("just pushed");
+        server.observations[0].attempts = 3;
         self
     }
 
@@ -94,7 +106,9 @@ impl ProbeBuilder {
             observations: vec![ServerObservation {
                 addr: Ipv4Addr::from(addr),
                 class: ResponseClass::Timeout,
+                attempts: 1,
             }],
+            recovered_in_round2: false,
         });
         self
     }
@@ -108,6 +122,7 @@ impl ProbeBuilder {
             host,
             addrs: Vec::new(),
             observations: Vec::new(),
+            recovered_in_round2: false,
         });
         self
     }
@@ -123,7 +138,9 @@ impl ProbeBuilder {
             observations: vec![ServerObservation {
                 addr: Ipv4Addr::from(addr),
                 class: ResponseClass::Rejected(5),
+                attempts: 1,
             }],
+            recovered_in_round2: false,
         });
         self
     }
@@ -160,11 +177,7 @@ pub(crate) fn dataset(probes: Vec<(DomainProbe, &str)>) -> MeasurementDataset {
                 portal_resolved: true,
             });
         }
-        discovered.push(DiscoveredDomain {
-            name: probe.domain.clone(),
-            country,
-            seed: seed_name,
-        });
+        discovered.push(DiscoveredDomain { name: probe.domain.clone(), country, seed: seed_name });
         only_probes.push(probe);
     }
     MeasurementDataset {
@@ -172,6 +185,7 @@ pub(crate) fn dataset(probes: Vec<(DomainProbe, &str)>) -> MeasurementDataset {
         discovered,
         probes: only_probes,
         traffic: Default::default(),
+        faults: Default::default(),
         collection_date: SimDate::from_ymd(2021, 4, 15),
         retried: 0,
         telemetry: Default::default(),

@@ -48,11 +48,8 @@ pub fn discover(
 ) -> Vec<DiscoveredDomain> {
     let mut by_name: BTreeMap<DomainName, DiscoveredDomain> = BTreeMap::new();
     for seed in seeds {
-        let entries = campaign.pdns.search_subtree_in(
-            &seed.name,
-            config.window,
-            Some(RecordType::Ns),
-        );
+        let entries =
+            campaign.pdns.search_subtree_in(&seed.name, config.window, Some(RecordType::Ns));
         let entries = filter::stable(entries);
         let entries: Box<dyn Iterator<Item = _>> = match seed.earliest_government_use {
             Some(cutoff) => Box::new(filter::clamp_to_government_use(entries, cutoff)),
@@ -120,10 +117,7 @@ mod tests {
         DateRange::new(SimDate::from_ymd(a.0, a.1, a.2), SimDate::from_ymd(b.0, b.1, b.2))
     }
 
-    fn campaign_with<'a>(
-        pdns: &'a PdnsDb,
-        fixture: &'a SeedFixture,
-    ) -> Campaign<'a> {
+    fn campaign_with<'a>(pdns: &'a PdnsDb, fixture: &'a SeedFixture) -> Campaign<'a> {
         Campaign {
             unkb: &fixture.unkb,
             registry_docs: &fixture.docs,

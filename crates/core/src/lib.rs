@@ -44,6 +44,8 @@ pub mod tables;
 
 pub use campaign::Campaign;
 pub use dataset::{Funnel, MeasurementDataset};
-pub use probe::{DomainProbe, ProbeClient, ResponseClass, ServerObservation, ServerProbe};
+pub use probe::{
+    DomainProbe, ProbeClient, ResponseClass, RetryPolicy, ServerObservation, ServerProbe,
+};
 pub use ratelimit::{QueryRound, RateLimiter};
-pub use runner::{CampaignTelemetry, RunnerConfig, run_campaign, run_campaign_with};
+pub use runner::{run_campaign, run_campaign_with, CampaignTelemetry, ChaosSpec, RunnerConfig};

@@ -8,20 +8,96 @@
 //! ④ authoritative answers give the child-side set `C`; nameservers that
 //! appear only in `C` are then resolved and queried as well.
 
-use std::cell::Cell;
-use std::collections::BTreeSet;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
 
 use govdns_model::{DomainName, Message, Rcode, RecordType, Soa};
 use govdns_simnet::{SimNetwork, StubResolver};
-use govdns_telemetry::{Counter, Registry};
+use govdns_telemetry::{Counter, Histogram, Registry};
 
 use crate::ratelimit::{QueryRound, RateLimiter};
 
 const MAX_WALK_DEPTH: usize = 12;
 const MAX_CHILD_HOSTS: usize = 32;
+
+/// How the probe client retries transient-looking failures (timeouts,
+/// rejections, truncated answers) before accepting an observation.
+///
+/// Backoff is exponential with deterministic jitter — the jitter is a
+/// stable hash of `(destination, qname, attempt)`, not an RNG draw, so
+/// identically-seeded campaigns back off identically. Retries are
+/// charged to the [`RateLimiter`]'s per-destination retry budget; when
+/// the budget is exhausted the client takes the degraded observation as
+/// final rather than hammering a struggling server (§III-D ethics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total delivery attempts per exchange (1 = never retry).
+    pub max_attempts: u32,
+    /// First-retry backoff, milliseconds (doubles per retry).
+    pub base_backoff_ms: u32,
+    /// Backoff ceiling, milliseconds.
+    pub max_backoff_ms: u32,
+    /// Retries a single destination may consume across the whole
+    /// campaign; `None` is unlimited.
+    pub per_destination_budget: Option<u64>,
+}
+
+impl RetryPolicy {
+    /// No retries: every observation is first-shot, the pre-chaos
+    /// behaviour. This is the default.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_ms: 0,
+            max_backoff_ms: 0,
+            per_destination_budget: Some(0),
+        }
+    }
+
+    /// The adaptive policy chaos campaigns run with: up to 3 attempts,
+    /// 200 ms → 2 s exponential backoff, 64 retries per destination.
+    pub fn adaptive() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_ms: 200,
+            max_backoff_ms: 2_000,
+            per_destination_budget: Some(64),
+        }
+    }
+
+    /// Whether the policy ever retries.
+    pub fn is_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Backoff before retry number `retry` (1-based) of an exchange
+    /// with `dst` for `qname`, milliseconds, jitter included.
+    pub fn backoff_ms(&self, dst: Ipv4Addr, qname: &DomainName, retry: u32) -> u32 {
+        if self.base_backoff_ms == 0 {
+            return 0;
+        }
+        let exp = retry.saturating_sub(1).min(16);
+        let base = self.base_backoff_ms.saturating_mul(1 << exp).min(self.max_backoff_ms);
+        // Deterministic jitter in [0, base/4]: spread retries without an
+        // RNG so identically-seeded runs stay identical.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(u32::from(dst));
+        for b in qname.to_string().bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ u64::from(retry)).wrapping_mul(0x100_0000_01b3);
+        let jitter = (h % u64::from(base / 4 + 1)) as u32;
+        base + jitter
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
 
 /// What one address said when asked for the domain's NS records.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -42,6 +118,9 @@ pub enum ResponseClass {
     Empty(u8),
     /// REFUSED / SERVFAIL / other rejection, with the rcode.
     Rejected(u8),
+    /// A truncated response (TC set): the record sections are gone and
+    /// the server is asking the client to retry.
+    Truncated,
     /// No response at all.
     Timeout,
 }
@@ -49,6 +128,9 @@ pub enum ResponseClass {
 impl ResponseClass {
     fn of(reply: Option<&Message>, qname: &DomainName) -> ResponseClass {
         let Some(msg) = reply else { return ResponseClass::Timeout };
+        if msg.tc {
+            return ResponseClass::Truncated;
+        }
         match msg.rcode {
             Rcode::Refused | Rcode::ServFail | Rcode::FormErr | Rcode::NotImp => {
                 ResponseClass::Rejected(msg.rcode.code())
@@ -116,6 +198,17 @@ impl ResponseClass {
     pub fn responded(&self) -> bool {
         !matches!(self, ResponseClass::Timeout)
     }
+
+    /// Whether the failure looks transient — worth a backoff retry.
+    /// Timeouts, rejections, and truncation all recover in practice
+    /// (flapping hosts, rate limiters, size-limited paths); NXDOMAIN
+    /// and NODATA are the zone's actual state and are never retried.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ResponseClass::Timeout | ResponseClass::Rejected(_) | ResponseClass::Truncated
+        )
+    }
 }
 
 /// One query observation against one address.
@@ -125,6 +218,9 @@ pub struct ServerObservation {
     pub addr: Ipv4Addr,
     /// What it said.
     pub class: ResponseClass,
+    /// Delivery attempts spent obtaining this (final) class; > 1 means
+    /// the answer needed backoff retries — a *degraded* exchange.
+    pub attempts: u32,
 }
 
 /// Everything learned about one nameserver of the probed domain.
@@ -140,6 +236,10 @@ pub struct ServerProbe {
     pub addrs: Vec<Ipv4Addr>,
     /// Per-address NS-query outcomes.
     pub observations: Vec<ServerObservation>,
+    /// Whether the server only started serving the zone in the second
+    /// probing round — dead in round 1, alive on re-probe: the paper's
+    /// transient failure, recovered.
+    pub recovered_in_round2: bool,
 }
 
 impl ServerProbe {
@@ -152,6 +252,15 @@ impl ServerProbe {
     /// i.e. the nameserver actually serves the zone.
     pub fn serves_zone(&self) -> bool {
         self.observations.iter().any(|o| o.class.is_authoritative())
+    }
+
+    /// Whether the server serves the zone but only *degraded*: the
+    /// authoritative answer needed backoff retries, or only the second
+    /// round got it. Clean first-shot answers are not degraded.
+    pub fn degraded(&self) -> bool {
+        self.serves_zone()
+            && (self.recovered_in_round2
+                || self.observations.iter().any(|o| o.attempts > 1 && o.class.is_authoritative()))
     }
 
     /// The paper's notion of a *defective* nameserver for this zone:
@@ -212,6 +321,18 @@ impl DomainProbe {
         self.servers.iter().any(ServerProbe::serves_zone)
     }
 
+    /// The *Degraded* outcome class: the domain did answer, but only
+    /// after retries or a second probing round — measurably flaky, which
+    /// a clean/dead binary classification would hide.
+    pub fn degraded(&self) -> bool {
+        self.has_authoritative_answer() && self.servers.iter().any(ServerProbe::degraded)
+    }
+
+    /// Whether any nameserver was revived by the second round.
+    pub fn recovered_in_round2(&self) -> bool {
+        self.servers.iter().any(|s| s.recovered_in_round2)
+    }
+
     /// `P ∪ C` as a sorted set.
     pub fn ns_union(&self) -> BTreeSet<DomainName> {
         self.parent_ns.iter().chain(&self.child_ns).cloned().collect()
@@ -242,7 +363,13 @@ struct ProbeSink {
     referral: Counter,
     empty: Counter,
     rejected: Counter,
+    truncated: Counter,
     timeout: Counter,
+    retry_attempts: Counter,
+    retry_recovered: Counter,
+    retry_exhausted: Counter,
+    retry_budget_denied: Counter,
+    retry_backoff_ms: Histogram,
 }
 
 impl ProbeSink {
@@ -253,7 +380,13 @@ impl ProbeSink {
             referral: registry.counter("probe.class.referral"),
             empty: registry.counter("probe.class.empty"),
             rejected: registry.counter("probe.class.rejected"),
+            truncated: registry.counter("probe.class.truncated"),
             timeout: registry.counter("probe.class.timeout"),
+            retry_attempts: registry.counter("probe.retry.attempts"),
+            retry_recovered: registry.counter("probe.retry.recovered"),
+            retry_exhausted: registry.counter("probe.retry.exhausted"),
+            retry_budget_denied: registry.counter("probe.retry.budget_denied"),
+            retry_backoff_ms: registry.histogram_latency_ms("probe.retry.backoff_ms"),
         }
     }
 
@@ -263,6 +396,7 @@ impl ProbeSink {
             ResponseClass::Referral { .. } => self.referral.inc(),
             ResponseClass::Empty(_) => self.empty.inc(),
             ResponseClass::Rejected(_) => self.rejected.inc(),
+            ResponseClass::Truncated => self.truncated.inc(),
             ResponseClass::Timeout => self.timeout.inc(),
         }
     }
@@ -280,6 +414,12 @@ pub struct ProbeClient<'n> {
     telemetry: Option<ProbeSink>,
     /// The ledger round the client is currently probing in.
     round: Cell<QueryRound>,
+    retry: RetryPolicy,
+    /// Cumulative delivery attempts per `(destination, qname)` pair,
+    /// carried across rounds so a round-2 re-probe continues the attempt
+    /// count instead of restarting it — that continuation is what lets a
+    /// flapping server's `recover_after` threshold be crossed.
+    attempts: RefCell<HashMap<(Ipv4Addr, DomainName), u32>>,
 }
 
 impl<'n> ProbeClient<'n> {
@@ -291,7 +431,16 @@ impl<'n> ProbeClient<'n> {
             limiter,
             telemetry: None,
             round: Cell::new(QueryRound::Round1),
+            retry: RetryPolicy::none(),
+            attempts: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Sets the retry policy (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// Starts tallying per-class response counters
@@ -336,11 +485,8 @@ impl<'n> ProbeClient<'n> {
 
     /// Fetches the zone's SOA from the first serving nameserver.
     fn fetch_soa(&self, domain: &DomainName, probe: &mut DomainProbe) {
-        let Some(addr) = probe
-            .servers
-            .iter()
-            .find(|s| s.serves_zone())
-            .and_then(|s| s.addrs.first().copied())
+        let Some(addr) =
+            probe.servers.iter().find(|s| s.serves_zone()).and_then(|s| s.addrs.first().copied())
         else {
             return;
         };
@@ -351,10 +497,7 @@ impl<'n> ProbeClient<'n> {
         probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
         if let Some(reply) = out.reply() {
             if reply.is_authoritative_answer() {
-                probe.soa = reply
-                    .answers
-                    .iter()
-                    .find_map(|rr| rr.data.as_soa().cloned());
+                probe.soa = reply.answers.iter().find_map(|rr| rr.data.as_soa().cloned());
             }
         }
     }
@@ -387,6 +530,9 @@ impl<'n> ProbeClient<'n> {
                         let in_parent = existing.in_parent;
                         *existing = s;
                         existing.in_parent = in_parent;
+                        // Dead in round 1, serving in round 2: the
+                        // transient failure the re-probe exists to catch.
+                        existing.recovered_in_round2 = true;
                     }
                 }
                 None => probe.servers.push(s),
@@ -406,17 +552,66 @@ impl<'n> ProbeClient<'n> {
         self.round.set(QueryRound::Round1);
     }
 
-    fn send(&self, dst: Ipv4Addr, qname: &DomainName, probe: &mut DomainProbe) -> ResponseClass {
+    /// One exchange with `dst`, retrying transient failures under the
+    /// client's [`RetryPolicy`]. Returns the final class and the number
+    /// of delivery attempts it cost.
+    fn send(
+        &self,
+        dst: Ipv4Addr,
+        qname: &DomainName,
+        probe: &mut DomainProbe,
+    ) -> (ResponseClass, u32) {
         self.limiter.acquire_for(self.round.get(), Some(dst));
-        let q = Message::query((probe.queries % 0xFFFF) as u16, qname.clone(), RecordType::Ns);
-        let out = self.network.deliver(dst, &q);
-        probe.queries += 1;
-        probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
-        let class = ResponseClass::of(out.reply(), qname);
-        if let Some(sink) = &self.telemetry {
-            sink.tally(&class);
+        let mut attempts_here = 0u32;
+        loop {
+            // The cumulative attempt number is what the fault plan sees:
+            // carried across rounds, it is how a flapping server's
+            // recovery threshold is eventually crossed.
+            let attempt = {
+                let mut map = self.attempts.borrow_mut();
+                let slot = map.entry((dst, qname.clone())).or_insert(0);
+                let now = *slot;
+                *slot += 1;
+                now
+            };
+            let q = Message::query((probe.queries % 0xFFFF) as u16, qname.clone(), RecordType::Ns);
+            let out = self.network.deliver_attempt(dst, &q, attempt);
+            probe.queries += 1;
+            probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
+            let class = ResponseClass::of(out.reply(), qname);
+            attempts_here += 1;
+            if let Some(sink) = &self.telemetry {
+                sink.tally(&class);
+            }
+            if !class.is_retryable() {
+                if attempts_here > 1 {
+                    if let Some(sink) = &self.telemetry {
+                        sink.retry_recovered.inc();
+                    }
+                }
+                return (class, attempts_here);
+            }
+            if attempts_here >= self.retry.max_attempts {
+                if attempts_here > 1 {
+                    if let Some(sink) = &self.telemetry {
+                        sink.retry_exhausted.inc();
+                    }
+                }
+                return (class, attempts_here);
+            }
+            if !self.limiter.try_acquire_retry(dst, self.retry.per_destination_budget) {
+                if let Some(sink) = &self.telemetry {
+                    sink.retry_budget_denied.inc();
+                }
+                return (class, attempts_here);
+            }
+            let backoff = self.retry.backoff_ms(dst, qname, attempts_here);
+            probe.elapsed_ms = probe.elapsed_ms.saturating_add(backoff);
+            if let Some(sink) = &self.telemetry {
+                sink.retry_attempts.inc();
+                sink.retry_backoff_ms.record(f64::from(backoff));
+            }
         }
-        class
     }
 
     /// Resolves a hostname, charging the probe for the side queries.
@@ -449,7 +644,7 @@ impl<'n> ProbeClient<'n> {
             let mut done = false;
 
             for &addr in &level {
-                let class = self.send(addr, domain, probe);
+                let (class, attempts) = self.send(addr, domain, probe);
                 match &class {
                     ResponseClass::Authoritative(targets) => {
                         for t in targets {
@@ -473,11 +668,8 @@ impl<'n> ProbeClient<'n> {
                         {
                             let mut addrs = Vec::new();
                             for t in targets {
-                                let glued: Vec<Ipv4Addr> = glue
-                                    .iter()
-                                    .filter(|(n, _)| n == t)
-                                    .map(|&(_, a)| a)
-                                    .collect();
+                                let glued: Vec<Ipv4Addr> =
+                                    glue.iter().filter(|(n, _)| n == t).map(|&(_, a)| a).collect();
                                 if glued.is_empty() {
                                     addrs.extend(self.side_resolve(t, probe));
                                 } else {
@@ -491,7 +683,7 @@ impl<'n> ProbeClient<'n> {
                     }
                     _ => {}
                 }
-                observations.push(ServerObservation { addr, class });
+                observations.push(ServerObservation { addr, class, attempts });
             }
 
             if done || next.is_none() {
@@ -553,7 +745,7 @@ impl<'n> ProbeClient<'n> {
             };
             let mut observations = Vec::new();
             for &addr in &addrs {
-                let class = self.send(addr, domain, probe);
+                let (class, attempts) = self.send(addr, domain, probe);
                 if let ResponseClass::Authoritative(targets) = &class {
                     for t in targets {
                         if !probe.child_ns.contains(t) {
@@ -564,7 +756,7 @@ impl<'n> ProbeClient<'n> {
                         }
                     }
                 }
-                observations.push(ServerObservation { addr, class });
+                observations.push(ServerObservation { addr, class, attempts });
             }
             probe.servers.push(ServerProbe {
                 in_parent: probe.parent_ns.contains(&host),
@@ -572,6 +764,7 @@ impl<'n> ProbeClient<'n> {
                 host,
                 addrs,
                 observations,
+                recovered_in_round2: false,
             });
         }
         for s in &mut probe.servers {
@@ -616,9 +809,7 @@ mod tests {
         tld.add_a(n("ns1.nic.zz"), tld_ip);
         tld.add_ns(n("gov.zz"), n("ns1.gov.zz"));
         tld.add_glue(n("ns1.gov.zz"), gov_ip);
-        net.add_server(
-            AuthoritativeServer::new(tld_ip, ServerBehavior::Responsive).with_zone(tld),
-        );
+        net.add_server(AuthoritativeServer::new(tld_ip, ServerBehavior::Responsive).with_zone(tld));
 
         let mut gov = Zone::new(n("gov.zz"));
         gov.set_soa(Soa::new(n("ns1.gov.zz"), n("hostmaster.gov.zz")));
@@ -737,7 +928,7 @@ mod tests {
     fn telemetry_tallies_classes_and_rounds() {
         let (net, roots) = network();
         let registry = Registry::new();
-        let limiter = RateLimiter::with_telemetry(200, 0, &registry);
+        let limiter = RateLimiter::with_telemetry(200, None, &registry);
         let c = ProbeClient::new(&net, roots, limiter.clone()).with_telemetry(&registry);
         let mut p = c.probe(&n("stale.gov.zz"));
         c.retry_child_side(&mut p);
@@ -752,6 +943,95 @@ mod tests {
         assert_eq!(snap.counters["ratelimit.issued"], limiter.issued());
     }
 
+    use govdns_simnet::{FaultPlan, FaultProfile, FaultScope};
+
+    fn flap(addr: Ipv4Addr, seed: u64, rate: f64, recover_after: u32) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with_rule(FaultScope::Server(addr), FaultProfile::Flap { rate, recover_after })
+    }
+
+    #[test]
+    fn retries_punch_through_transient_flaps() {
+        let (net, roots) = network();
+        let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+        // Two attempts swallowed, the third answers: adaptive retry
+        // (3 attempts) resolves this within round 1.
+        net.install_faults(Some(flap(a_ip, 1, 1.0, 2)));
+        let registry = Registry::new();
+        let c = ProbeClient::new(&net, roots, RateLimiter::with_telemetry(10_000, None, &registry))
+            .with_telemetry(&registry)
+            .with_retry(RetryPolicy::adaptive());
+        let p = c.probe(&n("a.gov.zz"));
+        assert!(p.has_authoritative_answer(), "obs: {:?}", p.servers);
+        assert_eq!(p.rounds, 1);
+        assert!(
+            p.servers.iter().any(|s| s.observations.iter().any(|o| o.attempts > 1)),
+            "no retried observation recorded"
+        );
+        assert!(p.degraded(), "a retried answer is a degraded answer");
+        let snap = registry.snapshot();
+        assert!(snap.counters["probe.retry.attempts"] >= 2);
+        assert!(snap.counters["probe.retry.recovered"] >= 1);
+    }
+
+    #[test]
+    fn flapping_child_recovers_in_round_two_as_degraded() {
+        let (net, roots) = network();
+        let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+        // recover_after = 8 outlasts round 1 entirely (3 attempts per
+        // server object, both landing on the same (addr, qname) pair),
+        // so only the second round crosses the recovery threshold.
+        net.install_faults(Some(flap(a_ip, 5, 1.0, 8)));
+        let c = client(&net, roots).with_retry(RetryPolicy::adaptive());
+        let mut p = c.probe(&n("a.gov.zz"));
+        assert!(p.parent_nonempty());
+        assert!(!p.has_authoritative_answer(), "round 1 should fail: {:?}", p.servers);
+        c.retry_child_side(&mut p);
+        assert!(p.has_authoritative_answer(), "round 2 should recover: {:?}", p.servers);
+        assert!(p.recovered_in_round2());
+        assert!(p.degraded());
+        assert_eq!(p.rounds, 2);
+    }
+
+    /// Property over fault seeds: a healthy domain behind a flapping
+    /// server always comes back within two rounds (and is marked
+    /// degraded exactly when the flap actually fired), while a
+    /// permanently lame delegation is never revived.
+    #[test]
+    fn fault_seeds_recover_flaps_but_never_the_dead() {
+        for seed in 0..16u64 {
+            let (net, roots) = network();
+            let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+            net.install_faults(Some(flap(a_ip, seed, 0.5, 8)));
+            let c = client(&net, roots).with_retry(RetryPolicy::adaptive());
+            let mut p = c.probe(&n("a.gov.zz"));
+            if !p.has_authoritative_answer() {
+                c.retry_child_side(&mut p);
+            }
+            let flapped = net.fault_stats().flap_timeouts > 0;
+            assert!(p.has_authoritative_answer(), "seed {seed}: flap never recovered");
+            assert_eq!(
+                p.degraded(),
+                flapped,
+                "seed {seed}: degraded must mirror whether the flap fired"
+            );
+
+            // Same fault plan over the whole network: the dead zone
+            // stays dead no matter the seed.
+            let (net, roots) = network();
+            net.install_faults(Some(
+                FaultPlan::new(seed)
+                    .with_rule(FaultScope::All, FaultProfile::Flap { rate: 0.4, recover_after: 3 }),
+            ));
+            let c = client(&net, roots).with_retry(RetryPolicy::adaptive());
+            let mut p = c.probe(&n("stale.gov.zz"));
+            if p.parent_nonempty() && !p.has_authoritative_answer() {
+                c.retry_child_side(&mut p);
+            }
+            assert!(!p.has_authoritative_answer(), "seed {seed} revived a dead zone");
+        }
+    }
+
     #[test]
     fn response_class_distinctions() {
         let (net, roots) = network();
@@ -763,9 +1043,9 @@ mod tests {
             .iter()
             .any(|o| matches!(o.class, ResponseClass::Referral { .. })));
         // Server observations are authoritative.
-        assert!(p.servers.iter().all(|s| s
-            .observations
+        assert!(p
+            .servers
             .iter()
-            .all(|o| o.class.is_authoritative())));
+            .all(|s| s.observations.iter().all(|o| o.class.is_authoritative())));
     }
 }

@@ -36,6 +36,8 @@ pub enum QueryRound {
     Soa,
     /// Stub-resolver side lookups (out-of-zone NS targets).
     Side,
+    /// Adaptive backoff retries of faulted exchanges.
+    Retry,
 }
 
 impl QueryRound {
@@ -46,11 +48,17 @@ impl QueryRound {
             QueryRound::Round2 => "round2",
             QueryRound::Soa => "soa",
             QueryRound::Side => "side",
+            QueryRound::Retry => "retry",
         }
     }
 
-    const ALL: [QueryRound; 4] =
-        [QueryRound::Round1, QueryRound::Round2, QueryRound::Soa, QueryRound::Side];
+    const ALL: [QueryRound; 5] = [
+        QueryRound::Round1,
+        QueryRound::Round2,
+        QueryRound::Soa,
+        QueryRound::Side,
+        QueryRound::Retry,
+    ];
 
     fn index(self) -> usize {
         match self {
@@ -58,6 +66,7 @@ impl QueryRound {
             QueryRound::Round2 => 1,
             QueryRound::Soa => 2,
             QueryRound::Side => 3,
+            QueryRound::Retry => 4,
         }
     }
 }
@@ -72,11 +81,16 @@ pub struct RateLimiter {
 #[derive(Debug)]
 struct Inner {
     issued: AtomicU64,
-    per_round: [AtomicU64; 4],
+    per_round: [AtomicU64; 5],
     max_qps: u32,
-    /// Per-destination soft cap for ledger reporting; 0 means uncapped.
-    destination_cap: u64,
+    /// Per-destination soft cap for ledger reporting; `None` means
+    /// uncapped — an explicit state, not a zero sentinel a default could
+    /// silently select.
+    destination_cap: Option<u64>,
     per_destination: Mutex<HashMap<Ipv4Addr, u64>>,
+    /// Backoff retries already charged to each destination, for the
+    /// per-destination retry budget.
+    per_destination_retries: Mutex<HashMap<Ipv4Addr, u64>>,
     /// Mirror of `issued` in the telemetry registry, when attached.
     counter: Option<Counter>,
 }
@@ -88,29 +102,30 @@ impl RateLimiter {
     ///
     /// Panics if `max_qps` is zero.
     pub fn new(max_qps: u32) -> Self {
-        RateLimiter::build(max_qps, 0, None)
+        RateLimiter::build(max_qps, None, None)
     }
 
     /// Creates a limiter that mirrors its total into `registry` as the
     /// `ratelimit.issued` counter and reports destinations exceeding
-    /// `destination_cap` queries in the ledger (0 = uncapped).
+    /// `destination_cap` queries in the ledger (`None` = uncapped).
     ///
     /// # Panics
     ///
     /// Panics if `max_qps` is zero.
-    pub fn with_telemetry(max_qps: u32, destination_cap: u64, registry: &Registry) -> Self {
+    pub fn with_telemetry(max_qps: u32, destination_cap: Option<u64>, registry: &Registry) -> Self {
         RateLimiter::build(max_qps, destination_cap, Some(registry.counter("ratelimit.issued")))
     }
 
-    fn build(max_qps: u32, destination_cap: u64, counter: Option<Counter>) -> Self {
+    fn build(max_qps: u32, destination_cap: Option<u64>, counter: Option<Counter>) -> Self {
         assert!(max_qps > 0, "rate limit must be positive");
         RateLimiter {
             inner: Arc::new(Inner {
                 issued: AtomicU64::new(0),
-                per_round: [const { AtomicU64::new(0) }; 4],
+                per_round: [const { AtomicU64::new(0) }; 5],
                 max_qps,
                 destination_cap,
                 per_destination: Mutex::new(HashMap::new()),
+                per_destination_retries: Mutex::new(HashMap::new()),
                 counter,
             }),
         }
@@ -132,6 +147,31 @@ impl RateLimiter {
         if let Some(dst) = dst {
             *self.inner.per_destination.lock().entry(dst).or_insert(0) += 1;
         }
+    }
+
+    /// Tries to charge one backoff retry against `dst`'s retry budget.
+    ///
+    /// Returns `false` — and books nothing — when the destination has
+    /// already burned `budget` retries; the probe client must then stop
+    /// retrying and take the degraded observation as final. A `budget`
+    /// of `None` is unlimited. Approved retries are booked into the
+    /// [`QueryRound::Retry`] ledger slot and the per-destination ledger.
+    pub fn try_acquire_retry(&self, dst: Ipv4Addr, budget: Option<u64>) -> bool {
+        {
+            let mut retries = self.inner.per_destination_retries.lock();
+            let slot = retries.entry(dst).or_insert(0);
+            if budget.is_some_and(|b| *slot >= b) {
+                return false;
+            }
+            *slot += 1;
+        }
+        self.acquire_for(QueryRound::Retry, Some(dst));
+        true
+    }
+
+    /// Backoff retries charged to `dst` so far.
+    pub fn retries_charged(&self, dst: Ipv4Addr) -> u64 {
+        self.inner.per_destination_retries.lock().get(&dst).copied().unwrap_or(0)
     }
 
     /// Books `n` queries issued on the limiter's behalf by a component
@@ -163,8 +203,8 @@ impl RateLimiter {
         self.inner.max_qps
     }
 
-    /// The per-destination soft cap (0 = uncapped).
-    pub fn destination_cap(&self) -> u64 {
+    /// The per-destination soft cap (`None` = uncapped).
+    pub fn destination_cap(&self) -> Option<u64> {
         self.inner.destination_cap
     }
 
@@ -179,10 +219,9 @@ impl RateLimiter {
         let per_destination = self.inner.per_destination.lock();
         let cap = self.inner.destination_cap;
         let busiest = per_destination.values().copied().max().unwrap_or(0);
-        let at_cap = if cap == 0 {
-            0
-        } else {
-            per_destination.values().filter(|&&c| c >= cap).count() as u64
+        let at_cap = match cap {
+            None => 0,
+            Some(cap) => per_destination.values().filter(|&&c| c >= cap).count() as u64,
         };
         QueryLedger {
             total: self.issued(),
@@ -192,7 +231,8 @@ impl RateLimiter {
                 .filter(|&(_, n)| n > 0)
                 .collect(),
             max_qps: self.inner.max_qps,
-            destination_cap: cap,
+            // The serialized ledger keeps the 0-as-uncapped convention.
+            destination_cap: cap.unwrap_or(0),
             distinct_destinations: per_destination.len() as u64,
             busiest_destination_queries: busiest,
             destinations_at_cap: at_cap,
@@ -239,7 +279,7 @@ mod tests {
 
     #[test]
     fn ledger_splits_rounds_and_destinations() {
-        let rl = RateLimiter::with_telemetry(100, 3, &Registry::new());
+        let rl = RateLimiter::with_telemetry(100, Some(3), &Registry::new());
         let a = Ipv4Addr::new(192, 0, 2, 1);
         let b = Ipv4Addr::new(192, 0, 2, 2);
         for _ in 0..4 {
@@ -264,12 +304,38 @@ mod tests {
     #[test]
     fn telemetry_counter_mirrors_issued() {
         let registry = Registry::new();
-        let rl = RateLimiter::with_telemetry(50, 0, &registry);
+        let rl = RateLimiter::with_telemetry(50, None, &registry);
         rl.acquire();
         rl.account(QueryRound::Side, 3);
         assert_eq!(rl.issued(), 4);
         assert_eq!(registry.snapshot().counters["ratelimit.issued"], 4);
         assert!(rl.ledger().within_cap());
+    }
+
+    #[test]
+    fn retry_budget_denies_after_exhaustion() {
+        let rl = RateLimiter::new(100);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        let b = Ipv4Addr::new(192, 0, 2, 2);
+        assert!(rl.try_acquire_retry(a, Some(2)));
+        assert!(rl.try_acquire_retry(a, Some(2)));
+        assert!(!rl.try_acquire_retry(a, Some(2)), "budget of 2 exhausted");
+        assert!(rl.try_acquire_retry(b, Some(2)), "budgets are per-destination");
+        assert_eq!(rl.retries_charged(a), 2);
+        assert_eq!(rl.issued_in(QueryRound::Retry), 3);
+        assert_eq!(rl.ledger().per_round["retry"], 3);
+        // Denied retries are not booked anywhere.
+        assert_eq!(rl.issued(), 3);
+    }
+
+    #[test]
+    fn unlimited_retry_budget_never_denies() {
+        let rl = RateLimiter::new(100);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        for _ in 0..50 {
+            assert!(rl.try_acquire_retry(a, None));
+        }
+        assert_eq!(rl.retries_charged(a), 50);
     }
 
     #[test]

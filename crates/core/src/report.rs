@@ -55,6 +55,96 @@ impl LevelMix {
     }
 }
 
+/// How trustworthy the measurement itself was: the share of answers
+/// that needed retries or a second round, the retry-budget spend, and
+/// the injected-fault tally (zero on a clean network). Chaos runs use
+/// this section to check the probing machinery absorbed the faults.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasurementHealth {
+    /// Responsive domains whose answers needed retries or round 2.
+    pub degraded_domains: usize,
+    /// Same, as a share of responsive domains.
+    pub degraded_pct: f64,
+    /// Domains first answered authoritatively in the second round.
+    pub recovered_in_round2: usize,
+    /// Backoff retries issued (`probe.retry.attempts`).
+    pub retry_attempts: u64,
+    /// Exchanges rescued by a retry (`probe.retry.recovered`).
+    pub retry_recovered: u64,
+    /// Exchanges that failed every attempt (`probe.retry.exhausted`).
+    pub retry_exhausted: u64,
+    /// Retries denied by the per-destination budget.
+    pub retry_budget_denied: u64,
+    /// Injected faults that changed an outcome (delays excluded).
+    pub faults_injected: u64,
+    /// Injected fault breakdown, from the network's own ledger.
+    pub faults: govdns_simnet::FaultStats,
+    /// Countries ranked by degraded-domain count:
+    /// `(country, responsive, degraded)`, worst first.
+    pub flaky_countries: Vec<(govdns_world::CountryCode, usize, usize)>,
+}
+
+impl MeasurementHealth {
+    /// Computes the health view over a finished dataset.
+    pub fn compute(ds: &MeasurementDataset) -> Self {
+        let mut responsive = 0usize;
+        let mut per_country: std::collections::BTreeMap<govdns_world::CountryCode, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for (i, probe) in ds.probes.iter().enumerate() {
+            if !probe.parent_nonempty() {
+                continue;
+            }
+            responsive += 1;
+            let slot = per_country.entry(ds.country_of(i)).or_insert((0, 0));
+            slot.0 += 1;
+            if probe.degraded() {
+                slot.1 += 1;
+            }
+        }
+        let degraded_domains = ds.degraded_count();
+        let mut flaky_countries: Vec<(govdns_world::CountryCode, usize, usize)> = per_country
+            .into_iter()
+            .filter(|&(_, (_, degraded))| degraded > 0)
+            .map(|(c, (total, degraded))| (c, total, degraded))
+            .collect();
+        flaky_countries.sort_by_key(|&(c, _, degraded)| (std::cmp::Reverse(degraded), c));
+        flaky_countries.truncate(10);
+        let counter = |name: &str| ds.telemetry.counters.get(name).copied().unwrap_or(0);
+        MeasurementHealth {
+            degraded_domains,
+            degraded_pct: crate::stats::pct(degraded_domains, responsive),
+            recovered_in_round2: ds.recovered_in_round2_count(),
+            retry_attempts: counter("probe.retry.attempts"),
+            retry_recovered: counter("probe.retry.recovered"),
+            retry_exhausted: counter("probe.retry.exhausted"),
+            retry_budget_denied: counter("probe.retry.budget_denied"),
+            faults_injected: ds.faults.injected(),
+            faults: ds.faults,
+            flaky_countries,
+        }
+    }
+
+    /// Renders the health view as a `metric,value` table.
+    pub fn table(&self) -> crate::tables::TextTable {
+        let mut t = crate::tables::TextTable::new(["metric", "value"]);
+        let mut row = |name: &str, value: String| t.push_row([name.to_owned(), value]);
+        row("degraded_domains", self.degraded_domains.to_string());
+        row("degraded_pct", format!("{:.1}", self.degraded_pct));
+        row("recovered_in_round2", self.recovered_in_round2.to_string());
+        row("retry_attempts", self.retry_attempts.to_string());
+        row("retry_recovered", self.retry_recovered.to_string());
+        row("retry_exhausted", self.retry_exhausted.to_string());
+        row("retry_budget_denied", self.retry_budget_denied.to_string());
+        row("faults_injected", self.faults_injected.to_string());
+        row("fault_flap_timeouts", self.faults.flap_timeouts.to_string());
+        row("fault_losses", self.faults.losses.to_string());
+        row("fault_refused", self.faults.refused.to_string());
+        row("fault_truncated", self.faults.truncated.to_string());
+        row("fault_delayed", self.faults.delayed.to_string());
+        t
+    }
+}
+
 /// Everything the paper's evaluation section reports, regenerated.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Report {
@@ -86,6 +176,8 @@ pub struct Report {
     pub concentration: ConcentrationAnalysis,
     /// §V-B: the aggregate remediation workload.
     pub remedies: RemediationSummary,
+    /// Chaos hardening: retry spend, fault tally, degraded share.
+    pub health: MeasurementHealth,
     /// Ethics accounting: queries received by the single busiest server.
     pub busiest_server_queries: u64,
 }
@@ -109,12 +201,8 @@ impl Report {
         let analysis_span = ctl.registry().span("analysis");
         let mut report = Report::from_dataset(campaign, dataset);
         analysis_span.finish();
-        report.busiest_server_queries = campaign
-            .network
-            .busiest_destinations(1)
-            .first()
-            .map(|&(_, c)| c)
-            .unwrap_or(0);
+        report.busiest_server_queries =
+            campaign.network.busiest_destinations(1).first().map(|&(_, c)| c).unwrap_or(0);
         // Re-freeze so the embedded snapshot covers the analysis span.
         report.dataset.telemetry = ctl.registry().snapshot();
         report
@@ -138,6 +226,7 @@ impl Report {
             consistency: ConsistencyAnalysis::compute(&dataset, campaign),
             concentration: ConcentrationAnalysis::compute(&dataset, campaign),
             remedies: RemediationSummary::compute(&dataset, campaign),
+            health: MeasurementHealth::compute(&dataset),
             busiest_server_queries: 0,
             dataset,
         }
@@ -174,6 +263,7 @@ impl Report {
         write("telemetry_histograms.csv", self.dataset.telemetry.histograms_csv())?;
         write("telemetry_toplists.csv", self.dataset.telemetry.toplists_csv())?;
         write("telemetry_ledger.csv", self.dataset.telemetry.ledger_csv())?;
+        write("measurement_health.csv", self.health.table().to_csv())?;
         Ok(())
     }
 
@@ -219,17 +309,17 @@ impl Report {
                 self.levels.second, self.levels.third, self.levels.fourth, self.levels.fifth_plus
             ),
         );
-        section("Fig 2/3 — PDNS domains, countries, nameservers per year", self.yearly.table().to_text());
         section(
-            "Fig 4 — domains per country, 2020 (top 20)",
-            {
-                let mut t = crate::tables::TextTable::new(["country", "domains"]);
-                for (c, n) in self.per_country_2020.rows.iter().take(20) {
-                    t.push_row([c.to_string(), n.to_string()]);
-                }
-                t.to_text()
-            },
+            "Fig 2/3 — PDNS domains, countries, nameservers per year",
+            self.yearly.table().to_text(),
         );
+        section("Fig 4 — domains per country, 2020 (top 20)", {
+            let mut t = crate::tables::TextTable::new(["country", "domains"]);
+            for (c, n) in self.per_country_2020.rows.iter().take(20) {
+                t.push_row([c.to_string(), n.to_string()]);
+            }
+            t.to_text()
+        });
         section("Fig 6 — single-NS cohort churn", self.churn.table().to_text());
         section("Fig 7 — private ADNS share per year", self.private_share.table().to_text());
         section(
@@ -260,8 +350,14 @@ impl Report {
             ),
         );
         section("Table II — major providers, 2011 vs 2020", self.providers.table2().to_text());
-        section("Table III — top providers by countries, 2011", self.providers.table3(2011).to_text());
-        section("Table III — top providers by countries, 2020", self.providers.table3(2020).to_text());
+        section(
+            "Table III — top providers by countries, 2011",
+            self.providers.table3(2011).to_text(),
+        );
+        section(
+            "Table III — top providers by countries, 2020",
+            self.providers.table3(2020).to_text(),
+        );
         section(
             "centralization headline",
             format!(
@@ -293,7 +389,10 @@ impl Report {
                 self.delegation.available_table().to_text()
             ),
         );
-        section("Fig 12 — registration cost of available d_ns", self.delegation.cost_table().to_text());
+        section(
+            "Fig 12 — registration cost of available d_ns",
+            self.delegation.cost_table().to_text(),
+        );
         section(
             "Fig 13 — parent/child consistency",
             format!(
@@ -304,10 +403,7 @@ impl Report {
                 self.consistency.disagree_with_lame_pct
             ),
         );
-        section(
-            "Fig 14 — disagreement by country",
-            self.consistency.per_country_table().to_text(),
-        );
+        section("Fig 14 — disagreement by country", self.consistency.per_country_table().to_text());
         section(
             "§IV-A (text) — provider concentration per d_gov",
             self.concentration.table(12).to_text(),
@@ -319,20 +415,17 @@ impl Report {
                 self.consistency.parked.len(),
                 self.consistency.parked_affected_domains,
                 self.consistency.parked_affected_countries,
-                self.consistency
-                    .parked_min_price
-                    .map_or("-".to_owned(), |p| format!("{p:.2} USD")),
+                self.consistency.parked_min_price.map_or("-".to_owned(), |p| format!("{p:.2} USD")),
             ),
         );
-        if !self.dataset.telemetry.counters.is_empty()
-            || !self.dataset.telemetry.stages.is_empty()
+        if !self.dataset.telemetry.counters.is_empty() || !self.dataset.telemetry.stages.is_empty()
         {
             section("pipeline telemetry", self.dataset.telemetry.render_text());
         }
         section(
             "§V-B — remediation workload",
             format!(
-                "domains needing action: {} of {}\nstale delegations to remove: {}\nNS records to fix or drop: {}\nparent syncs (CSYNC/EPP): {}\nhijack exposures to close: {}\nplacement advisories: {}\n",
+                "domains needing action: {} of {}\nstale delegations to remove: {}\nNS records to fix or drop: {}\nparent syncs (CSYNC/EPP): {}\nhijack exposures to close: {}\nplacement advisories: {}\nflakiness follow-ups: {}\n",
                 self.remedies.needing_action,
                 self.remedies.domains,
                 self.remedies.removals,
@@ -340,8 +433,20 @@ impl Report {
                 self.remedies.synchronizations,
                 self.remedies.hijack_exposures,
                 self.remedies.placement_advice,
+                self.remedies.flakiness_followups,
             ),
         );
+        {
+            let mut body = self.health.table().to_text();
+            if !self.health.flaky_countries.is_empty() {
+                let mut t = crate::tables::TextTable::new(["country", "responsive", "degraded"]);
+                for &(c, total, degraded) in &self.health.flaky_countries {
+                    t.push_row([c.to_string(), total.to_string(), degraded.to_string()]);
+                }
+                let _ = write!(body, "flakiest countries:\n{}", t.to_text());
+            }
+            section("measurement health (§III-B re-probes, chaos)", body);
+        }
         out
     }
 }

@@ -13,13 +13,25 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use govdns_simnet::ChaosProfile;
 use govdns_telemetry::{ProgressEvent, Registry};
 
 use crate::discovery::{self, DiscoveryConfig};
-use crate::probe::{DomainProbe, ProbeClient};
+use crate::probe::{DomainProbe, ProbeClient, RetryPolicy};
 use crate::ratelimit::RateLimiter;
 use crate::seed;
 use crate::{Campaign, MeasurementDataset};
+
+/// Chaos selection for a campaign run: which named fault preset to
+/// install on the network, under which seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChaosSpec {
+    /// The fault preset.
+    pub profile: ChaosProfile,
+    /// Seed for the plan's deterministic fault decisions (independent of
+    /// the world seed so the same internet can be stressed differently).
+    pub seed: u64,
+}
 
 /// Runner parameters.
 #[derive(Debug, Clone, Copy)]
@@ -29,17 +41,30 @@ pub struct RunnerConfig {
     /// Query-rate cap (queries per second, accounted not slept).
     pub max_qps: u32,
     /// Whether to run the second round for domains whose parent returned
-    /// NS records but whose nameservers all stayed silent.
+    /// NS records but no nameserver authoritatively answered.
     pub second_round: bool,
-    /// Per-destination soft cap for the query ledger (0 = uncapped):
-    /// destinations that received at least this many queries are flagged
-    /// in the ethics accounting.
-    pub destination_cap: u64,
+    /// Per-destination soft cap for the query ledger (`None` = uncapped,
+    /// an explicit choice rather than a zero sentinel): destinations
+    /// that received at least this many queries are flagged in the
+    /// ethics accounting.
+    pub destination_cap: Option<u64>,
+    /// How probe clients retry transient-looking failures.
+    pub retry: RetryPolicy,
+    /// Fault injection to install on the network for this run (`None` =
+    /// clean delivery).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl Default for RunnerConfig {
     fn default() -> Self {
-        RunnerConfig { workers: 8, max_qps: 200, second_round: true, destination_cap: 0 }
+        RunnerConfig {
+            workers: 8,
+            max_qps: 200,
+            second_round: true,
+            destination_cap: None,
+            retry: RetryPolicy::none(),
+            chaos: None,
+        }
     }
 }
 
@@ -141,6 +166,12 @@ pub fn run_campaign_with(
         discovery::discover(campaign, &seeds, DiscoveryConfig::paper(campaign.collection_date));
     discovery_span.finish();
 
+    // Chaos starts at the probing stage: discovery models registry /
+    // zone-file inputs, which the injected network faults do not touch.
+    if let Some(chaos) = config.chaos {
+        campaign.network.install_faults(Some(chaos.profile.plan(chaos.seed)));
+    }
+
     let limiter = RateLimiter::with_telemetry(config.max_qps, config.destination_cap, &registry);
     *ctl.limiter.lock() = Some(limiter.clone());
     let workers = config.workers.max(1);
@@ -164,17 +195,19 @@ pub fn run_campaign_with(
                 // pipeline sharded its query load.
                 let client =
                     ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone())
-                        .with_telemetry(&registry);
+                        .with_telemetry(&registry)
+                        .with_retry(config.retry);
                 let busy_start = Instant::now();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(d) = discovered.get(i) else { break };
                     let mut probe = client.probe(&d.name);
-                    // Second round: parent listed nameservers, none of
-                    // them replied — maybe transient.
+                    // Second round: parent listed nameservers, but no
+                    // authoritative answer materialized — maybe
+                    // transient (§III-B re-probes these).
                     if config.second_round
                         && probe.parent_nonempty()
-                        && !probe.servers.iter().any(|s| s.responded())
+                        && !probe.has_authoritative_answer()
                     {
                         let retry_span = registry.span("round2");
                         client.retry_child_side(&mut probe);
@@ -199,10 +232,8 @@ pub fn run_campaign_with(
     .expect("probe workers do not panic");
     probing_span.finish();
 
-    let probes: Vec<DomainProbe> = results
-        .into_iter()
-        .map(|m| m.into_inner().expect("every index was processed"))
-        .collect();
+    let probes: Vec<DomainProbe> =
+        results.into_iter().map(|m| m.into_inner().expect("every index was processed")).collect();
 
     registry.set_ledger(limiter.ledger());
     registry.set_toplist(
@@ -220,6 +251,7 @@ pub fn run_campaign_with(
         discovered,
         probes,
         traffic: campaign.network.stats(),
+        faults: campaign.network.fault_stats(),
         collection_date: campaign.collection_date,
         retried: retried.into_inner(),
         telemetry: registry.snapshot(),

@@ -67,8 +67,7 @@ pub fn select_seeds(campaign: &Campaign<'_>) -> Vec<SeedDomain> {
         let mut fqdn = entry.portal_fqdn.clone();
         let mut provenance = SeedProvenance::PortalLink;
 
-        let msq_differs =
-            entry.msq_fqdn.as_ref().is_some_and(|m| *m != entry.portal_fqdn);
+        let msq_differs = entry.msq_fqdn.as_ref().is_some_and(|m| *m != entry.portal_fqdn);
         if !portal_resolved && msq_differs {
             fqdn = entry.msq_fqdn.clone().expect("msq_differs implies presence");
             provenance = SeedProvenance::MsqFallback;

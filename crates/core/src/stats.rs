@@ -114,11 +114,7 @@ impl Cdf {
     /// `(x, F(x))` points suitable for plotting.
     pub fn points(&self) -> Vec<(f64, f64)> {
         let n = self.sorted.len();
-        self.sorted
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| (x, (i + 1) as f64 / n as f64))
-            .collect()
+        self.sorted.iter().enumerate().map(|(i, &x)| (x, (i + 1) as f64 / n as f64)).collect()
     }
 }
 

@@ -55,8 +55,7 @@ fn discovery_finds_most_live_domains_and_no_transients() {
     for d in &s.world.truth().domains {
         // The pipeline keeps records with a ≥7-day *total* span that were
         // seen at all inside the window (the paper's two filters).
-        let total_life: i64 =
-            d.timeline.epochs.iter().map(|e| e.span.len_days()).sum();
+        let total_life: i64 = d.timeline.epochs.iter().map(|e| e.span.len_days()).sum();
         let in_window = d.timeline.active_in(&window);
         if total_life >= 7 && in_window {
             expected += 1;
@@ -102,11 +101,7 @@ fn replication_headlines() {
     let s = shared();
     let ar = &s.report.active_replication;
     // Paper: 98.4% of domains use ≥ 2 nameservers.
-    assert!(
-        (96.0..100.0).contains(&ar.multi_ns_share),
-        "multi-NS share {}",
-        ar.multi_ns_share
-    );
+    assert!((96.0..100.0).contains(&ar.multi_ns_share), "multi-NS share {}", ar.multi_ns_share);
     // Paper: 60.1% of single-NS domains are stale.
     assert!(ar.d1ns_total > 0);
     assert!(
@@ -131,10 +126,7 @@ fn private_share_separation() {
     let s = shared();
     for &(year, d1, all) in &s.report.private_share.rows {
         if d1 > 0.0 {
-            assert!(
-                d1 > all,
-                "year {year}: d1NS private {d1}% should exceed overall {all}%"
-            );
+            assert!(d1 > all, "year {year}: d1NS private {d1}% should exceed overall {all}%");
         }
         assert!(all < 45.0, "year {year}: overall private {all}%");
     }
@@ -193,10 +185,7 @@ fn provider_centralization_grows() {
     // The country-coverage headline grows substantially (52 → 85 ≈ 60%).
     let c2011 = p.top_provider_countries(2011);
     let c2020 = p.top_provider_countries(2020);
-    assert!(
-        c2020 as f64 > c2011 as f64 * 1.3,
-        "country coverage {c2011} → {c2020}"
-    );
+    assert!(c2020 as f64 > c2011 as f64 * 1.3, "country coverage {c2011} → {c2020}");
 }
 
 #[test]
@@ -267,7 +256,8 @@ fn consistency_tracks_fig13() {
         c.disagree_with_lame_pct
     );
     // All five non-equal classes observed.
-    for class in ["P ⊂ C", "C ⊂ P", "partial overlap", "disjoint, IPs overlap", "disjoint, IPs disjoint"]
+    for class in
+        ["P ⊂ C", "C ⊂ P", "partial overlap", "disjoint, IPs overlap", "disjoint, IPs disjoint"]
     {
         assert!(
             c.by_class.get(class).copied().unwrap_or(0) > 0,
@@ -433,11 +423,7 @@ fn white_label_provider_identified_through_soa() {
         .filter(|(k, _)| k.starts_with("dns-cluster"))
         .map(|(_, v)| v.domains)
         .sum();
-    assert!(
-        branded.domains > scattered,
-        "branded {} vs scattered {scattered}",
-        branded.domains
-    );
+    assert!(branded.domains > scattered, "branded {} vs scattered {scattered}", branded.domains);
 }
 
 #[test]
@@ -464,10 +450,8 @@ fn seed_quirk_counts_match_the_paper() {
         .filter(|x| x.provenance == govdns_core::seed::SeedProvenance::MsqFallback)
         .count();
     assert_eq!(msq, 3, "two MSQ mismatches + one squatted portal");
-    let registered = seeds
-        .iter()
-        .filter(|x| x.kind == govdns_core::seed::SeedKind::RegisteredDomain)
-        .count();
+    let registered =
+        seeds.iter().filter(|x| x.kind == govdns_core::seed::SeedKind::RegisteredDomain).count();
     assert_eq!(registered, 4, "laogov, timor-leste, jis, regjeringen");
     // Registered-domain seeds carry Web Archive evidence.
     assert!(seeds

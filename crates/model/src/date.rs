@@ -81,12 +81,20 @@ impl SimDate {
 
     /// The later of two dates.
     pub fn max(self, other: SimDate) -> SimDate {
-        if other.0 > self.0 { other } else { self }
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
     }
 
     /// The earlier of two dates.
     pub fn min(self, other: SimDate) -> SimDate {
-        if other.0 < self.0 { other } else { self }
+        if other.0 < self.0 {
+            other
+        } else {
+            self
+        }
     }
 }
 

@@ -23,7 +23,8 @@ pub enum ModelError {
         /// The record type being decoded.
         rtype: u16,
         /// The length found on the wire.
-        len: usize },
+        len: usize,
+    },
     /// An address literal failed to parse.
     BadAddress(String),
 }

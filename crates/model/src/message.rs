@@ -106,6 +106,10 @@ pub struct Message {
     /// Authoritative-answer flag. The measurement pipeline treats only
     /// `aa`-set answers as authoritative responses.
     pub aa: bool,
+    /// Truncation flag: the responder could not fit the full answer (or a
+    /// middlebox clipped it). A truncated response carries no usable
+    /// record sections and asks the client to retry.
+    pub tc: bool,
     /// Response code (meaningful for responses; `NoError` on queries).
     pub rcode: Rcode,
     /// The question section (exactly one question, as in practice).
@@ -125,6 +129,7 @@ impl Message {
             id,
             kind: MessageKind::Query,
             aa: false,
+            tc: false,
             rcode: Rcode::NoError,
             question: Question { name, rtype },
             answers: Vec::new(),
@@ -139,6 +144,7 @@ impl Message {
             id: self.id,
             kind: MessageKind::Response,
             aa: false,
+            tc: false,
             rcode: Rcode::NoError,
             question: self.question.clone(),
             answers: Vec::new(),
@@ -182,10 +188,19 @@ impl Message {
         self
     }
 
+    /// Truncates the message in place: every record section is dropped
+    /// and the `tc` flag set, as a size-limited responder would.
+    pub fn truncate(&mut self) {
+        self.tc = true;
+        self.answers.clear();
+        self.authority.clear();
+        self.additional.clear();
+    }
+
     /// Whether this is an authoritative answer for the question (`aa` set,
-    /// `NOERROR`, response kind).
+    /// `NOERROR`, response kind, not truncated).
     pub fn is_authoritative_answer(&self) -> bool {
-        self.kind == MessageKind::Response && self.aa && self.rcode == Rcode::NoError
+        self.kind == MessageKind::Response && self.aa && !self.tc && self.rcode == Rcode::NoError
     }
 
     /// Whether this response is a referral: no answers, NS records in the

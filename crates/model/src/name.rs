@@ -268,10 +268,7 @@ impl FromStr for DomainName {
             return Ok(DomainName::root());
         }
         let s = s.strip_suffix('.').unwrap_or(s);
-        let labels = s
-            .split('.')
-            .map(Label::new)
-            .collect::<Result<Vec<_>, _>>()?;
+        let labels = s.split('.').map(Label::new).collect::<Result<Vec<_>, _>>()?;
         DomainName::from_labels(labels)
     }
 }

@@ -41,15 +41,7 @@ pub struct Soa {
 impl Soa {
     /// Creates an SOA with conventional timer defaults.
     pub fn new(mname: DomainName, rname: DomainName) -> Self {
-        Soa {
-            mname,
-            rname,
-            serial: 1,
-            refresh: 7200,
-            retry: 900,
-            expire: 1_209_600,
-            minimum: 3600,
-        }
+        Soa { mname, rname, serial: 1, refresh: 7200, retry: 900, expire: 1_209_600, minimum: 3600 }
     }
 
     /// Sets the serial, returning the modified SOA.
@@ -65,7 +57,12 @@ impl fmt::Display for Soa {
         write!(
             f,
             "{} {} {} {} {} {} {}",
-            self.mname, self.rname, self.serial, self.refresh, self.retry, self.expire,
+            self.mname,
+            self.rname,
+            self.serial,
+            self.refresh,
+            self.retry,
+            self.expire,
             self.minimum
         )
     }

@@ -22,12 +22,13 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 use bytes::{BufMut, Bytes, BytesMut};
 
 use crate::{
-    DomainName, Label, Message, MessageKind, ModelError, Question, Rcode, RecordData,
-    RecordType, ResourceRecord, Soa,
+    DomainName, Label, Message, MessageKind, ModelError, Question, Rcode, RecordData, RecordType,
+    ResourceRecord, Soa,
 };
 
 const FLAG_QR: u16 = 1 << 15;
 const FLAG_AA: u16 = 1 << 10;
+const FLAG_TC: u16 = 1 << 9;
 const CLASS_IN: u16 = 1;
 const POINTER_MASK: u8 = 0b1100_0000;
 
@@ -43,6 +44,9 @@ pub fn encode(msg: &Message) -> Bytes {
     }
     if msg.aa {
         flags |= FLAG_AA;
+    }
+    if msg.tc {
+        flags |= FLAG_TC;
     }
     flags |= u16::from(msg.rcode.code());
     buf.put_u16(flags);
@@ -150,6 +154,7 @@ pub fn decode(bytes: &[u8]) -> Result<Message, ModelError> {
         id,
         kind: if flags & FLAG_QR != 0 { MessageKind::Response } else { MessageKind::Query },
         aa: flags & FLAG_AA != 0,
+        tc: flags & FLAG_TC != 0,
         rcode: Rcode::from_code((flags & 0x0F) as u8).ok_or(ModelError::TruncatedWire)?,
         question: Question { name: qname, rtype: qtype },
         answers: Vec::with_capacity(an as usize),
@@ -240,8 +245,8 @@ impl Cursor<'_> {
             let start = pos + 1;
             let end = start + usize::from(len);
             let raw = self.data.get(start..end).ok_or(ModelError::TruncatedWire)?;
-            let text = std::str::from_utf8(raw)
-                .map_err(|_| ModelError::InvalidCharacter('\u{FFFD}'))?;
+            let text =
+                std::str::from_utf8(raw).map_err(|_| ModelError::InvalidCharacter('\u{FFFD}'))?;
             labels.push(Label::new(text)?);
             pos = end;
         }
@@ -332,23 +337,19 @@ mod tests {
         let mut r = q.response().authoritative();
         r.answers = vec![
             ResourceRecord::new(n("x.gov.example"), 60, RecordData::Ns(n("ns1.x.gov.example"))),
-            ResourceRecord::new(n("x.gov.example"), 60, RecordData::A("192.0.2.7".parse().unwrap())),
+            ResourceRecord::new(
+                n("x.gov.example"),
+                60,
+                RecordData::A("192.0.2.7".parse().unwrap()),
+            ),
             ResourceRecord::new(
                 n("x.gov.example"),
                 60,
                 RecordData::Aaaa("2001:db8::7".parse().unwrap()),
             ),
             ResourceRecord::new(n("x.gov.example"), 60, RecordData::Txt("hello world".into())),
-            ResourceRecord::new(
-                n("x.gov.example"),
-                60,
-                RecordData::Cname(n("y.gov.example")),
-            ),
-            ResourceRecord::new(
-                n("x.gov.example"),
-                60,
-                RecordData::Ptr(n("host.gov.example")),
-            ),
+            ResourceRecord::new(n("x.gov.example"), 60, RecordData::Cname(n("y.gov.example"))),
+            ResourceRecord::new(n("x.gov.example"), 60, RecordData::Ptr(n("host.gov.example"))),
             ResourceRecord::new(
                 n("x.gov.example"),
                 60,
@@ -364,14 +365,11 @@ mod tests {
         let mut ns = RrSet::new(n("portal.gov.example"), RecordType::Ns, 300);
         ns.push(RecordData::Ns(n("ns1.portal.gov.example")));
         ns.push(RecordData::Ns(n("ns2.portal.gov.example")));
-        let r = q
-            .response()
-            .with_authority(&ns)
-            .with_additional(ResourceRecord::new(
-                n("ns1.portal.gov.example"),
-                300,
-                RecordData::A("198.51.100.1".parse().unwrap()),
-            ));
+        let r = q.response().with_authority(&ns).with_additional(ResourceRecord::new(
+            n("ns1.portal.gov.example"),
+            300,
+            RecordData::A("198.51.100.1".parse().unwrap()),
+        ));
         roundtrip(&r);
     }
 
@@ -380,9 +378,7 @@ mod tests {
         let q = Message::query(9, n("portal.gov.example"), RecordType::Ns);
         let mut ns = RrSet::new(n("portal.gov.example"), RecordType::Ns, 300);
         for i in 1..=4 {
-            ns.push(RecordData::Ns(
-                format!("ns{i}.portal.gov.example").parse().unwrap(),
-            ));
+            ns.push(RecordData::Ns(format!("ns{i}.portal.gov.example").parse().unwrap()));
         }
         let r = q.response().authoritative().with_answer(&ns);
         let compressed = encode(&r).len();
@@ -431,11 +427,8 @@ mod tests {
     fn long_txt_roundtrips() {
         let q = Message::query(3, n("t.gov.example"), RecordType::Txt);
         let mut r = q.response().authoritative();
-        r.answers = vec![ResourceRecord::new(
-            n("t.gov.example"),
-            60,
-            RecordData::Txt("x".repeat(700)),
-        )];
+        r.answers =
+            vec![ResourceRecord::new(n("t.gov.example"), 60, RecordData::Txt("x".repeat(700)))];
         roundtrip(&r);
     }
 

@@ -75,11 +75,7 @@ impl Zone {
     ///
     /// Panics if `name` is not within the zone origin.
     pub fn add_with_ttl(&mut self, name: DomainName, ttl: Ttl, data: RecordData) {
-        assert!(
-            name.is_within(&self.origin),
-            "record owner {name} outside zone {}",
-            self.origin
-        );
+        assert!(name.is_within(&self.origin), "record owner {name} outside zone {}", self.origin);
         let rtype = data.rtype();
         self.records
             .entry(name.clone())
@@ -187,9 +183,7 @@ impl Zone {
                 None => match by_type.get(&RecordType::Cname) {
                     // A CNAME at the name answers any type (except CNAME,
                     // handled above when rtype == Cname).
-                    Some(cname) if rtype != RecordType::Cname => {
-                        ZoneLookup::Answer(cname.clone())
-                    }
+                    Some(cname) if rtype != RecordType::Cname => ZoneLookup::Answer(cname.clone()),
                     _ => ZoneLookup::NoData,
                 },
             },
@@ -273,10 +267,10 @@ mod tests {
                 ZoneLookup::Referral { cut, ns, glue } => {
                     assert_eq!(cut, n("portal.gov.example"));
                     assert_eq!(ns.len(), 1);
-                    assert_eq!(glue, vec![(
-                        n("ns1.portal.gov.example"),
-                        Ipv4Addr::new(198, 51, 100, 1)
-                    )]);
+                    assert_eq!(
+                        glue,
+                        vec![(n("ns1.portal.gov.example"), Ipv4Addr::new(198, 51, 100, 1))]
+                    );
                 }
                 other => panic!("expected referral for {q}, got {other:?}"),
             }

@@ -109,16 +109,10 @@ fn resolve_name(
         return Ok(origin.clone());
     }
     if let Some(absolute) = token.strip_suffix('.') {
-        return absolute
-            .parse()
-            .map_err(|source| ZoneFileError::BadName { line, source });
+        return absolute.parse().map_err(|source| ZoneFileError::BadName { line, source });
     }
     // Relative: append the origin.
-    let combined = if origin.is_root() {
-        token.to_owned()
-    } else {
-        format!("{token}.{origin}")
-    };
+    let combined = if origin.is_root() { token.to_owned() } else { format!("{token}.{origin}") };
     combined.parse().map_err(|source| ZoneFileError::BadName { line, source })
 }
 
@@ -210,10 +204,8 @@ pub fn parse(text: &str) -> Result<Zone, ZoneFileError> {
             });
         };
         tokens.remove(0);
-        let rdata_err = |message: &str| ZoneFileError::Syntax {
-            line: line_no,
-            message: message.to_owned(),
-        };
+        let rdata_err =
+            |message: &str| ZoneFileError::Syntax { line: line_no, message: message.to_owned() };
 
         let data = match rtype_token.to_ascii_uppercase().as_str() {
             "A" => {
@@ -235,8 +227,7 @@ pub fn parse(text: &str) -> Result<Zone, ZoneFileError> {
                 RecordData::Ns(resolve_name(target, origin_ref, line_no)?)
             }
             "CNAME" => {
-                let target =
-                    tokens.first().ok_or_else(|| rdata_err("CNAME needs a target"))?;
+                let target = tokens.first().ok_or_else(|| rdata_err("CNAME needs a target"))?;
                 RecordData::Cname(resolve_name(target, origin_ref, line_no)?)
             }
             "PTR" => {
@@ -247,9 +238,7 @@ pub fn parse(text: &str) -> Result<Zone, ZoneFileError> {
                 // Quoted strings keep their exact whitespace; unquoted
                 // rdata collapses to single spaces (it was tokenized).
                 let text = match (line.find('"'), line.rfind('"')) {
-                    (Some(start), Some(end)) if end > start => {
-                        line[start + 1..end].to_owned()
-                    }
+                    (Some(start), Some(end)) if end > start => line[start + 1..end].to_owned(),
                     _ => tokens.join(" "),
                 };
                 RecordData::Txt(text)
@@ -308,19 +297,18 @@ pub fn serialize(zone: &Zone) -> String {
                 }
                 RecordData::Soa(soa) => format!(
                     "{}. {}. {} {} {} {} {}",
-                    soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire,
+                    soa.mname,
+                    soa.rname,
+                    soa.serial,
+                    soa.refresh,
+                    soa.retry,
+                    soa.expire,
                     soa.minimum
                 ),
                 RecordData::Txt(t) => format!("\"{t}\""),
                 other => other.to_string(),
             };
-            out.push_str(&format!(
-                "{}. {} IN {} {}\n",
-                rr.name,
-                rr.ttl,
-                rr.rtype(),
-                data
-            ));
+            out.push_str(&format!("{}. {} IN {} {}\n", rr.name, rr.ttl, rr.rtype(), data));
         }
     }
     out
@@ -358,8 +346,7 @@ v6       IN AAAA 2001:db8::1
         assert_eq!(zone.soa().unwrap().serial, 42);
         // Relative and absolute NS targets both resolved.
         let apex_ns = zone.rrset(&n("gov.zz"), RecordType::Ns).unwrap();
-        let targets: Vec<String> =
-            apex_ns.ns_targets().iter().map(|t| t.to_string()).collect();
+        let targets: Vec<String> = apex_ns.ns_targets().iter().map(|t| t.to_string()).collect();
         assert!(targets.contains(&"ns1.gov.zz".to_owned()));
         assert!(targets.contains(&"ns2.backup.example".to_owned()));
         // Per-record TTL override.

@@ -25,9 +25,8 @@ fn rdata_strategy() -> impl Strategy<Value = RecordData> {
         name_strategy().prop_map(RecordData::Cname),
         name_strategy().prop_map(RecordData::Ptr),
         "[ -~]{0,300}".prop_map(RecordData::Txt),
-        (name_strategy(), name_strategy(), any::<u32>()).prop_map(|(m, r, serial)| {
-            RecordData::Soa(Soa::new(m, r).with_serial(serial))
-        }),
+        (name_strategy(), name_strategy(), any::<u32>())
+            .prop_map(|(m, r, serial)| { RecordData::Soa(Soa::new(m, r).with_serial(serial)) }),
     ]
 }
 

@@ -114,10 +114,7 @@ impl PdnsDb {
         name: &DomainName,
         rtype: Option<RecordType>,
     ) -> impl Iterator<Item = PdnsEntry> + '_ {
-        self.names
-            .get(&rev_key(name))
-            .into_iter()
-            .flat_map(move |slot| slot.entries(rtype))
+        self.names.get(&rev_key(name)).into_iter().flat_map(move |slot| slot.entries(rtype))
     }
 
     /// Left-hand wildcard search: every entry at `suffix` or beneath it.
@@ -159,16 +156,15 @@ impl PdnsDb {
 
 impl NameEntries {
     fn entries(&self, rtype: Option<RecordType>) -> impl Iterator<Item = PdnsEntry> + '_ {
-        self.records
-            .values()
-            .filter(move |s| rtype.is_none_or(|t| s.rdata.rtype() == t))
-            .map(|s| PdnsEntry {
+        self.records.values().filter(move |s| rtype.is_none_or(|t| s.rdata.rtype() == t)).map(|s| {
+            PdnsEntry {
                 name: self.name.clone(),
                 rdata: s.rdata.clone(),
                 first_seen: s.first_seen,
                 last_seen: s.last_seen,
                 count: s.count,
-            })
+            }
+        })
     }
 }
 

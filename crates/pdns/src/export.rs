@@ -89,18 +89,15 @@ pub fn from_tsv(text: &str) -> Result<PdnsDb, TsvError> {
             });
         }
         let err = |message: String| TsvError { line: line_no, message };
-        let first: SimDate =
-            fields[0].parse().map_err(|e: String| err(e))?;
+        let first: SimDate = fields[0].parse().map_err(|e: String| err(e))?;
         let last: SimDate = fields[1].parse().map_err(|e: String| err(e))?;
         if last < first {
             return Err(err(format!("last_seen {last} precedes first_seen {first}")));
         }
-        let count: u64 = fields[2]
-            .parse()
-            .map_err(|_| err(format!("bad count `{}`", fields[2])))?;
-        let name: DomainName = fields[3]
-            .parse()
-            .map_err(|e| err(format!("bad rrname `{}`: {e}", fields[3])))?;
+        let count: u64 =
+            fields[2].parse().map_err(|_| err(format!("bad count `{}`", fields[2])))?;
+        let name: DomainName =
+            fields[3].parse().map_err(|e| err(format!("bad rrname `{}`: {e}", fields[3])))?;
         let rdata = parse_rdata(fields[4], fields[5]).map_err(err)?;
         db.observe_span(name, rdata, DateRange::new(first, last), count);
     }
@@ -109,14 +106,10 @@ pub fn from_tsv(text: &str) -> Result<PdnsDb, TsvError> {
 
 fn parse_rdata(rtype: &str, rdata: &str) -> Result<RecordData, String> {
     match rtype.to_ascii_uppercase().as_str() {
-        "A" => rdata
-            .parse()
-            .map(RecordData::A)
-            .map_err(|_| format!("bad A rdata `{rdata}`")),
-        "AAAA" => rdata
-            .parse()
-            .map(RecordData::Aaaa)
-            .map_err(|_| format!("bad AAAA rdata `{rdata}`")),
+        "A" => rdata.parse().map(RecordData::A).map_err(|_| format!("bad A rdata `{rdata}`")),
+        "AAAA" => {
+            rdata.parse().map(RecordData::Aaaa).map_err(|_| format!("bad AAAA rdata `{rdata}`"))
+        }
         "NS" => rdata
             .trim_end_matches('.')
             .parse()

@@ -87,11 +87,9 @@ mod tests {
     fn stability_threshold_is_seven_days() {
         assert!(!is_stable(&entry(d(2015, 1, 1), d(2015, 1, 7)))); // 6-day span
         assert!(is_stable(&entry(d(2015, 1, 1), d(2015, 1, 8)))); // 7-day span
-        let kept: Vec<_> = stable(vec![
-            entry(d(2015, 1, 1), d(2015, 1, 2)),
-            entry(d(2015, 1, 1), d(2016, 1, 1)),
-        ])
-        .collect();
+        let kept: Vec<_> =
+            stable(vec![entry(d(2015, 1, 1), d(2015, 1, 2)), entry(d(2015, 1, 1), d(2016, 1, 1))])
+                .collect();
         assert_eq!(kept.len(), 1);
     }
 

@@ -72,9 +72,7 @@ impl AsnDb {
 
     /// Iterates over `(start, end, asn)` allocations in address order.
     pub fn iter(&self) -> impl Iterator<Item = (Ipv4Addr, Ipv4Addr, Asn)> + '_ {
-        self.ranges
-            .iter()
-            .map(|(&s, &(e, asn))| (Ipv4Addr::from(s), Ipv4Addr::from(e), asn))
+        self.ranges.iter().map(|(&s, &(e, asn))| (Ipv4Addr::from(s), Ipv4Addr::from(e), asn))
     }
 }
 

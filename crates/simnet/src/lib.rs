@@ -35,6 +35,7 @@
 
 mod addr;
 mod asn;
+mod fault;
 mod latency;
 mod network;
 mod resolver;
@@ -42,6 +43,10 @@ mod server;
 
 pub use addr::{prefix24, Prefix24};
 pub use asn::{Asn, AsnDb};
+pub use fault::{
+    ChaosProfile, FaultDecision, FaultKind, FaultPlan, FaultProfile, FaultRule, FaultScope,
+    FaultStats,
+};
 pub use latency::LatencyModel;
 pub use network::{DeliveryOutcome, SimNetwork, TrafficStats};
 pub use resolver::{ResolveError, ResolveResult, StubResolver};

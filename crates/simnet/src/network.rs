@@ -6,10 +6,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use govdns_model::{wire, Message};
+use govdns_model::{wire, Message, Rcode};
 use govdns_telemetry::{Counter, Histogram, Registry};
 
-use crate::{AuthoritativeServer, LatencyModel};
+use crate::{AuthoritativeServer, FaultKind, FaultPlan, FaultStats, LatencyModel};
 
 /// Cached telemetry handles for the per-query hot path: interned once
 /// at attach time so `deliver` touches bare atomics only.
@@ -22,6 +22,11 @@ struct NetSink {
     rtt_ms: Histogram,
     query_bytes: Histogram,
     response_bytes: Histogram,
+    fault_flap: Counter,
+    fault_loss: Counter,
+    fault_refused: Counter,
+    fault_truncated: Counter,
+    fault_delayed: Counter,
 }
 
 impl NetSink {
@@ -34,6 +39,21 @@ impl NetSink {
             rtt_ms: registry.histogram_latency_ms("net.rtt_ms"),
             query_bytes: registry.histogram_bytes("net.query_bytes"),
             response_bytes: registry.histogram_bytes("net.response_bytes"),
+            fault_flap: registry.counter("fault.flap_timeouts"),
+            fault_loss: registry.counter("fault.losses"),
+            fault_refused: registry.counter("fault.refused"),
+            fault_truncated: registry.counter("fault.truncated"),
+            fault_delayed: registry.counter("fault.delayed"),
+        }
+    }
+
+    fn count_fault(&self, kind: FaultKind) {
+        match kind {
+            FaultKind::Flap => self.fault_flap.inc(),
+            FaultKind::Loss => self.fault_loss.inc(),
+            FaultKind::Refused => self.fault_refused.inc(),
+            FaultKind::Truncated => self.fault_truncated.inc(),
+            FaultKind::Delayed => self.fault_delayed.inc(),
         }
     }
 }
@@ -106,6 +126,8 @@ pub struct SimNetwork {
     stats: Mutex<TrafficStats>,
     per_destination: Mutex<HashMap<Ipv4Addr, u64>>,
     telemetry: RwLock<Option<NetSink>>,
+    faults: RwLock<Option<FaultPlan>>,
+    fault_stats: Mutex<FaultStats>,
 }
 
 impl SimNetwork {
@@ -119,6 +141,8 @@ impl SimNetwork {
             stats: Mutex::new(TrafficStats::default()),
             per_destination: Mutex::new(HashMap::new()),
             telemetry: RwLock::new(None),
+            faults: RwLock::new(None),
+            fault_stats: Mutex::new(FaultStats::default()),
         }
     }
 
@@ -131,6 +155,33 @@ impl SimNetwork {
     /// RNG, so attaching telemetry cannot perturb simulated outcomes.
     pub fn attach_telemetry(&self, registry: &Registry) {
         *self.telemetry.write() = Some(NetSink::new(registry));
+    }
+
+    /// Installs a fault plan; every subsequent delivery consults it.
+    /// `None` (or an empty plan) restores clean delivery.
+    ///
+    /// Takes `&self` for the same reason as [`attach_telemetry`]: by the
+    /// time the runner decides to inject chaos it only holds a shared
+    /// reference. Fault decisions never touch the network RNG, so a plan
+    /// cannot perturb the baseline loss stream.
+    ///
+    /// [`attach_telemetry`]: SimNetwork::attach_telemetry
+    pub fn install_faults(&self, plan: Option<FaultPlan>) {
+        *self.faults.write() = plan.filter(|p| !p.is_empty());
+    }
+
+    /// Sets a fault plan (builder style); see [`install_faults`].
+    ///
+    /// [`install_faults`]: SimNetwork::install_faults
+    #[must_use]
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        self.install_faults(Some(plan));
+        self
+    }
+
+    /// A snapshot of the injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        *self.fault_stats.lock()
     }
 
     /// Sets the latency model (builder style).
@@ -193,20 +244,60 @@ impl SimNetwork {
     ///
     /// [`ServerBehavior::Unresponsive`]: crate::ServerBehavior::Unresponsive
     pub fn deliver(&self, dst: Ipv4Addr, query: &Message) -> DeliveryOutcome {
+        self.deliver_attempt(dst, query, 0)
+    }
+
+    /// [`deliver`], with the client's cumulative attempt number for this
+    /// `(dst, qname)` pair so the installed [`FaultPlan`] (if any) can
+    /// model transient faults that recover under retry pressure.
+    ///
+    /// [`deliver`]: SimNetwork::deliver
+    pub fn deliver_attempt(&self, dst: Ipv4Addr, query: &Message, attempt: u32) -> DeliveryOutcome {
         let qbytes = wire::encoded_len(query) as u64;
         {
             let mut stats = self.stats.lock();
             stats.queries_sent += 1;
             stats.bytes_sent += qbytes;
         }
-        *self.per_destination.lock().entry(dst).or_insert(0) += 1;
+        let dst_queries_so_far = {
+            let mut map = self.per_destination.lock();
+            let slot = map.entry(dst).or_insert(0);
+            *slot += 1;
+            *slot - 1
+        };
         let lost = self.loss_rate > 0.0 && self.rng.lock().gen_bool(self.loss_rate);
-        let reply = if lost {
-            None
-        } else {
-            self.servers.get(&dst).and_then(|s| s.handle(query))
+        let fault = match &*self.faults.read() {
+            Some(plan) => plan.decide(dst, &query.question.name, attempt, dst_queries_so_far),
+            None => Default::default(),
         };
         let sink = self.telemetry.read();
+        let count_fault = |kind: FaultKind| {
+            self.fault_stats.lock().count(kind);
+            if let Some(sink) = &*sink {
+                sink.count_fault(kind);
+            }
+        };
+        if fault.extra_delay_ms > 0 {
+            count_fault(FaultKind::Delayed);
+        }
+        let reply = if lost || fault.drop.is_some() {
+            if let Some(kind) = fault.drop {
+                count_fault(kind);
+            }
+            None
+        } else if fault.refuse && self.servers.contains_key(&dst) {
+            count_fault(FaultKind::Refused);
+            Some(query.response().with_rcode(Rcode::Refused))
+        } else {
+            let mut msg = self.servers.get(&dst).and_then(|s| s.handle(query));
+            if fault.truncate {
+                if let Some(msg) = &mut msg {
+                    count_fault(FaultKind::Truncated);
+                    msg.truncate();
+                }
+            }
+            msg
+        };
         if let Some(sink) = &*sink {
             sink.queries.inc();
             sink.query_bytes.record(qbytes as f64);
@@ -216,7 +307,7 @@ impl SimNetwork {
         }
         match reply {
             Some(msg) => {
-                let rtt_ms = self.latency.rtt_ms(dst);
+                let rtt_ms = self.latency.rtt_ms(dst).saturating_add(fault.extra_delay_ms);
                 let rbytes = wire::encoded_len(&msg) as u64;
                 if let Some(sink) = &*sink {
                     sink.replies.inc();
@@ -230,7 +321,7 @@ impl SimNetwork {
                 DeliveryOutcome::Reply { msg, rtt_ms }
             }
             None => {
-                let waited_ms = self.latency.timeout_ms;
+                let waited_ms = self.latency.timeout_ms.saturating_add(fault.extra_delay_ms);
                 if let Some(sink) = &*sink {
                     sink.timeouts.inc();
                     sink.rtt_ms.record(f64::from(waited_ms));
@@ -263,7 +354,7 @@ impl SimNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{ServerBehavior};
+    use crate::{FaultProfile, FaultScope, ServerBehavior};
     use govdns_model::{DomainName, RecordType, Zone};
 
     fn n(s: &str) -> DomainName {
@@ -396,6 +487,89 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn injected_flap_times_out_then_recovers() {
+        let net = network_with_one_zone().with_faults(
+            FaultPlan::new(1)
+                .with_rule(FaultScope::All, FaultProfile::Flap { rate: 1.0, recover_after: 2 }),
+        );
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        assert!(net.deliver_attempt(dst, &q, 0).reply().is_none());
+        assert!(net.deliver_attempt(dst, &q, 1).reply().is_none());
+        let recovered = net.deliver_attempt(dst, &q, 2);
+        assert!(recovered.reply().unwrap().is_authoritative_answer());
+        assert_eq!(net.fault_stats().flap_timeouts, 2);
+    }
+
+    #[test]
+    fn injected_refusal_needs_a_server_on_path() {
+        let net = network_with_one_zone().with_faults(FaultPlan::new(1).with_rule(
+            FaultScope::All,
+            FaultProfile::RefusedBurst { after_queries: 0, rate: 1.0, recover_after: 99 },
+        ));
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let out = net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q);
+        assert_eq!(out.reply().unwrap().rcode, govdns_model::Rcode::Refused);
+        // An unrouted address still times out: there is no limiter there.
+        assert!(net.deliver(Ipv4Addr::new(203, 0, 113, 200), &q).reply().is_none());
+        assert_eq!(net.fault_stats().refused, 1);
+    }
+
+    #[test]
+    fn injected_truncation_strips_sections_and_sets_tc() {
+        let net =
+            network_with_one_zone().with_faults(FaultPlan::new(1).with_rule(
+                FaultScope::All,
+                FaultProfile::Truncation { rate: 1.0, recover_after: 1 },
+            ));
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let msg = net.deliver_attempt(dst, &q, 0).reply().unwrap().clone();
+        assert!(msg.tc && msg.answers.is_empty());
+        assert!(!msg.is_authoritative_answer());
+        let retry = net.deliver_attempt(dst, &q, 1).reply().unwrap().clone();
+        assert!(retry.is_authoritative_answer(), "retry gets the full answer");
+    }
+
+    #[test]
+    fn fault_counters_mirror_into_telemetry() {
+        let net = network_with_one_zone().with_faults(
+            FaultPlan::new(1)
+                .with_rule(FaultScope::All, FaultProfile::Flap { rate: 1.0, recover_after: 1 })
+                .with_rule(
+                    FaultScope::All,
+                    FaultProfile::LatencySpike { rate: 1.0, extra_ms: 500 },
+                ),
+        );
+        let registry = Registry::new();
+        net.attach_telemetry(&registry);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let out = net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q);
+        assert!(out.reply().is_none());
+        assert!(out.elapsed_ms() >= net.latency().timeout_ms + 500, "spike delays the wait");
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["fault.flap_timeouts"], 1);
+        assert_eq!(snap.counters["fault.delayed"], 1);
+        assert_eq!(snap.counters["fault.refused"], 0);
+        assert_eq!(net.fault_stats().flap_timeouts, 1);
+    }
+
+    #[test]
+    fn install_faults_swaps_plans_at_runtime() {
+        let net = network_with_one_zone();
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        assert!(net.deliver(dst, &q).reply().is_some());
+        net.install_faults(Some(
+            FaultPlan::new(1)
+                .with_rule(FaultScope::Server(dst), FaultProfile::PacketLoss { rate: 1.0 }),
+        ));
+        assert!(net.deliver(dst, &q).reply().is_none());
+        net.install_faults(None);
+        assert!(net.deliver(dst, &q).reply().is_some());
     }
 
     #[test]

@@ -79,7 +79,12 @@ impl<'net> StubResolver<'net> {
     /// Panics if `roots` is empty.
     pub fn new(network: &'net SimNetwork, roots: Vec<Ipv4Addr>) -> Self {
         assert!(!roots.is_empty(), "a resolver needs at least one root hint");
-        StubResolver { network, roots, cache: Mutex::new(HashMap::new()), next_id: AtomicU16::new(1) }
+        StubResolver {
+            network,
+            roots,
+            cache: Mutex::new(HashMap::new()),
+            next_id: AtomicU16::new(1),
+        }
     }
 
     fn fresh_id(&self) -> u16 {
@@ -167,9 +172,7 @@ impl<'net> StubResolver<'net> {
                         }
                     }
                     let records = reply.answers.clone();
-                    self.cache
-                        .lock()
-                        .insert((qname.clone(), rtype), records.clone());
+                    self.cache.lock().insert((qname.clone(), rtype), records.clone());
                     return Ok(ResolveResult { records, elapsed_ms, queries });
                 }
                 if reply.is_referral() {
@@ -326,10 +329,7 @@ mod tests {
     fn nxdomain_is_reported() {
         let net = test_network();
         let r = resolver(&net);
-        assert!(matches!(
-            r.resolve_a(&n("missing.gov.zz")),
-            Err(ResolveError::NxDomain(_))
-        ));
+        assert!(matches!(r.resolve_a(&n("missing.gov.zz")), Err(ResolveError::NxDomain(_))));
     }
 
     #[test]
@@ -347,10 +347,7 @@ mod tests {
     fn unreachable_when_all_roots_dead() {
         let net = SimNetwork::new(1);
         let r = StubResolver::new(&net, vec![Ipv4Addr::new(10, 9, 9, 9)]);
-        assert!(matches!(
-            r.resolve_a(&n("www.gov.zz")),
-            Err(ResolveError::Unreachable(_))
-        ));
+        assert!(matches!(r.resolve_a(&n("www.gov.zz")), Err(ResolveError::Unreachable(_))));
     }
 
     #[test]

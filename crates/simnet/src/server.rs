@@ -136,9 +136,7 @@ impl AuthoritativeServer {
             LameMode::EmptyNonAuth => query.response(),
             LameMode::UpwardReferral => {
                 let mut roots = RrSet::new(DomainName::root(), RecordType::Ns, 86_400);
-                roots.push(RecordData::Ns(
-                    "a.root-servers.example".parse().expect("static name"),
-                ));
+                roots.push(RecordData::Ns("a.root-servers.example".parse().expect("static name")));
                 query.response().with_authority(&roots)
             }
         }
@@ -162,7 +160,10 @@ impl AuthoritativeServer {
                     ));
                 }
             }
-            RecordType::Aaaa | RecordType::Txt | RecordType::Soa | RecordType::Ptr
+            RecordType::Aaaa
+            | RecordType::Txt
+            | RecordType::Soa
+            | RecordType::Ptr
             | RecordType::Cname => {
                 // Parking services typically answer A for anything and
                 // NODATA elsewhere; keep the authoritative bit either way.
@@ -246,9 +247,8 @@ fn mangle_ns_targets(msg: &mut Message) {
         if let RecordData::Ns(target) = &rr.data {
             if target.level() > 1 {
                 let first = target.labels()[0].as_str().to_owned();
-                rr.data = RecordData::Ns(
-                    first.parse().expect("a single valid label parses as a name"),
-                );
+                rr.data =
+                    RecordData::Ns(first.parse().expect("a single valid label parses as a name"));
             }
         }
     }
@@ -288,9 +288,8 @@ mod tests {
 
     #[test]
     fn referral_below_cut_carries_glue() {
-        let r = responsive()
-            .handle(&Message::query(1, n("portal.gov.zz"), RecordType::Ns))
-            .unwrap();
+        let r =
+            responsive().handle(&Message::query(1, n("portal.gov.zz"), RecordType::Ns)).unwrap();
         assert!(r.is_referral());
         assert_eq!(r.authority_ns_targets(), vec![&n("ns1.portal.gov.zz")]);
         assert_eq!(r.additional[0].data.as_a(), Some(Ipv4Addr::new(198, 51, 100, 1)));
@@ -298,9 +297,7 @@ mod tests {
 
     #[test]
     fn nxdomain_carries_soa() {
-        let r = responsive()
-            .handle(&Message::query(1, n("absent.gov.zz"), RecordType::A))
-            .unwrap();
+        let r = responsive().handle(&Message::query(1, n("absent.gov.zz"), RecordType::A)).unwrap();
         assert_eq!(r.rcode, Rcode::NxDomain);
         assert!(r.aa);
         assert_eq!(r.authority.len(), 1);
@@ -315,8 +312,7 @@ mod tests {
 
     #[test]
     fn unresponsive_times_out() {
-        let s =
-            AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 9), ServerBehavior::Unresponsive);
+        let s = AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 9), ServerBehavior::Unresponsive);
         assert!(s.handle(&Message::query(1, n("gov.zz"), RecordType::Ns)).is_none());
     }
 
@@ -327,10 +323,8 @@ mod tests {
             (LameMode::ServFail, Rcode::ServFail),
             (LameMode::EmptyNonAuth, Rcode::NoError),
         ] {
-            let s = AuthoritativeServer::new(
-                Ipv4Addr::new(192, 0, 2, 9),
-                ServerBehavior::Lame(mode),
-            );
+            let s =
+                AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 9), ServerBehavior::Lame(mode));
             let r = s.handle(&Message::query(1, n("gov.zz"), RecordType::Ns)).unwrap();
             assert_eq!(r.rcode, want);
             assert!(!r.is_authoritative_answer());
@@ -362,8 +356,9 @@ mod tests {
 
     #[test]
     fn relative_bug_truncates_ns_targets() {
-        let s = AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 1), ServerBehavior::RelativeNameBug)
-            .with_zone(gov_zone());
+        let s =
+            AuthoritativeServer::new(Ipv4Addr::new(192, 0, 2, 1), ServerBehavior::RelativeNameBug)
+                .with_zone(gov_zone());
         let r = s.handle(&Message::query(1, n("gov.zz"), RecordType::Ns)).unwrap();
         assert_eq!(r.answer_ns_targets(), vec![&n("ns1")]);
     }

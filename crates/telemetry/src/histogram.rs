@@ -30,8 +30,7 @@ struct Inner {
 
 /// Default bounds for latencies in milliseconds (0.5 ms – ~8 s).
 const LATENCY_MS_BOUNDS: [f64; 15] = [
-    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0,
-    8192.0,
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0, 8192.0,
 ];
 
 /// Default bounds for message sizes in bytes (16 B – 8 KiB).
@@ -69,26 +68,21 @@ impl Histogram {
                 sum_bits: AtomicU64::new(0f64.to_bits()),
                 min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
                 max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
-            })
+            }),
         }
     }
 
     /// Records one observation.
     pub fn record(&self, value: f64) {
         let inner = &*self.inner;
-        let idx = inner
-            .bounds
-            .iter()
-            .position(|&b| value <= b)
-            .unwrap_or(inner.bounds.len());
+        let idx = inner.bounds.iter().position(|&b| value <= b).unwrap_or(inner.bounds.len());
         inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
         inner.count.fetch_add(1, Ordering::Relaxed);
         let add = |bits: &AtomicU64, f: &dyn Fn(f64) -> f64| {
             let mut cur = bits.load(Ordering::Relaxed);
             loop {
                 let next = f(f64::from_bits(cur)).to_bits();
-                match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
-                {
+                match bits.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
                     Ok(_) => break,
                     Err(seen) => cur = seen,
                 }
@@ -113,8 +107,16 @@ impl Histogram {
             buckets: inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count,
             sum: f64::from_bits(inner.sum_bits.load(Ordering::Relaxed)),
-            min: if count == 0 { 0.0 } else { f64::from_bits(inner.min_bits.load(Ordering::Relaxed)) },
-            max: if count == 0 { 0.0 } else { f64::from_bits(inner.max_bits.load(Ordering::Relaxed)) },
+            min: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(inner.min_bits.load(Ordering::Relaxed))
+            },
+            max: if count == 0 {
+                0.0
+            } else {
+                f64::from_bits(inner.max_bits.load(Ordering::Relaxed))
+            },
         }
     }
 }

@@ -142,7 +142,10 @@ impl Registry {
                 .lock()
                 .iter()
                 .map(|(name, s)| {
-                    (name.clone(), StageSnapshot { total_secs: s.total.as_secs_f64(), count: s.count })
+                    (
+                        name.clone(),
+                        StageSnapshot { total_secs: s.total.as_secs_f64(), count: s.count },
+                    )
                 })
                 .collect(),
             toplists: self.inner.toplists.lock().clone(),

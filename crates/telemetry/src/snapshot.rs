@@ -103,11 +103,7 @@ pub struct TelemetrySnapshot {
 impl TelemetrySnapshot {
     /// Sum of all counters whose name starts with `prefix`.
     pub fn counter_total(&self, prefix: &str) -> u64 {
-        self.counters
-            .iter()
-            .filter(|(name, _)| name.starts_with(prefix))
-            .map(|(_, v)| v)
-            .sum()
+        self.counters.iter().filter(|(name, _)| name.starts_with(prefix)).map(|(_, v)| v).sum()
     }
 
     /// Folds another snapshot into this one: counters, gauges, stages,
@@ -130,8 +126,7 @@ impl TelemetrySnapshot {
         }
         for (name, entries) in &other.toplists {
             let mine = self.toplists.entry(name.clone()).or_default();
-            let mut by_label: BTreeMap<String, u64> =
-                mine.drain(..).collect();
+            let mut by_label: BTreeMap<String, u64> = mine.drain(..).collect();
             for (label, n) in entries {
                 *by_label.entry(label.clone()).or_insert(0) += n;
             }
@@ -268,12 +263,8 @@ impl TelemetrySnapshot {
         });
         out.push(',');
         push_map(&mut out, "stages", &self.stages, |out, s| {
-            let _ = write!(
-                out,
-                "{{\"total_secs\":{},\"count\":{}}}",
-                json_f64(s.total_secs),
-                s.count
-            );
+            let _ =
+                write!(out, "{{\"total_secs\":{},\"count\":{}}}", json_f64(s.total_secs), s.count);
         });
         out.push(',');
         push_map(&mut out, "toplists", &self.toplists, |out, entries| {
@@ -379,11 +370,7 @@ impl TelemetrySnapshot {
         let _ = writeln!(out, "max_qps,{}", ledger.max_qps);
         let _ = writeln!(out, "destination_cap,{}", ledger.destination_cap);
         let _ = writeln!(out, "distinct_destinations,{}", ledger.distinct_destinations);
-        let _ = writeln!(
-            out,
-            "busiest_destination_queries,{}",
-            ledger.busiest_destination_queries
-        );
+        let _ = writeln!(out, "busiest_destination_queries,{}", ledger.busiest_destination_queries);
         let _ = writeln!(out, "destinations_at_cap,{}", ledger.destinations_at_cap);
         let _ = writeln!(out, "within_cap,{}", ledger.within_cap());
         out

@@ -62,10 +62,7 @@ impl AddressPlan {
     fn take_slash16(&mut self, asn: Asn) -> u32 {
         let base = self.next_slash16 << 16;
         self.next_slash16 += 1;
-        assert!(
-            self.next_slash16 < 223 * 256,
-            "address plan exhausted unicast space"
-        );
+        assert!(self.next_slash16 < 223 * 256, "address plan exhausted unicast space");
         self.db.allocate(Ipv4Addr::from(base), Ipv4Addr::from(base | 0xFFFF), asn);
         base
     }

@@ -13,9 +13,8 @@ pub const LAST_YEAR: i32 = 2020;
 /// Domains with NS records in PDNS, per year 2011–2020 (Fig 2; thousands
 /// interpolated between the published 113.5k start, ~194k 2019 peak and
 /// 192.6k end with the China consolidation dip).
-pub const DOMAINS_PER_YEAR: [u32; 10] = [
-    113_500, 121_000, 129_000, 137_500, 146_500, 156_000, 166_500, 178_000, 194_000, 192_600,
-];
+pub const DOMAINS_PER_YEAR: [u32; 10] =
+    [113_500, 121_000, 129_000, 137_500, 146_500, 156_000, 166_500, 178_000, 194_000, 192_600];
 
 /// Single-nameserver domains per year (Fig 6/7 context: 4.8k → 5.9k).
 pub const D1NS_PER_YEAR: [u32; 10] =
@@ -85,28 +84,89 @@ pub struct DiversityTarget {
 
 /// Table I rows (total plus top-10 countries).
 pub const DIVERSITY_TARGETS: [DiversityTarget; 11] = [
-    DiversityTarget { country: "**", domains: 94_848, multi_ip: 0.898, multi_24: 0.715, multi_asn: 0.329 },
-    DiversityTarget { country: "CN", domains: 13_623, multi_ip: 0.973, multi_24: 0.957, multi_asn: 0.524 },
-    DiversityTarget { country: "TH", domains: 8_941, multi_ip: 0.361, multi_24: 0.317, multi_asn: 0.136 },
-    DiversityTarget { country: "BR", domains: 7_271, multi_ip: 0.957, multi_24: 0.544, multi_asn: 0.137 },
-    DiversityTarget { country: "MX", domains: 5_256, multi_ip: 0.900, multi_24: 0.674, multi_asn: 0.257 },
-    DiversityTarget { country: "GB", domains: 4_788, multi_ip: 0.997, multi_24: 0.961, multi_asn: 0.255 },
-    DiversityTarget { country: "TR", domains: 4_528, multi_ip: 0.911, multi_24: 0.726, multi_asn: 0.421 },
-    DiversityTarget { country: "IN", domains: 4_426, multi_ip: 0.934, multi_24: 0.841, multi_asn: 0.106 },
-    DiversityTarget { country: "AU", domains: 3_707, multi_ip: 0.992, multi_24: 0.917, multi_asn: 0.090 },
-    DiversityTarget { country: "UA", domains: 3_421, multi_ip: 0.990, multi_24: 0.623, multi_asn: 0.451 },
-    DiversityTarget { country: "AR", domains: 2_795, multi_ip: 0.976, multi_24: 0.718, multi_asn: 0.305 },
+    DiversityTarget {
+        country: "**",
+        domains: 94_848,
+        multi_ip: 0.898,
+        multi_24: 0.715,
+        multi_asn: 0.329,
+    },
+    DiversityTarget {
+        country: "CN",
+        domains: 13_623,
+        multi_ip: 0.973,
+        multi_24: 0.957,
+        multi_asn: 0.524,
+    },
+    DiversityTarget {
+        country: "TH",
+        domains: 8_941,
+        multi_ip: 0.361,
+        multi_24: 0.317,
+        multi_asn: 0.136,
+    },
+    DiversityTarget {
+        country: "BR",
+        domains: 7_271,
+        multi_ip: 0.957,
+        multi_24: 0.544,
+        multi_asn: 0.137,
+    },
+    DiversityTarget {
+        country: "MX",
+        domains: 5_256,
+        multi_ip: 0.900,
+        multi_24: 0.674,
+        multi_asn: 0.257,
+    },
+    DiversityTarget {
+        country: "GB",
+        domains: 4_788,
+        multi_ip: 0.997,
+        multi_24: 0.961,
+        multi_asn: 0.255,
+    },
+    DiversityTarget {
+        country: "TR",
+        domains: 4_528,
+        multi_ip: 0.911,
+        multi_24: 0.726,
+        multi_asn: 0.421,
+    },
+    DiversityTarget {
+        country: "IN",
+        domains: 4_426,
+        multi_ip: 0.934,
+        multi_24: 0.841,
+        multi_asn: 0.106,
+    },
+    DiversityTarget {
+        country: "AU",
+        domains: 3_707,
+        multi_ip: 0.992,
+        multi_24: 0.917,
+        multi_asn: 0.090,
+    },
+    DiversityTarget {
+        country: "UA",
+        domains: 3_421,
+        multi_ip: 0.990,
+        multi_24: 0.623,
+        multi_asn: 0.451,
+    },
+    DiversityTarget {
+        country: "AR",
+        domains: 2_795,
+        multi_ip: 0.976,
+        multi_24: 0.718,
+        multi_asn: 0.305,
+    },
 ];
 
 /// Default diversity profile for countries outside the top ten, chosen so
 /// the weighted total approaches Table I's aggregate row.
-pub const DEFAULT_DIVERSITY: DiversityTarget = DiversityTarget {
-    country: "--",
-    domains: 0,
-    multi_ip: 0.92,
-    multi_24: 0.715,
-    multi_asn: 0.40,
-};
+pub const DEFAULT_DIVERSITY: DiversityTarget =
+    DiversityTarget { country: "--", domains: 0, multi_ip: 0.92, multi_24: 0.715, multi_asn: 0.40 };
 
 /// Defective delegations (§IV-C).
 pub mod delegation {
@@ -235,7 +295,10 @@ mod tests {
     #[test]
     fn consistency_breakdown_sums_to_disagreement() {
         use consistency::breakdown as b;
-        let sum = b::P_SUBSET_C + b::C_SUBSET_P + b::PARTIAL_OVERLAP + b::DISJOINT_IP_OVERLAP
+        let sum = b::P_SUBSET_C
+            + b::C_SUBSET_P
+            + b::PARTIAL_OVERLAP
+            + b::DISJOINT_IP_OVERLAP
             + b::DISJOINT_NO_IP;
         assert!((sum - (1.0 - consistency::EQUAL_RATE)).abs() < 1e-9);
     }

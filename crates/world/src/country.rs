@@ -18,10 +18,7 @@ impl CountryCode {
     /// static country table, so anything else is a table bug.
     pub fn new(s: &str) -> Self {
         let b = s.as_bytes();
-        assert!(
-            b.len() == 2 && b.iter().all(u8::is_ascii_alphabetic),
-            "bad country code `{s}`"
-        );
+        assert!(b.len() == 2 && b.iter().all(u8::is_ascii_alphabetic), "bad country code `{s}`");
         CountryCode([b[0].to_ascii_lowercase(), b[1].to_ascii_lowercase()])
     }
 
@@ -82,11 +79,28 @@ impl SubRegion {
     pub fn all() -> &'static [SubRegion] {
         use SubRegion::*;
         &[
-            NorthernAfrica, EasternAfrica, MiddleAfrica, SouthernAfrica, WesternAfrica,
-            Caribbean, CentralAmerica, SouthAmerica, NorthernAmerica, CentralAsia,
-            EasternAsia, SouthEasternAsia, SouthernAsia, WesternAsia, EasternEurope,
-            NorthernEurope, SouthernEurope, WesternEurope, AustraliaNewZealand, Melanesia,
-            Micronesia, Polynesia,
+            NorthernAfrica,
+            EasternAfrica,
+            MiddleAfrica,
+            SouthernAfrica,
+            WesternAfrica,
+            Caribbean,
+            CentralAmerica,
+            SouthAmerica,
+            NorthernAmerica,
+            CentralAsia,
+            EasternAsia,
+            SouthEasternAsia,
+            SouthernAsia,
+            WesternAsia,
+            EasternEurope,
+            NorthernEurope,
+            SouthernEurope,
+            WesternEurope,
+            AustraliaNewZealand,
+            Melanesia,
+            Micronesia,
+            Polynesia,
         ]
     }
 }

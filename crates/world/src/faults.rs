@@ -163,7 +163,9 @@ mod tests {
 
     #[test]
     fn stale_plans_expect_silence() {
-        for c in [FaultClass::ParentUnreachable, FaultClass::RemovedFromParent, FaultClass::FullyStale] {
+        for c in
+            [FaultClass::ParentUnreachable, FaultClass::RemovedFromParent, FaultClass::FullyStale]
+        {
             assert!(!FaultPlan::of(c).expect_some_authoritative_answer());
         }
     }

@@ -104,11 +104,46 @@ pub(crate) const COLLECTION_DATE: (i32, u32, u32) = (2021, 4, 15);
 
 /// Words agencies are named after.
 const AGENCY_WORDS: [&str; 40] = [
-    "health", "edu", "tax", "customs", "justice", "police", "treasury", "senate", "court",
-    "labor", "agri", "mines", "energy", "water", "roads", "rail", "ports", "stats", "census",
-    "meteo", "parks", "culture", "sport", "tourism", "trade", "digital", "archives", "library",
-    "pension", "social", "housing", "land", "forest", "fish", "post", "elections", "budget",
-    "audit", "defense", "foreign",
+    "health",
+    "edu",
+    "tax",
+    "customs",
+    "justice",
+    "police",
+    "treasury",
+    "senate",
+    "court",
+    "labor",
+    "agri",
+    "mines",
+    "energy",
+    "water",
+    "roads",
+    "rail",
+    "ports",
+    "stats",
+    "census",
+    "meteo",
+    "parks",
+    "culture",
+    "sport",
+    "tourism",
+    "trade",
+    "digital",
+    "archives",
+    "library",
+    "pension",
+    "social",
+    "housing",
+    "land",
+    "forest",
+    "fish",
+    "post",
+    "elections",
+    "budget",
+    "audit",
+    "defense",
+    "foreign",
 ];
 
 const REGION_WORDS: [&str; 8] =
@@ -282,9 +317,7 @@ impl Build {
             .countries
             .iter()
             .enumerate()
-            .filter(|(_, c)| {
-                c.tier == EgovTier::Minimal && !special.contains_key(c.code.as_str())
-            })
+            .filter(|(_, c)| c.tier == EgovTier::Minimal && !special.contains_key(c.code.as_str()))
             .map(|(i, _)| i)
             .collect();
         let mut quirk_rng = SmallRng::seed_from_u64(self.cfg.seed ^ 0x33);
@@ -342,8 +375,8 @@ impl Build {
                 || i == squatted_idx
                 || cc == "no"
                 || (!unresolvable.contains(&i) && quirk_rng.gen_bool(0.7));
-            let msq_fqdn = needs_msq
-                .then(|| format!("www.{d_gov}").parse().expect("msq name parses"));
+            let msq_fqdn =
+                needs_msq.then(|| format!("www.{d_gov}").parse().expect("msq name parses"));
 
             self.unkb.insert(PortalEntry { country: country.code, portal_fqdn: portal, msq_fqdn });
         }
@@ -547,9 +580,8 @@ impl Build {
             for _ in 0..births {
                 let single = self.rng.gen_bool(p_single);
                 let is_dead_child = !doomed.is_empty() && self.rng.gen_bool(0.113);
-                let is_fourth = !is_dead_child
-                    && !intermediates.is_empty()
-                    && self.rng.gen_bool(fourth_frac);
+                let is_fourth =
+                    !is_dead_child && !intermediates.is_empty() && self.rng.gen_bool(fourth_frac);
                 let (parent_zone, pdns_end_cap) = if is_dead_child {
                     let (name, death) = doomed[self.rng.gen_range(0..doomed.len())].clone();
                     (name, Some(death))
@@ -648,9 +680,8 @@ impl Build {
             // Transients never enter the provider market: they are
             // filtered out of every analysis, and letting them consume
             // provider quota would dilute the calibrated market shares.
-            let transient = self.domains[di]
-                .died
-                .is_some_and(|d| d - self.domains[di].created < 30);
+            let transient =
+                self.domains[di].died.is_some_and(|d| d - self.domains[di].created < 30);
             if self.rng.gen_bool(private_p) {
                 let hosts = self.private_hosts(di, profiles);
                 let rec = &mut self.domains[di];
@@ -669,8 +700,7 @@ impl Build {
         }
 
         // 2. Yearly rebalancing of provider-hosted domains.
-        let named_ids: Vec<ProviderId> =
-            self.catalog.named().map(|p| p.id).collect();
+        let named_ids: Vec<ProviderId> = self.catalog.named().map(|p| p.id).collect();
         let mut assignment: BTreeMap<usize, ProviderId> = BTreeMap::new();
         let mut counts: BTreeMap<ProviderId, usize> = BTreeMap::new();
         // Domains grouped by creation year for incremental assignment.
@@ -759,11 +789,8 @@ impl Build {
         excess: usize,
         year: i32,
     ) {
-        let customers: Vec<usize> = assignment
-            .iter()
-            .filter(|(_, &cur)| cur == pid)
-            .map(|(&di, _)| di)
-            .collect();
+        let customers: Vec<usize> =
+            assignment.iter().filter(|(_, &cur)| cur == pid).map(|(&di, _)| di).collect();
         let mut picked = customers;
         picked.shuffle(&mut self.rng);
         for di in picked.into_iter().take(excess) {
@@ -779,11 +806,7 @@ impl Build {
     fn migration_date(&mut self, di: usize, year: i32) -> SimDate {
         let start = SimDate::from_ymd(year, 1, 1) + self.rng.gen_range(5..360);
         let after_created = self.domains[di].created + 1;
-        let last = self.domains[di]
-            .epochs
-            .last()
-            .map(|e| e.start + 1)
-            .unwrap_or(after_created);
+        let last = self.domains[di].epochs.last().map(|e| e.start + 1).unwrap_or(after_created);
         start.max(after_created).max(last)
     }
 
@@ -916,9 +939,8 @@ impl Build {
                         }
                         None => rec.name.clone(),
                     };
-                    let rname: DomainName = format!("hostmaster.{rname_base}")
-                        .parse()
-                        .expect("generated rname parses");
+                    let rname: DomainName =
+                        format!("hostmaster.{rname_base}").parse().expect("generated rname parses");
                     let soa = govdns_model::Soa::new(primary.clone(), rname);
                     sensors.report_span(rec.name.clone(), RecordData::Soa(soa), span);
                 }
@@ -935,7 +957,11 @@ impl EpochSpec {
 }
 
 /// Materializes a rec's epochs into a public timeline.
-pub(crate) fn materialize_timeline(rec: &DomainRec, collection: SimDate, code: CountryCode) -> DomainTimeline {
+pub(crate) fn materialize_timeline(
+    rec: &DomainRec,
+    collection: SimDate,
+    code: CountryCode,
+) -> DomainTimeline {
     let mut t = DomainTimeline::new(rec.name.clone(), code);
     let end_of_life = rec.died.unwrap_or(collection);
     for (i, e) in rec.epochs.iter().enumerate() {

@@ -103,8 +103,7 @@ impl Materializer {
             let (gov_asn, isp_asn) = self.b.country_asns[ci];
             // NIC servers for the ccTLD.
             for k in 1..=2 {
-                let host: DomainName =
-                    format!("ns{k}.nic.{cc}").parse().expect("nic host parses");
+                let host: DomainName = format!("ns{k}.nic.{cc}").parse().expect("nic host parses");
                 let ip = self.b.plan.fresh_host(isp_asn);
                 self.host_ips.insert(host, ip);
             }
@@ -231,8 +230,7 @@ impl Materializer {
 
             // Partial lame.
             if hosts.len() >= 2 && self.rng.gen_bool(0.19) {
-                let lame_count =
-                    if hosts.len() >= 3 && self.rng.gen_bool(0.3) { 2 } else { 1 };
+                let lame_count = if hosts.len() >= 3 && self.rng.gen_bool(0.3) { 2 } else { 1 };
                 let mut victims = hosts.clone();
                 victims.shuffle(&mut self.rng);
                 for v in victims.into_iter().take(lame_count) {
@@ -378,9 +376,8 @@ impl Materializer {
                 let mut aliases = Vec::new();
                 for (k, host) in out.c.iter().enumerate() {
                     let Some(&ip) = self.host_ips.get(host) else { return false };
-                    let alias: DomainName = format!("dns{}.{name}", k + 1)
-                        .parse()
-                        .expect("alias host parses");
+                    let alias: DomainName =
+                        format!("dns{}.{name}", k + 1).parse().expect("alias host parses");
                     self.host_ips.insert(alias.clone(), ip);
                     aliases.push(alias);
                 }
@@ -415,9 +412,8 @@ impl Materializer {
                 provider.pool.pair(idx).0.clone()
             }
             None => {
-                let host: DomainName = format!("ns{}.{name}", 7 + salt)
-                    .parse()
-                    .expect("extra host parses");
+                let host: DomainName =
+                    format!("ns{}.{name}", 7 + salt).parse().expect("extra host parses");
                 if !self.host_ips.contains_key(&host) {
                     let (gov_asn, _) = self.b.country_asns[self.b.domains[di].country_idx];
                     let ip = self.b.plan.fresh_host(gov_asn);
@@ -459,10 +455,10 @@ impl Materializer {
     /// referenced by government delegations, registrable at retail prices.
     fn inject_dangling_clusters(&mut self) {
         let scale = self.b.cfg.scale;
-        let n_countries =
-            ((f64::from(calibration::delegation::AFFECTED_COUNTRIES) * scale.powf(0.6)).round()
-                as usize)
-                .max(1);
+        let n_countries = ((f64::from(calibration::delegation::AFFECTED_COUNTRIES)
+            * scale.powf(0.6))
+        .round() as usize)
+            .max(1);
         let n_dns = ((f64::from(calibration::delegation::AVAILABLE_NS_DOMAINS) * scale).round()
             as usize)
             .max(2);
@@ -474,8 +470,7 @@ impl Materializer {
                 *by_count.entry(rec.country_idx).or_default() += 1;
             }
         }
-        let mut ranked: Vec<(usize, usize)> =
-            by_count.iter().map(|(&ci, &n)| (ci, n)).collect();
+        let mut ranked: Vec<(usize, usize)> = by_count.iter().map(|(&ci, &n)| (ci, n)).collect();
         ranked.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
         let chosen: Vec<usize> = ranked.iter().take(n_countries).map(|&(ci, _)| ci).collect();
         if chosen.is_empty() {
@@ -526,10 +521,8 @@ impl Materializer {
     }
 
     fn attach_dangling(&mut self, di: usize, dead_domain: &DomainName) {
-        let h1: DomainName =
-            format!("ns1.{dead_domain}").parse().expect("dangling host parses");
-        let h2: DomainName =
-            format!("ns2.{dead_domain}").parse().expect("dangling host parses");
+        let h1: DomainName = format!("ns1.{dead_domain}").parse().expect("dangling host parses");
+        let h2: DomainName = format!("ns2.{dead_domain}").parse().expect("dangling host parses");
         let fully = self.rng.gen_bool(0.56);
         let out = &mut self.outs[di];
         if fully {
@@ -554,9 +547,8 @@ impl Materializer {
     /// under expired domains that now answer from a parking service.
     fn inject_parked_dangling(&mut self) {
         let scale = self.b.cfg.scale;
-        let n_dns = ((f64::from(calibration::consistency::AVAILABLE_NS_DOMAINS)
-            * scale.powf(0.6))
-        .round() as usize)
+        let n_dns = ((f64::from(calibration::consistency::AVAILABLE_NS_DOMAINS) * scale.powf(0.6))
+            .round() as usize)
             .max(1);
         let n_countries = ((f64::from(calibration::consistency::AFFECTED_COUNTRIES)
             * scale.powf(0.6))
@@ -591,24 +583,19 @@ impl Materializer {
         let mut countries_used: Vec<usize> = Vec::new();
         let mut cursor = 0usize;
         for k in 0..n_dns {
-            let parked: DomainName = format!("park{}dns.com", k + 1)
-                .parse()
-                .expect("parked domain parses");
+            let parked: DomainName =
+                format!("park{}dns.com", k + 1).parse().expect("parked domain parses");
             let price = (calibration::consistency::COST_MIN_USD
                 + self.rng.gen_range(0.0..4_700.0) * 1.0)
                 .max(calibration::consistency::COST_MIN_USD);
             self.registrar.mark_available(parked.clone(), (price * 100.0).round() / 100.0);
-            let host: DomainName =
-                format!("ns1.{parked}").parse().expect("parked host parses");
+            let host: DomainName = format!("ns1.{parked}").parse().expect("parked host parses");
             self.host_ips.insert(host.clone(), self.parking_ip);
 
             // The first parked name is the district-government cluster;
             // the rest get ~2 victims each.
-            let victims = if k == 0 {
-                ((12.0 * scale.powf(0.6)).round() as usize).clamp(1, 12)
-            } else {
-                2
-            };
+            let victims =
+                if k == 0 { ((12.0 * scale.powf(0.6)).round() as usize).clamp(1, 12) } else { 2 };
             for _ in 0..victims {
                 let Some(&di) = candidates.get(cursor) else { return };
                 cursor += 1;
@@ -637,9 +624,8 @@ impl Materializer {
         let root_asn = self.b.plan.allocate_asn();
         let root_hosts: Vec<(DomainName, Ipv4Addr)> = (0..2)
             .map(|k| {
-                let host: DomainName = format!("ns{}.rootns.net", k + 1)
-                    .parse()
-                    .expect("root host parses");
+                let host: DomainName =
+                    format!("ns{}.rootns.net", k + 1).parse().expect("root host parses");
                 let ip = self.b.plan.fresh_host(root_asn);
                 self.host_ips.insert(host.clone(), ip);
                 (host, ip)
@@ -657,8 +643,7 @@ impl Materializer {
         let mut gtld_ips: HashMap<&str, Ipv4Addr> = HashMap::new();
         for tld in gtlds {
             let origin: DomainName = tld.parse().expect("gtld parses");
-            let host: DomainName =
-                format!("ns1.nic.{tld}").parse().expect("gtld host parses");
+            let host: DomainName = format!("ns1.nic.{tld}").parse().expect("gtld host parses");
             let ip = self.b.plan.fresh_host(gtld_asn);
             self.host_ips.insert(host.clone(), ip);
             gtld_ips.insert(tld, ip);
@@ -703,8 +688,7 @@ impl Materializer {
             let origin: DomainName = cc.parse().expect("cctld parses");
             let mut z = Zone::new(origin.clone());
             for k in 1..=2 {
-                let host: DomainName =
-                    format!("ns{k}.nic.{cc}").parse().expect("nic host parses");
+                let host: DomainName = format!("ns{k}.nic.{cc}").parse().expect("nic host parses");
                 let ip = self.host_ips[&host];
                 z.add_ns(origin.clone(), host.clone());
                 z.add_a(host.clone(), ip);
@@ -772,32 +756,17 @@ impl Materializer {
         // record in its enclosing zone (the 11 unresolvable-link quirks
         // keep their dead FQDNs; the squatted portal already points at
         // the parking service through its gTLD zone).
-        let country_idx: HashMap<crate::country::CountryCode, usize> = self
-            .b
-            .countries
-            .iter()
-            .enumerate()
-            .map(|(i, c)| (c.code, i))
-            .collect();
-        let portal_entries: Vec<(crate::country::CountryCode, DomainName)> = self
-            .b
-            .unkb
-            .iter()
-            .map(|e| (e.country, e.portal_fqdn.clone()))
-            .collect();
+        let country_idx: HashMap<crate::country::CountryCode, usize> =
+            self.b.countries.iter().enumerate().map(|(i, c)| (c.code, i)).collect();
+        let portal_entries: Vec<(crate::country::CountryCode, DomainName)> =
+            self.b.unkb.iter().map(|e| (e.country, e.portal_fqdn.clone())).collect();
         for (country, portal) in portal_entries {
-            let dead_link = portal
-                .labels()
-                .first()
-                .is_some_and(|l| l.as_str() == "old-portal");
+            let dead_link = portal.labels().first().is_some_and(|l| l.as_str() == "old-portal");
             let squatted = self.b.squatted_portal.as_ref() == Some(&portal);
             if dead_link || squatted {
                 continue;
             }
-            let Some(owner_zone) = portal
-                .ancestors()
-                .skip(1)
-                .find(|anc| zones.contains_key(anc))
+            let Some(owner_zone) = portal.ancestors().skip(1).find(|anc| zones.contains_key(anc))
             else {
                 continue;
             };
@@ -820,10 +789,7 @@ impl Materializer {
             if out.p.is_empty() {
                 continue;
             }
-            let parent_origin = rec
-                .parent_zone
-                .ancestors()
-                .find(|anc| zones.contains_key(anc));
+            let parent_origin = rec.parent_zone.ancestors().find(|anc| zones.contains_key(anc));
             let Some(parent) = parent_origin.and_then(|o| zones.get_mut(&o)) else {
                 continue;
             };
@@ -843,12 +809,10 @@ impl Materializer {
             zones.into_iter().map(|(k, v)| (k, Arc::new(v))).collect();
         let mut servers: HashMap<Ipv4Addr, AuthoritativeServer> = HashMap::new();
         let serve = |servers: &mut HashMap<Ipv4Addr, AuthoritativeServer>,
-                         ip: Ipv4Addr,
-                         behavior: ServerBehavior,
-                         zone: Option<&Arc<Zone>>| {
-            let entry = servers
-                .entry(ip)
-                .or_insert_with(|| AuthoritativeServer::new(ip, behavior));
+                     ip: Ipv4Addr,
+                     behavior: ServerBehavior,
+                     zone: Option<&Arc<Zone>>| {
+            let entry = servers.entry(ip).or_insert_with(|| AuthoritativeServer::new(ip, behavior));
             if let Some(z) = zone {
                 entry.add_zone(Arc::clone(z));
             }
@@ -860,19 +824,13 @@ impl Materializer {
         }
         for tld in gtlds {
             let origin: DomainName = tld.parse().expect("gtld parses");
-            serve(
-                &mut servers,
-                gtld_ips[tld],
-                ServerBehavior::Responsive,
-                arcs.get(&origin),
-            );
+            serve(&mut servers, gtld_ips[tld], ServerBehavior::Responsive, arcs.get(&origin));
         }
         for ci in 0..self.b.countries.len() {
             let cc = self.b.countries[ci].code.as_str().to_owned();
             let origin: DomainName = cc.parse().expect("cctld parses");
             for k in 1..=2 {
-                let host: DomainName =
-                    format!("ns{k}.nic.{cc}").parse().expect("nic host parses");
+                let host: DomainName = format!("ns{k}.nic.{cc}").parse().expect("nic host parses");
                 serve(
                     &mut servers,
                     self.host_ips[&host],
@@ -964,8 +922,8 @@ impl Materializer {
         }
 
         // Assemble the network.
-        let mut network = SimNetwork::new(self.b.cfg.seed ^ 0x66)
-            .with_loss_rate(self.b.cfg.loss_rate);
+        let mut network =
+            SimNetwork::new(self.b.cfg.seed ^ 0x66).with_loss_rate(self.b.cfg.loss_rate);
         for (_, server) in servers {
             network.add_server(server);
         }

@@ -33,8 +33,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod calibration;
 mod addressing;
+pub mod calibration;
 mod countries_data;
 mod country;
 mod deployment;
@@ -48,13 +48,15 @@ mod webarchive;
 mod world;
 
 pub use addressing::AddressPlan;
-pub use govdns_pdns::SensorConfig;
 pub use countries_data::countries;
 pub use country::{Country, CountryCode, SubRegion};
 pub use deployment::{DeploymentStyle, DiversityPolicy, NsPool};
 pub use faults::{FaultClass, FaultPlan, InconsistencyKind};
 pub use generator::{WorldConfig, WorldGenerator};
-pub use provider::{MatchRule, MatchTarget, NamingStyle, Provider, ProviderCatalog, ProviderId, ProviderMatcher};
+pub use govdns_pdns::SensorConfig;
+pub use provider::{
+    MatchRule, MatchTarget, NamingStyle, Provider, ProviderCatalog, ProviderId, ProviderMatcher,
+};
 pub use registrar::{PriceUsd, Registrar};
 pub use timeline::{DomainTimeline, Epoch};
 pub use unkb::{PortalEntry, RegistryDocs, UnKnowledgeBase};

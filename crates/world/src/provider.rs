@@ -295,30 +295,228 @@ fn named_providers() -> Vec<Provider> {
     let num = |d: &str| NamingStyle::Numbered { domain: d.to_owned() };
     vec![
         spec("AWS DNS", NamingStyle::AwsDns, None, 5.0, 5_193.0, 3, 78, 0.91, MultiAsn, 256),
-        spec("cloudflare.com", NamingStyle::CloudflareNs, None, 12.0, 4_136.0, 8, 100, 0.75, MultiSlash24, 120),
+        spec(
+            "cloudflare.com",
+            NamingStyle::CloudflareNs,
+            None,
+            12.0,
+            4_136.0,
+            8,
+            100,
+            0.75,
+            MultiSlash24,
+            120,
+        ),
         spec("Azure DNS", NamingStyle::AzureDns, None, 0.0, 1_574.0, 0, 42, 0.73, MultiAsn, 100),
-        spec("dnspod.net", num("dnspod.net"), Some("cn"), 373.0, 700.0, 1, 1, 0.82, MultiSlash24, 40),
-        spec("dnsmadeeasy.com", num("dnsmadeeasy.com"), None, 89.0, 254.0, 14, 18, 0.86, MultiAsn, 20),
+        spec(
+            "dnspod.net",
+            num("dnspod.net"),
+            Some("cn"),
+            373.0,
+            700.0,
+            1,
+            1,
+            0.82,
+            MultiSlash24,
+            40,
+        ),
+        spec(
+            "dnsmadeeasy.com",
+            num("dnsmadeeasy.com"),
+            None,
+            89.0,
+            254.0,
+            14,
+            18,
+            0.86,
+            MultiAsn,
+            20,
+        ),
         spec("Dyn", NamingStyle::DynStyle, None, 7.0, 170.0, 3, 15, 0.77, MultiSlash24, 20),
-        spec("domaincontrol.com", num("domaincontrol.com"), None, 283.0, 1_582.0, 50, 72, 0.80, MultiSlash24, 80),
+        spec(
+            "domaincontrol.com",
+            num("domaincontrol.com"),
+            None,
+            283.0,
+            1_582.0,
+            50,
+            72,
+            0.80,
+            MultiSlash24,
+            80,
+        ),
         spec("ultradns.net", num("ultradns.net"), None, 15.0, 66.0, 4, 7, 0.86, MultiAsn, 10),
-        spec("websitewelcome.com", num("websitewelcome.com"), None, 424.0, 745.0, 56, 57, 0.80, MultiSlash24, 60),
-        spec("zoneedit.com", num("zoneedit.com"), None, 182.0, 120.0, 34, 20, 0.80, MultiSlash24, 20),
-        spec("dreamhost.com", num("dreamhost.com"), None, 243.0, 210.0, 31, 22, 0.80, MultiSlash24, 30),
-        spec("bluehost.com", num("bluehost.com"), None, 134.0, 432.0, 31, 66, 0.80, MultiSlash24, 40),
-        spec("Hostgator", num("hostgator.com"), None, 183.0, 1_536.0, 31, 62, 0.80, MultiSlash24, 70),
-        spec("ixwebhosting.com", num("ixwebhosting.com"), None, 98.0, 40.0, 30, 10, 0.80, MultiSlash24, 12),
-        spec("hostmonster.com", num("hostmonster.com"), None, 103.0, 90.0, 29, 13, 0.80, MultiSlash24, 12),
+        spec(
+            "websitewelcome.com",
+            num("websitewelcome.com"),
+            None,
+            424.0,
+            745.0,
+            56,
+            57,
+            0.80,
+            MultiSlash24,
+            60,
+        ),
+        spec(
+            "zoneedit.com",
+            num("zoneedit.com"),
+            None,
+            182.0,
+            120.0,
+            34,
+            20,
+            0.80,
+            MultiSlash24,
+            20,
+        ),
+        spec(
+            "dreamhost.com",
+            num("dreamhost.com"),
+            None,
+            243.0,
+            210.0,
+            31,
+            22,
+            0.80,
+            MultiSlash24,
+            30,
+        ),
+        spec(
+            "bluehost.com",
+            num("bluehost.com"),
+            None,
+            134.0,
+            432.0,
+            31,
+            66,
+            0.80,
+            MultiSlash24,
+            40,
+        ),
+        spec(
+            "Hostgator",
+            num("hostgator.com"),
+            None,
+            183.0,
+            1_536.0,
+            31,
+            62,
+            0.80,
+            MultiSlash24,
+            70,
+        ),
+        spec(
+            "ixwebhosting.com",
+            num("ixwebhosting.com"),
+            None,
+            98.0,
+            40.0,
+            30,
+            10,
+            0.80,
+            MultiSlash24,
+            12,
+        ),
+        spec(
+            "hostmonster.com",
+            num("hostmonster.com"),
+            None,
+            103.0,
+            90.0,
+            29,
+            13,
+            0.80,
+            MultiSlash24,
+            12,
+        ),
         spec("everydns.net", num("everydns.net"), None, 259.0, 0.0, 28, 0, 0.80, MultiSlash24, 12),
         spec("pipedns.com", num("pipedns.com"), None, 48.0, 35.0, 26, 9, 0.80, MultiSlash24, 8),
-        spec("stabletransit.com", num("stabletransit.com"), None, 57.0, 55.0, 24, 11, 0.80, MultiSlash24, 8),
-        spec("digitalocean.com", num("digitalocean.com"), None, 0.0, 429.0, 0, 52, 0.80, MultiSlash24, 3),
-        spec("microsoftonline.com", num("bdm.microsoftonline.com"), None, 0.0, 135.0, 0, 46, 0.60, MultiAsn, 10),
+        spec(
+            "stabletransit.com",
+            num("stabletransit.com"),
+            None,
+            57.0,
+            55.0,
+            24,
+            11,
+            0.80,
+            MultiSlash24,
+            8,
+        ),
+        spec(
+            "digitalocean.com",
+            num("digitalocean.com"),
+            None,
+            0.0,
+            429.0,
+            0,
+            52,
+            0.80,
+            MultiSlash24,
+            3,
+        ),
+        spec(
+            "microsoftonline.com",
+            num("bdm.microsoftonline.com"),
+            None,
+            0.0,
+            135.0,
+            0,
+            46,
+            0.60,
+            MultiAsn,
+            10,
+        ),
         spec("wixdns.net", num("wixdns.net"), None, 0.0, 324.0, 0, 44, 0.90, MultiSlash24, 4),
-        spec("cloudns.net", NamingStyle::PnsNumbered { domain: "cloudns.net".to_owned() }, None, 0.0, 225.0, 0, 43, 0.80, MultiSlash24, 20),
-        spec("hichina.com", num("hichina.com"), Some("cn"), 2_000.0, 6_900.0, 1, 1, 0.85, MultiSlash24, 120),
-        spec("xincache.com", num("xincache.com"), Some("cn"), 1_050.0, 3_450.0, 1, 1, 0.85, MultiSlash24, 60),
-        spec("dns-diy.com", num("dns-diy.com"), Some("cn"), 650.0, 1_960.0, 1, 1, 0.85, MultiAsn, 40),
+        spec(
+            "cloudns.net",
+            NamingStyle::PnsNumbered { domain: "cloudns.net".to_owned() },
+            None,
+            0.0,
+            225.0,
+            0,
+            43,
+            0.80,
+            MultiSlash24,
+            20,
+        ),
+        spec(
+            "hichina.com",
+            num("hichina.com"),
+            Some("cn"),
+            2_000.0,
+            6_900.0,
+            1,
+            1,
+            0.85,
+            MultiSlash24,
+            120,
+        ),
+        spec(
+            "xincache.com",
+            num("xincache.com"),
+            Some("cn"),
+            1_050.0,
+            3_450.0,
+            1,
+            1,
+            0.85,
+            MultiSlash24,
+            60,
+        ),
+        spec(
+            "dns-diy.com",
+            num("dns-diy.com"),
+            Some("cn"),
+            650.0,
+            1_960.0,
+            1,
+            1,
+            0.85,
+            MultiAsn,
+            40,
+        ),
         {
             // A white-label DNS wholesaler: anonymous cluster hostnames,
             // identifiable only through the SOA RNAME it stamps on
@@ -467,9 +665,7 @@ impl ProviderCatalog {
         }
         let registered = host.suffix(2);
         self.providers.iter().find(|p| {
-            p.style.registered_domains().iter().any(|d| {
-                *d == registered || host.is_within(d)
-            })
+            p.style.registered_domains().iter().any(|d| *d == registered || host.is_within(d))
         })
     }
 }

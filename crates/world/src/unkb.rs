@@ -119,14 +119,8 @@ mod tests {
         let mut docs = RegistryDocs::new();
         docs.document("gov.au".parse().unwrap(), true);
         docs.document("com.au".parse().unwrap(), false);
-        assert_eq!(
-            docs.suffix_reserved_for_government(&"gov.au".parse().unwrap()),
-            Some(true)
-        );
-        assert_eq!(
-            docs.suffix_reserved_for_government(&"com.au".parse().unwrap()),
-            Some(false)
-        );
+        assert_eq!(docs.suffix_reserved_for_government(&"gov.au".parse().unwrap()), Some(true));
+        assert_eq!(docs.suffix_reserved_for_government(&"com.au".parse().unwrap()), Some(false));
         assert_eq!(docs.suffix_reserved_for_government(&"gov.la".parse().unwrap()), None);
     }
 }

@@ -23,10 +23,7 @@ impl WebArchive {
 
     /// Records the earliest government snapshot for `domain`.
     pub fn record(&mut self, domain: DomainName, date: SimDate) {
-        self.earliest
-            .entry(domain)
-            .and_modify(|d| *d = (*d).min(date))
-            .or_insert(date);
+        self.earliest.entry(domain).and_modify(|d| *d = (*d).min(date)).or_insert(date);
     }
 
     /// The earliest government snapshot covering `domain`: an exact entry,
@@ -82,10 +79,7 @@ mod tests {
         wa.record("jis.gov.jm".parse().unwrap(), d(2008, 1, 1));
         wa.record("jis.gov.jm".parse().unwrap(), d(2003, 1, 1));
         wa.record("jis.gov.jm".parse().unwrap(), d(2010, 1, 1));
-        assert_eq!(
-            wa.earliest_government_use(&"jis.gov.jm".parse().unwrap()),
-            Some(d(2003, 1, 1))
-        );
+        assert_eq!(wa.earliest_government_use(&"jis.gov.jm".parse().unwrap()), Some(d(2003, 1, 1)));
         assert_eq!(wa.len(), 1);
     }
 }

@@ -101,15 +101,9 @@ fn fault_rates_land_in_calibrated_bands() {
         .iter()
         .filter(|d| d.faults.classes().iter().any(|c| matches!(c, FaultClass::PartialLame { .. })))
         .count() as f64;
-    assert!(
-        (0.12..0.28).contains(&(partial / total)),
-        "partial-lame rate {}",
-        partial / total
-    );
-    let inconsistent = responsive
-        .iter()
-        .filter(|d| d.faults.inconsistency().is_some())
-        .count() as f64;
+    assert!((0.12..0.28).contains(&(partial / total)), "partial-lame rate {}", partial / total);
+    let inconsistent =
+        responsive.iter().filter(|d| d.faults.inconsistency().is_some()).count() as f64;
     assert!(
         (0.10..0.30).contains(&(inconsistent / total)),
         "inconsistency rate {}",

@@ -48,9 +48,9 @@ fn resolver_can_walk_to_a_healthy_domain() {
         .find(|d| d.alive_2021 && d.faults.is_clean() && !d.child_ns.is_empty())
         .expect("some healthy domain exists");
     let www = healthy.timeline.name.prepend("www").unwrap();
-    let addrs = resolver.resolve_a(&www).unwrap_or_else(|e| {
-        panic!("resolving {www} failed: {e} (ns: {:?})", healthy.child_ns)
-    });
+    let addrs = resolver
+        .resolve_a(&www)
+        .unwrap_or_else(|e| panic!("resolving {www} failed: {e} (ns: {:?})", healthy.child_ns));
     assert!(!addrs.is_empty());
 }
 
@@ -66,11 +66,8 @@ fn ns_queries_reach_authoritative_servers() {
         let res = resolver
             .resolve(&d.timeline.name, RecordType::Ns)
             .unwrap_or_else(|e| panic!("NS lookup for {} failed: {e}", d.timeline.name));
-        let mut got: Vec<String> = res
-            .records
-            .iter()
-            .filter_map(|r| r.data.as_ns().map(|n| n.to_string()))
-            .collect();
+        let mut got: Vec<String> =
+            res.records.iter().filter_map(|r| r.data.as_ns().map(|n| n.to_string())).collect();
         got.sort();
         let mut want: Vec<String> = d.child_ns.iter().map(|n| n.to_string()).collect();
         want.sort();
@@ -85,9 +82,11 @@ fn fully_stale_domains_have_silent_nameservers() {
     let w = small_world();
     let resolver = StubResolver::new(&w.network, w.roots.clone());
     let mut checked = 0;
-    for d in w.truth().domains.iter().filter(|d| {
-        d.alive_2021 && d.faults.has(FaultClass::FullyStale) && !d.parent_ns.is_empty()
-    }) {
+    for d in
+        w.truth().domains.iter().filter(|d| {
+            d.alive_2021 && d.faults.has(FaultClass::FullyStale) && !d.parent_ns.is_empty()
+        })
+    {
         if checked >= 10 {
             break;
         }
@@ -95,7 +94,8 @@ fn fully_stale_domains_have_silent_nameservers() {
         for host in &d.parent_ns {
             if let Ok(addrs) = resolver.resolve_a(host) {
                 for ip in addrs {
-                    let q = govdns_model::Message::query(1, d.timeline.name.clone(), RecordType::Ns);
+                    let q =
+                        govdns_model::Message::query(1, d.timeline.name.clone(), RecordType::Ns);
                     let out = w.network.deliver(ip, &q);
                     if let Some(reply) = out.reply() {
                         assert!(
@@ -130,10 +130,7 @@ fn pdns_history_has_the_papers_shape() {
     }
     let count = |y: i32| per_year.iter().find(|&&(yy, _)| yy == y).unwrap().1 as f64;
     let growth = count(2020) / count(2011);
-    assert!(
-        (1.4..2.1).contains(&growth),
-        "2011→2020 growth {growth} ({per_year:?})"
-    );
+    assert!((1.4..2.1).contains(&growth), "2011→2020 growth {growth} ({per_year:?})");
     assert!(count(2019) > count(2020), "2019→2020 dip missing ({per_year:?})");
     assert!(count(2015) > count(2011) && count(2015) < count(2019));
 }
@@ -196,11 +193,8 @@ fn seed_quirks_are_present() {
     let w = small_world();
     // Exactly 193 portal entries; some unresolvable; one squatted (its
     // registered domain is a .com outside any gov suffix).
-    let squatted: Vec<_> = w
-        .unkb
-        .iter()
-        .filter(|e| e.portal_fqdn.suffix(1).to_string() == "com")
-        .collect();
+    let squatted: Vec<_> =
+        w.unkb.iter().filter(|e| e.portal_fqdn.suffix(1).to_string() == "com").collect();
     assert_eq!(squatted.len(), 1, "exactly one squatted portal");
     // Registry docs confirm gov suffixes except the three special cases.
     let au: DomainName = "gov.au".parse().unwrap();
@@ -215,17 +209,12 @@ fn seed_quirks_are_present() {
 #[test]
 fn parked_dangling_surface_exists() {
     let w = small_world();
-    let parked: Vec<_> = w
-        .truth()
-        .domains
-        .iter()
-        .filter(|d| d.faults.has(FaultClass::ParkedDangling))
-        .collect();
+    let parked: Vec<_> =
+        w.truth().domains.iter().filter(|d| d.faults.has(FaultClass::ParkedDangling)).collect();
     assert!(!parked.is_empty(), "no parked-dangling injections");
     for d in &parked {
         // The parent-only host's registered domain is premium-available.
-        let extra: Vec<_> =
-            d.parent_ns.iter().filter(|h| !d.child_ns.contains(h)).collect();
+        let extra: Vec<_> = d.parent_ns.iter().filter(|h| !d.child_ns.contains(h)).collect();
         assert!(!extra.is_empty());
         assert!(extra
             .iter()
@@ -251,8 +240,7 @@ fn provider_market_tracks_yearly_targets() {
                 .iter()
                 .filter(|d| {
                     d.timeline.epochs.iter().any(|e| {
-                        e.span.overlaps(&window)
-                            && e.style.providers().contains(&provider.id)
+                        e.span.overlaps(&window) && e.style.providers().contains(&provider.id)
                     })
                 })
                 .count() as f64;
@@ -278,9 +266,7 @@ fn everydns_customers_disappear_by_2020() {
             .domains
             .iter()
             .filter(|d| {
-                d.timeline
-                    .at(date)
-                    .is_some_and(|e| e.style.providers().contains(&everydns.id))
+                d.timeline.at(date).is_some_and(|e| e.style.providers().contains(&everydns.id))
             })
             .count()
     };

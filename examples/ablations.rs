@@ -81,8 +81,7 @@ fn main() {
     let matchers = world.catalog.matchers();
     let campaign = Campaign::new(&world, &matchers);
     let seeds = select_seeds(&campaign);
-    let filtered =
-        discover(&campaign, &seeds, DiscoveryConfig::paper(world.collection_date)).len();
+    let filtered = discover(&campaign, &seeds, DiscoveryConfig::paper(world.collection_date)).len();
     // Count raw window hits without the stability rule.
     let window = DiscoveryConfig::paper(world.collection_date).window;
     let mut raw = std::collections::BTreeSet::new();

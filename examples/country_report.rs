@@ -29,27 +29,15 @@ fn main() {
     let report = Report::generate(&campaign, RunnerConfig::default());
 
     let country = world.country(code).expect("ISO code belongs to a UN member");
-    let seed_domain = report
-        .dataset
-        .seeds
-        .iter()
-        .find(|s| s.country == code)
-        .expect("every country has a seed");
+    let seed_domain =
+        report.dataset.seeds.iter().find(|s| s.country == code).expect("every country has a seed");
     println!("{} ({}) — {}", country.name, code, country.sub_region);
     println!("seed domain: {} ({:?})", seed_domain.name, seed_domain.kind);
 
-    let probes: Vec<_> = report
-        .dataset
-        .probes_with_country()
-        .filter(|&(_, c)| c == code)
-        .map(|(p, _)| p)
-        .collect();
+    let probes: Vec<_> =
+        report.dataset.probes_with_country().filter(|&(_, c)| c == code).map(|(p, _)| p).collect();
     let responsive: Vec<_> = probes.iter().filter(|p| p.parent_nonempty()).collect();
-    println!(
-        "domains probed: {}   with live delegation: {}",
-        probes.len(),
-        responsive.len()
-    );
+    println!("domains probed: {}   with live delegation: {}", probes.len(), responsive.len());
 
     let single = responsive.iter().filter(|p| p.ns_union().len() == 1).count();
     let defective = responsive.iter().filter(|p| p.defective().0).count();
@@ -57,9 +45,8 @@ fn main() {
     let disagree = responsive
         .iter()
         .filter(|p| {
-            classify(p).is_some_and(|c| {
-                c != govdns::core::analysis::consistency::ConsistencyClass::Equal
-            })
+            classify(p)
+                .is_some_and(|c| c != govdns::core::analysis::consistency::ConsistencyClass::Equal)
         })
         .count();
     println!("single-nameserver domains: {single}");

@@ -20,11 +20,7 @@ fn main() {
 
     eprintln!("generating world at {:.0}% of paper scale (seed {seed})...", scale * 100.0);
     let world = WorldGenerator::new(WorldConfig::small(seed).with_scale(scale)).generate();
-    eprintln!(
-        "world: {} servers, {} PDNS entries",
-        world.network.server_count(),
-        world.pdns.len()
-    );
+    eprintln!("world: {} servers, {} PDNS entries", world.network.server_count(), world.pdns.len());
 
     eprintln!("running campaign and analyses...");
     let matchers = world.catalog.matchers();

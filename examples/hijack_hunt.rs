@@ -26,9 +26,10 @@ fn main() {
     println!("== dangling NS domains registrable right now ==");
     let mut ranked: Vec<_> = d.available.iter().collect();
     ranked.sort_by(|a, b| {
-        b.affected.len().cmp(&a.affected.len()).then(
-            a.price_usd.partial_cmp(&b.price_usd).expect("prices are finite"),
-        )
+        b.affected
+            .len()
+            .cmp(&a.affected.len())
+            .then(a.price_usd.partial_cmp(&b.price_usd).expect("prices are finite"))
     });
     for a in &ranked {
         println!(

@@ -45,8 +45,11 @@ pub use govdns_world as world;
 /// The types most programs need.
 pub mod prelude {
     pub use govdns_core::report::Report;
-    pub use govdns_core::{Campaign, CampaignTelemetry, MeasurementDataset, RunnerConfig};
+    pub use govdns_core::{
+        Campaign, CampaignTelemetry, ChaosSpec, MeasurementDataset, RetryPolicy, RunnerConfig,
+    };
     pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
+    pub use govdns_simnet::ChaosProfile;
     pub use govdns_telemetry::{ProgressEvent, Registry, TelemetrySnapshot};
     pub use govdns_world::{World, WorldConfig, WorldGenerator};
 }

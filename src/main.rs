@@ -37,8 +37,7 @@ struct Options {
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { scale: 0.05, seed: 42, loss: 0.0, workers: 8, positional: Vec::new() };
+    let mut opts = Options { scale: 0.05, seed: 42, loss: 0.0, workers: 8, positional: Vec::new() };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut flag = |name: &str| -> Result<Option<f64>, String> {
@@ -71,10 +70,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 }
 
 fn build_report(opts: &Options) -> Report {
-    eprintln!(
-        "generating world (scale {}, seed {}, loss {})...",
-        opts.scale, opts.seed, opts.loss
-    );
+    eprintln!("generating world (scale {}, seed {}, loss {})...", opts.scale, opts.seed, opts.loss);
     let world = WorldGenerator::new(
         WorldConfig::small(opts.seed).with_scale(opts.scale).with_loss_rate(opts.loss),
     )
@@ -82,10 +78,7 @@ fn build_report(opts: &Options) -> Report {
     eprintln!("running campaign...");
     let matchers = world.catalog.matchers();
     let campaign = Campaign::new(&world, &matchers);
-    Report::generate(
-        &campaign,
-        RunnerConfig { workers: opts.workers, ..RunnerConfig::default() },
-    )
+    Report::generate(&campaign, RunnerConfig { workers: opts.workers, ..RunnerConfig::default() })
 }
 
 fn cmd_audit(opts: &Options) -> ExitCode {
@@ -130,18 +123,11 @@ fn cmd_country(opts: &Options) -> ExitCode {
         return ExitCode::FAILURE;
     };
     let report = build_report(opts);
-    let probes: Vec<_> = report
-        .dataset
-        .probes_with_country()
-        .filter(|&(_, c)| c == code)
-        .map(|(p, _)| p)
-        .collect();
+    let probes: Vec<_> =
+        report.dataset.probes_with_country().filter(|&(_, c)| c == code).map(|(p, _)| p).collect();
     let responsive = probes.iter().filter(|p| p.parent_nonempty()).count();
     let defective = probes.iter().filter(|p| p.defective().0).count();
-    let single = probes
-        .iter()
-        .filter(|p| p.parent_nonempty() && p.ns_union().len() == 1)
-        .count();
+    let single = probes.iter().filter(|p| p.parent_nonempty() && p.ns_union().len() == 1).count();
     println!("country: {code}");
     println!("probed: {}  responsive: {responsive}", probes.len());
     println!("defective delegations: {defective}");
@@ -150,8 +136,7 @@ fn cmd_country(opts: &Options) -> ExitCode {
 }
 
 fn cmd_remedies(opts: &Options) -> ExitCode {
-    let filter: Option<CountryCode> =
-        opts.positional.get(1).and_then(|s| s.parse().ok());
+    let filter: Option<CountryCode> = opts.positional.get(1).and_then(|s| s.parse().ok());
     let world = WorldGenerator::new(
         WorldConfig::small(opts.seed).with_scale(opts.scale).with_loss_rate(opts.loss),
     )

@@ -41,10 +41,7 @@ fn pipeline_is_deterministic_without_loss() {
 
 #[test]
 fn packet_loss_triggers_second_round_retries() {
-    let world = WG::new(
-        WorldConfig::small(5).with_scale(0.01).with_loss_rate(0.25),
-    )
-    .generate();
+    let world = WG::new(WorldConfig::small(5).with_scale(0.01).with_loss_rate(0.25)).generate();
     let matchers = world.catalog.matchers();
     let campaign = Campaign::new(&world, &matchers);
     let report = Report::generate(&campaign, RunnerConfig::default());
@@ -120,9 +117,7 @@ fn worker_count_does_not_change_results() {
         let mut summary: Vec<(String, bool, usize)> = ds
             .probes
             .iter()
-            .map(|p| {
-                (p.domain.to_string(), p.has_authoritative_answer(), p.ns_union().len())
-            })
+            .map(|p| (p.domain.to_string(), p.has_authoritative_answer(), p.ns_union().len()))
             .collect();
         summary.sort();
         summary
@@ -139,8 +134,7 @@ fn ethics_accounting_shows_bounded_hotspots() {
     assert!(report.busiest_server_queries > 0);
     // The busiest server (typically a root or a big gTLD) must stay a
     // bounded fraction of the campaign.
-    let share =
-        report.busiest_server_queries as f64 / report.dataset.traffic.queries_sent as f64;
+    let share = report.busiest_server_queries as f64 / report.dataset.traffic.queries_sent as f64;
     assert!(share < 0.35, "hotspot share {share}");
     assert!(report.render().contains("ethics accounting"));
 }
@@ -222,12 +216,11 @@ fn telemetry_snapshot_covers_the_whole_pipeline() {
     let campaign = Campaign::new(&world, &matchers);
     let events = Arc::new(AtomicUsize::new(0));
     let seen = events.clone();
-    let ctl = CampaignTelemetry::new()
-        .with_progress(50, move |e: ProgressEvent| {
-            assert!(e.done <= e.total);
-            assert!(e.queries_issued > 0);
-            seen.fetch_add(1, Ordering::Relaxed);
-        });
+    let ctl = CampaignTelemetry::new().with_progress(50, move |e: ProgressEvent| {
+        assert!(e.done <= e.total);
+        assert!(e.queries_issued > 0);
+        seen.fetch_add(1, Ordering::Relaxed);
+    });
     let report = Report::generate_with(&campaign, RunnerConfig::default(), &ctl);
     let snap = &report.dataset.telemetry;
 
@@ -239,8 +232,7 @@ fn telemetry_snapshot_covers_the_whole_pipeline() {
     }
 
     // At least four response-class counters, consistent with traffic.
-    let classes: Vec<_> =
-        snap.counters.keys().filter(|k| k.starts_with("probe.class.")).collect();
+    let classes: Vec<_> = snap.counters.keys().filter(|k| k.starts_with("probe.class.")).collect();
     assert!(classes.len() >= 4, "classes: {classes:?}");
     assert_eq!(
         snap.counter_total("net."),
@@ -303,6 +295,93 @@ fn telemetry_is_purely_observational() {
         (ds.traffic, summary)
     };
     assert_eq!(run(false), run(true));
+}
+
+mod chaos {
+    use super::*;
+
+    fn chaos_config(profile: ChaosProfile, seed: u64) -> RunnerConfig {
+        // One worker keeps query interleaving (and hence burst-triggered
+        // faults and per-worker resolver caches) deterministic.
+        RunnerConfig {
+            workers: 1,
+            retry: RetryPolicy::adaptive(),
+            chaos: Some(ChaosSpec { profile, seed }),
+            ..RunnerConfig::default()
+        }
+    }
+
+    /// The ISSUE's determinism contract: same campaign seed + same
+    /// fault-plan seed ⇒ byte-identical canonical dataset encodings.
+    #[test]
+    fn identically_seeded_chaos_runs_are_byte_identical() {
+        let run = || {
+            let world = tiny(7);
+            let matchers = world.catalog.matchers();
+            let campaign = Campaign::new(&world, &matchers);
+            Report::generate(&campaign, chaos_config(ChaosProfile::Flaky, 7))
+                .dataset
+                .canonical_json()
+        };
+        let first = run();
+        assert_eq!(first, run(), "chaos run is not reproducible");
+        // A different fault seed over the same world must actually
+        // change something, or the faults are not wired in.
+        let other = {
+            let world = tiny(7);
+            let matchers = world.catalog.matchers();
+            let campaign = Campaign::new(&world, &matchers);
+            Report::generate(&campaign, chaos_config(ChaosProfile::Flaky, 8))
+                .dataset
+                .canonical_json()
+        };
+        assert_ne!(first, other, "fault seed had no effect");
+    }
+
+    /// Injected flaps must be visible end to end: fault counters and
+    /// retry telemetry fire, and the second round revives at least one
+    /// domain that a flap had silenced.
+    #[test]
+    fn second_round_recovers_injected_flaps() {
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let report = Report::generate(&campaign, chaos_config(ChaosProfile::Flaky, 7));
+
+        assert!(report.dataset.faults.flap_timeouts > 0, "no flaps injected");
+        assert!(report.dataset.telemetry.counters["fault.flap_timeouts"] > 0);
+        assert!(report.dataset.telemetry.counters["probe.retry.attempts"] > 0);
+        assert!(
+            report.health.recovered_in_round2 >= 1,
+            "round 2 revived nothing: {:?}",
+            report.health
+        );
+        assert!(report.health.degraded_domains >= report.health.recovered_in_round2);
+        assert_eq!(report.remedies.flakiness_followups, report.health.degraded_domains);
+        let text = report.render();
+        assert!(text.contains("measurement health"));
+        assert!(text.contains("flakiness follow-ups"));
+    }
+
+    /// The hostile preset exercises every fault kind, and the pipeline
+    /// still resolves most of the population through the noise.
+    #[test]
+    fn hostile_profile_fires_every_fault_kind() {
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let report = Report::generate(&campaign, chaos_config(ChaosProfile::Hostile, 3));
+        let f = report.dataset.faults;
+        assert!(f.flap_timeouts > 0, "{f:?}");
+        assert!(f.losses > 0, "{f:?}");
+        assert!(f.truncated > 0, "{f:?}");
+        assert!(f.delayed > 0, "{f:?}");
+        assert!(
+            report.funnel.child_responsive * 2 > report.funnel.parent_nonempty,
+            "chaos should not erase the population: {:?}",
+            report.funnel
+        );
+    }
 }
 
 /// Robustness: the headline rates hold across independent seeds (run

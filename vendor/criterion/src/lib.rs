@@ -42,11 +42,7 @@ impl Criterion {
 
     /// Starts a named group of benches.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            name: name.into(),
-            sample_size: self.sample_size,
-            _parent: PhantomData,
-        }
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, _parent: PhantomData }
     }
 }
 

@@ -18,10 +18,7 @@ pub mod test_runner {
 
     /// Number of cases per property, `PROPTEST_CASES` env override.
     pub fn cases() -> usize {
-        std::env::var("PROPTEST_CASES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(32)
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
     }
 
     /// A generator seeded from the test's name (FNV-1a), so every run
@@ -361,20 +358,14 @@ pub mod string {
                     vec![unescape(chars[i - 1])]
                 }
                 c => {
-                    assert!(
-                        !"(){}*+?^$.".contains(c),
-                        "unsupported regex syntax {c:?} in {s:?}"
-                    );
+                    assert!(!"(){}*+?^$.".contains(c), "unsupported regex syntax {c:?} in {s:?}");
                     i += 1;
                     vec![c]
                 }
             };
             let (min, max) = if i < chars.len() && chars[i] == '{' {
-                let close = chars[i..]
-                    .iter()
-                    .position(|&c| c == '}')
-                    .expect("unclosed quantifier")
-                    + i;
+                let close =
+                    chars[i..].iter().position(|&c| c == '}').expect("unclosed quantifier") + i;
                 let body: String = chars[i + 1..close].iter().collect();
                 i = close + 1;
                 match body.split_once(',') {
@@ -508,7 +499,8 @@ mod tests {
     fn regex_subset_generates_matching_strings() {
         let mut rng = crate::test_runner::rng_for("regex");
         for _ in 0..200 {
-            let s = crate::string::generate_matching("[a-z][a-z0-9-]{0,14}[a-z0-9]|[a-z]", &mut rng);
+            let s =
+                crate::string::generate_matching("[a-z][a-z0-9-]{0,14}[a-z0-9]|[a-z]", &mut rng);
             assert!(!s.is_empty() && s.len() <= 16, "{s:?}");
             assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
             assert!(s.chars().next().unwrap().is_ascii_lowercase());
