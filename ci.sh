@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, release build, full test suite (incl. doc
-# tests), warning-free clippy, the chaos determinism smoke, and the
-# telemetry bench guard. Mirrored by .github/workflows/ci.yml.
+# tests), warning-free clippy, the chaos determinism smoke, the
+# crash/resume smoke, and the telemetry bench guard. Mirrored by
+# .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -28,6 +29,37 @@ cargo run -q --release --example chaos -- --seed 7 > "$chaos_a"
 cargo run -q --release --example chaos -- --seed 7 > "$chaos_b"
 diff -u "$chaos_a" "$chaos_b"
 grep -q "dataset fingerprint" "$chaos_a"
+
+echo "== breaker smoke: quarantine under hostile chaos is deterministic =="
+breaker_a="$(mktemp)"
+breaker_b="$(mktemp)"
+trap 'rm -f "$chaos_a" "$chaos_b" "$breaker_a" "$breaker_b"' EXIT
+cargo run -q --release --example chaos -- --seed 3 --profile hostile --scale 0.01 --breaker > "$breaker_a"
+cargo run -q --release --example chaos -- --seed 3 --profile hostile --scale 0.01 --breaker > "$breaker_b"
+diff -u "$breaker_a" "$breaker_b"
+grep -q "circuit breakers" "$breaker_a"
+
+echo "== resume smoke: crash at half-campaign, resume, identical fingerprint =="
+resume_dir="$(mktemp -d)"
+trap 'rm -f "$chaos_a" "$chaos_b" "$breaker_a" "$breaker_b"; rm -rf "$resume_dir"' EXIT
+# Full uninterrupted run: the reference fingerprint.
+cargo run -q --release --example resume -- --seed 7 --scale 0.01 \
+    --journal "$resume_dir/full.journal" > "$resume_dir/full.out"
+# Crash hard (exit 9) mid-campaign; the journal survives.
+cargo run -q --release --example resume -- --seed 7 --scale 0.01 \
+    --journal "$resume_dir/crash.journal" --crash-after 200 > "$resume_dir/crash.out" || true
+# Resume from the journal and finish.
+cargo run -q --release --example resume -- --seed 7 --scale 0.01 \
+    --journal "$resume_dir/crash.journal" --resume > "$resume_dir/resumed.out"
+full_fp="$(grep 'dataset fingerprint' "$resume_dir/full.out")"
+resumed_fp="$(grep 'dataset fingerprint' "$resume_dir/resumed.out")"
+[ -n "$full_fp" ] && [ "$full_fp" = "$resumed_fp" ] || {
+    echo "resume smoke: fingerprints differ" >&2
+    echo "  full:    $full_fp" >&2
+    echo "  resumed: $resumed_fp" >&2
+    exit 1
+}
+grep -q "probes replayed" "$resume_dir/resumed.out"
 
 echo "== bench guard: telemetry hot path =="
 # The vendored criterion stand-in prints one "ns/iter" line per bench;

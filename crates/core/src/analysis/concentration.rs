@@ -38,7 +38,7 @@ impl SeedConcentration {
 }
 
 /// Concentration for every seed with responsive domains.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ConcentrationAnalysis {
     /// Per-seed mixes, ordered by responsive-domain count descending.
     pub seeds: Vec<SeedConcentration>,

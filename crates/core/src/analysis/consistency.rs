@@ -106,7 +106,7 @@ pub struct ParkedDanglingNs {
 }
 
 /// The full §IV-D result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ConsistencyAnalysis {
     /// Domains with both sides observable.
     pub comparable: usize,

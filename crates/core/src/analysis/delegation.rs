@@ -42,7 +42,7 @@ pub struct AvailableNsDomain {
 }
 
 /// The full §IV-C result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DelegationAnalysis {
     /// Responsive domains examined.
     pub domains: usize,

@@ -30,7 +30,7 @@ pub struct DiversityRow {
 
 /// Table I: the aggregate row plus the ten countries with the most
 /// multi-NS domains.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DiversityTable {
     /// Aggregate first, then the top ten countries.
     pub rows: Vec<DiversityRow>,

@@ -71,7 +71,7 @@ impl ProviderYearStats {
 }
 
 /// The full longitudinal provider analysis.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ProviderAnalysis {
     /// Per-year markets, 2011–2020.
     pub years: Vec<ProviderYearStats>,

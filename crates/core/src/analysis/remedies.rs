@@ -43,6 +43,10 @@ pub enum Remedy {
     /// after backoff retries or a second probing round (flapping server,
     /// aggressive rate limiter, or a lossy/truncating path).
     MonitorFlakiness,
+    /// Re-probe these nameservers: a destination circuit breaker denied
+    /// their exchanges (the host was failing hard enough to quarantine),
+    /// so nothing definitive was measured about them.
+    Quarantined(Vec<DomainName>),
     /// Add at least one more nameserver (single-NS deployment).
     AddReplica,
     /// Place nameservers in more than one /24 or AS.
@@ -92,9 +96,25 @@ pub fn plan_for(probe: &DomainProbe, campaign: &Campaign<'_>) -> RemediationPlan
         }
     }
 
+    // Quarantined nameservers, *before* the dead-zone conclusion: a
+    // breaker-denied exchange measured nothing, so a zone that looks
+    // dead only because its servers were quarantined needs a re-probe,
+    // not a delegation removal.
+    let quarantined: Vec<DomainName> = probe
+        .servers
+        .iter()
+        .filter(|s| s.observations.iter().any(|o| o.class == crate::ResponseClass::Skipped))
+        .map(|s| s.host.clone())
+        .collect();
+    if !quarantined.is_empty() {
+        remedies.push(Remedy::Quarantined(quarantined.clone()));
+    }
+
     // A completely dead zone: the delegation itself is the problem.
     if probe.parent_nonempty() && !probe.has_authoritative_answer() {
-        remedies.push(Remedy::RemoveDelegation);
+        if quarantined.is_empty() {
+            remedies.push(Remedy::RemoveDelegation);
+        }
         return RemediationPlan { domain: probe.domain.clone(), remedies };
     }
 
@@ -168,6 +188,8 @@ pub struct RemediationSummary {
     pub placement_advice: usize,
     /// Domains flagged for flakiness follow-up (degraded answers).
     pub flakiness_followups: usize,
+    /// Domains with breaker-quarantined nameservers needing a re-probe.
+    pub quarantine_followups: usize,
 }
 
 impl RemediationSummary {
@@ -194,6 +216,7 @@ impl RemediationSummary {
                     Remedy::SynchronizeParent { .. } => s.synchronizations += 1,
                     Remedy::AddReplica | Remedy::DiversifyPlacement => s.placement_advice += 1,
                     Remedy::MonitorFlakiness => s.flakiness_followups += 1,
+                    Remedy::Quarantined(_) => s.quarantine_followups += 1,
                     Remedy::ReclaimDanglingDomain { .. } | Remedy::RegistryLock => {}
                 }
             }
@@ -315,6 +338,52 @@ mod tests {
         let s = RemediationSummary::compute(&ds, &fixture.campaign());
         assert_eq!(s.flakiness_followups, 1);
         assert_eq!(s.needing_action, 1);
+    }
+
+    #[test]
+    fn quarantined_server_needs_a_reprobe_not_a_removal() {
+        let fixture = CampaignFixture::default();
+        // Both servers quarantined: the zone *looks* dead, but nothing
+        // was actually measured — no RemoveDelegation.
+        let probe = ProbeBuilder::new("a.gov.zz")
+            .parent(&["ns1.x", "ns2.x"])
+            .quarantined("ns1.x", [192, 0, 2, 1])
+            .quarantined("ns2.x", [192, 0, 2, 2])
+            .build();
+        let plan = plan_for(&probe, &fixture.campaign());
+        assert_eq!(plan.remedies, vec![Remedy::Quarantined(vec![n("ns1.x"), n("ns2.x")])]);
+
+        let ds = dataset(vec![(probe, "zz")]);
+        let s = RemediationSummary::compute(&ds, &fixture.campaign());
+        assert_eq!(s.quarantine_followups, 1);
+        assert_eq!(s.removals, 0);
+    }
+
+    #[test]
+    fn genuinely_dead_zone_still_gets_a_removal() {
+        let fixture = CampaignFixture::default();
+        let probe =
+            ProbeBuilder::new("a.gov.zz").parent(&["ns1.x"]).dead("ns1.x", [192, 0, 2, 1]).build();
+        let plan = plan_for(&probe, &fixture.campaign());
+        assert_eq!(plan.remedies, vec![Remedy::RemoveDelegation]);
+    }
+
+    #[test]
+    fn partially_quarantined_zone_keeps_its_other_findings() {
+        let fixture = CampaignFixture::default();
+        // One healthy server, one quarantined: the quarantine remedy
+        // rides along with whatever else the plan finds.
+        let probe = ProbeBuilder::new("a.gov.zz")
+            .parent(&["ns1.x", "ns2.x"])
+            .child(&["ns1.x", "ns2.x"])
+            .serving("ns1.x", [192, 0, 2, 1])
+            .quarantined("ns2.x", [198, 51, 100, 1])
+            .build();
+        let plan = plan_for(&probe, &fixture.campaign());
+        assert!(plan.remedies.contains(&Remedy::Quarantined(vec![n("ns2.x")])));
+        // The quarantined server never answered, so it also reads as
+        // defective — that is fine; the quarantine entry explains why.
+        assert!(plan.remedies.contains(&Remedy::DropNameserver(n("ns2.x"))));
     }
 
     #[test]

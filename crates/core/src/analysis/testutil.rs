@@ -127,6 +127,25 @@ impl ProbeBuilder {
         self
     }
 
+    /// Adds a server whose exchange a circuit breaker denied: the
+    /// observation is `Skipped` with zero attempts — nothing was sent.
+    pub(crate) fn quarantined(mut self, host: &str, addr: [u8; 4]) -> Self {
+        let host = n(host);
+        self.probe.servers.push(ServerProbe {
+            in_parent: self.probe.parent_ns.contains(&host),
+            in_child: self.probe.child_ns.contains(&host),
+            host,
+            addrs: vec![Ipv4Addr::from(addr)],
+            observations: vec![ServerObservation {
+                addr: Ipv4Addr::from(addr),
+                class: ResponseClass::Skipped,
+                attempts: 0,
+            }],
+            recovered_in_round2: false,
+        });
+        self
+    }
+
     /// Adds a server that responds but without authority (lame).
     pub(crate) fn lame(mut self, host: &str, addr: [u8; 4]) -> Self {
         let host = n(host);

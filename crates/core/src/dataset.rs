@@ -263,6 +263,7 @@ fn json_class(out: &mut String, class: &ResponseClass) {
         }
         ResponseClass::Truncated => out.push_str("\"truncated\""),
         ResponseClass::Timeout => out.push_str("\"timeout\""),
+        ResponseClass::Skipped => out.push_str("\"skipped\""),
     }
 }
 

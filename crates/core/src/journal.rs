@@ -1,0 +1,1238 @@
+//! Write-ahead observation journal: crash-safe campaign persistence.
+//!
+//! Every completed [`DomainProbe`] is appended to an on-disk journal as
+//! a length-prefixed, checksummed JSON record, and the full mutable
+//! pipeline state (rate-limiter ledger, network accounting, resolver
+//! cache, circuit breakers) is checkpointed every few probes. A
+//! campaign killed mid-flight is resumed by replaying the journal: the
+//! runner restores the checkpointed state, fills in the already-probed
+//! domains, and re-probes only the remainder — producing a dataset
+//! byte-identical to the uninterrupted run (see `runner.rs`).
+//!
+//! # Record framing
+//!
+//! ```text
+//! J1 <16-hex fnv64(payload)> <8-hex payload length>\n
+//! <payload>\n
+//! ```
+//!
+//! The payload is a single JSON object with a `"kind"` field: `header`
+//! (config echo + discovered-name fingerprint, always first), `probe`
+//! (one observation), `checkpoint` (full pipeline state), `resumed`
+//! (a resume boundary marker), or `complete` (clean end-of-campaign).
+//! A torn or corrupt tail — the half-written record a crash leaves
+//! behind — fails its length or checksum test and is silently dropped;
+//! everything before it is intact by construction (records are flushed
+//! in order). A record that passes its checksum but fails to decode is
+//! a version mismatch and panics.
+
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+use govdns_model::{DomainName, RecordData, RecordType, ResourceRecord, Soa};
+use govdns_simnet::{FaultStats, TrafficStats};
+
+use crate::probe::{
+    BreakerPhase, BreakerSnapshot, DomainProbe, ResponseClass, ServerObservation, ServerProbe,
+};
+use crate::ratelimit::LimiterState;
+
+/// Where (and how often) a campaign journals itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalSpec {
+    /// Journal file path (created/truncated at campaign start).
+    pub path: PathBuf,
+    /// Full-state checkpoint cadence, in completed probes. The journal
+    /// also checkpoints once more when the probing loop drains.
+    pub checkpoint_every: usize,
+}
+
+impl JournalSpec {
+    /// A spec with the default checkpoint cadence (every 32 probes).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        JournalSpec { path: path.into(), checkpoint_every: 32 }
+    }
+}
+
+/// The journal's first record: enough of the campaign's identity to
+/// refuse resuming against a different campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// FNV-1a fingerprint of the discovered (sorted) domain list.
+    pub names_fingerprint: u64,
+    /// Number of domains the campaign will probe.
+    pub domains: u64,
+    /// A deterministic echo of every `RunnerConfig` knob that shapes
+    /// observations (worker count excluded — it may legally differ
+    /// between the crashed and the resuming run).
+    pub config_echo: String,
+}
+
+/// A full-state checkpoint: everything the pipeline mutates while
+/// probing, captured after `probes_done` completed probes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Completed probes at capture time.
+    pub probes_done: u64,
+    /// Rate-limiter ledger (issued totals, per-round, per-destination,
+    /// retry budgets).
+    pub limiter: LimiterState,
+    /// Network traffic accounting.
+    pub traffic: TrafficStats,
+    /// Injected-fault accounting.
+    pub faults: FaultStats,
+    /// Per-destination query counts (feeds `RefusedBurst` decisions and
+    /// the busiest-destinations toplist).
+    pub net_per_destination: Vec<(Ipv4Addr, u64)>,
+    /// Stub-resolver cache entries, in export order.
+    pub cache: Vec<((DomainName, RecordType), Vec<ResourceRecord>)>,
+    /// Circuit-breaker bank state.
+    pub breakers: Vec<BreakerSnapshot>,
+}
+
+/// Appends records to a journal file, flushing after every record so a
+/// kill between probes loses nothing that was reported complete.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    records: u64,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal at `path` and writes the header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created or written — a campaign
+    /// that cannot persist its journal must fail loudly, not silently
+    /// lose crash safety.
+    pub fn create(path: &Path, header: &JournalHeader) -> Self {
+        let file = File::create(path)
+            .unwrap_or_else(|e| panic!("journal: cannot create {}: {e}", path.display()));
+        let mut w = JournalWriter { file, path: path.to_path_buf(), records: 0 };
+        w.write_record(&header_to_value(header));
+        w
+    }
+
+    /// Opens an existing journal for appending (the resume-in-place
+    /// path); the caller has already validated its header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be opened.
+    pub fn append_to(path: &Path) -> Self {
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("journal: cannot append to {}: {e}", path.display()));
+        JournalWriter { file, path: path.to_path_buf(), records: 0 }
+    }
+
+    /// Appends one completed probe, with its position in the campaign's
+    /// domain order.
+    pub fn probe(&mut self, index: u64, probe: &DomainProbe) {
+        let mut obj = vec![
+            ("kind".to_string(), Value::str("probe")),
+            ("index".to_string(), Value::Num(index)),
+            ("probe".to_string(), probe_to_value(probe)),
+        ];
+        self.write_record(&Value::Obj(std::mem::take(&mut obj)));
+    }
+
+    /// Appends a full-state checkpoint.
+    pub fn checkpoint(&mut self, cp: &Checkpoint) {
+        self.write_record(&checkpoint_to_value(cp));
+    }
+
+    /// Marks a resume boundary: a fresh process picked the campaign up
+    /// with `probes_done` observations already replayed.
+    pub fn resumed(&mut self, probes_done: u64) {
+        self.write_record(&Value::Obj(vec![
+            ("kind".to_string(), Value::str("resumed")),
+            ("probes_done".to_string(), Value::Num(probes_done)),
+        ]));
+    }
+
+    /// Marks a clean end of campaign after `probes` observations.
+    pub fn complete(&mut self, probes: u64) {
+        self.write_record(&Value::Obj(vec![
+            ("kind".to_string(), Value::str("complete")),
+            ("probes".to_string(), Value::Num(probes)),
+        ]));
+    }
+
+    /// Records written through this writer (excludes replayed history).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn write_record(&mut self, value: &Value) {
+        let mut payload = String::new();
+        value.encode(&mut payload);
+        let mut frame = String::with_capacity(payload.len() + 32);
+        let _ = write!(
+            frame,
+            "J1 {:016x} {:08x}\n{payload}\n",
+            fnv64(payload.as_bytes()),
+            payload.len()
+        );
+        self.file
+            .write_all(frame.as_bytes())
+            .and_then(|()| self.file.flush())
+            .unwrap_or_else(|e| panic!("journal: write to {} failed: {e}", self.path.display()));
+        self.records += 1;
+    }
+}
+
+/// Everything a journal replay recovered, ready for the runner to
+/// resume from.
+#[derive(Debug, Clone)]
+pub struct JournalReplay {
+    /// The validated header.
+    pub header: JournalHeader,
+    /// The contiguous prefix of completed probes (index 0..n in
+    /// campaign domain order).
+    pub probes: Vec<DomainProbe>,
+    /// The most advanced checkpoint whose `probes_done` does not exceed
+    /// the contiguous probe prefix.
+    pub checkpoint: Option<Checkpoint>,
+    /// Valid records read (all kinds).
+    pub records: u64,
+    /// Bytes of torn/corrupt tail dropped.
+    pub dropped_bytes: u64,
+    /// Resume boundaries already present in the journal.
+    pub resumes: u64,
+    /// Whether the journal ends in a clean `complete` record.
+    pub completed: bool,
+}
+
+impl JournalReplay {
+    /// Reads and validates a journal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be read, does not begin with a valid
+    /// header record, or contains a checksummed record that fails to
+    /// decode (a format-version mismatch).
+    pub fn load(path: &Path) -> Self {
+        let bytes = std::fs::read(path)
+            .unwrap_or_else(|e| panic!("journal: cannot read {}: {e}", path.display()));
+        let mut offset = 0usize;
+        let mut records: Vec<Value> = Vec::new();
+        while offset < bytes.len() {
+            match read_frame(&bytes, offset) {
+                Some((payload, next)) => {
+                    let value = parse_json(payload).unwrap_or_else(|e| {
+                        panic!("journal: {} record {}: {e}", path.display(), records.len())
+                    });
+                    records.push(value);
+                    offset = next;
+                }
+                // Torn tail: drop the remainder.
+                None => break,
+            }
+        }
+        let dropped_bytes = (bytes.len() - offset) as u64;
+        let first = records
+            .first()
+            .unwrap_or_else(|| panic!("journal: {} has no intact records", path.display()));
+        assert_eq!(
+            first.get("kind").and_then(Value::as_str),
+            Some("header"),
+            "journal: {} does not begin with a header record",
+            path.display()
+        );
+        let header = header_from_value(first);
+
+        let mut probes: Vec<DomainProbe> = Vec::new();
+        let mut checkpoint: Option<Checkpoint> = None;
+        let mut resumes = 0u64;
+        let mut completed = false;
+        for record in &records[1..] {
+            match record.get("kind").and_then(Value::as_str) {
+                Some("probe") => {
+                    let index = record.get("index").and_then(Value::as_num).expect("probe index");
+                    // Only the contiguous prefix is trustworthy: with a
+                    // single worker this is every record, with many it
+                    // is everything up to the first gap.
+                    if index == probes.len() as u64 {
+                        probes.push(probe_from_value(record.get("probe").expect("probe payload")));
+                    }
+                }
+                Some("checkpoint") => {
+                    let cp = checkpoint_from_value(record);
+                    if cp.probes_done <= probes.len() as u64
+                        && checkpoint.as_ref().is_none_or(|b| cp.probes_done >= b.probes_done)
+                    {
+                        checkpoint = Some(cp);
+                    }
+                }
+                Some("resumed") => resumes += 1,
+                Some("complete") => completed = true,
+                kind => panic!("journal: unknown record kind {kind:?}"),
+            }
+        }
+        JournalReplay {
+            header,
+            probes,
+            checkpoint,
+            records: records.len() as u64,
+            dropped_bytes,
+            resumes,
+            completed,
+        }
+    }
+}
+
+/// Reads one frame starting at `offset`; returns the payload slice and
+/// the offset past the frame, or `None` if the frame is incomplete or
+/// fails its checksum.
+fn read_frame(bytes: &[u8], offset: usize) -> Option<(&str, usize)> {
+    // "J1 " + 16 hex + " " + 8 hex + "\n" = 29 bytes.
+    let head = bytes.get(offset..offset + 29)?;
+    if &head[..3] != b"J1 " || head[19] != b' ' || head[28] != b'\n' {
+        return None;
+    }
+    let sum = u64::from_str_radix(std::str::from_utf8(&head[3..19]).ok()?, 16).ok()?;
+    let len = usize::from_str_radix(std::str::from_utf8(&head[20..28]).ok()?, 16).ok()?;
+    let start = offset + 29;
+    let payload = bytes.get(start..start + len)?;
+    if bytes.get(start + len) != Some(&b'\n') || fnv64(payload) != sum {
+        return None;
+    }
+    Some((std::str::from_utf8(payload).ok()?, start + len + 1))
+}
+
+/// FNV-1a, 64-bit — the same stable fingerprint the examples print for
+/// datasets, reused as the record checksum.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON: the journal's payloads are built and parsed with a
+// private value tree. Every number the pipeline persists is an unsigned
+// integer, so `Num` is u64; object order is insertion order, and the
+// encoders below always build keys in a fixed order, keeping encoding
+// deterministic.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn str(s: &str) -> Value {
+        Value::Str(s.to_string())
+    }
+
+    fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn encode(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Str(s) => encode_string(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(out, k);
+                    out.push(':');
+                    v.encode(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn encode_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn parse_json(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes.get(*pos).is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r')) {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    other => return Err(format!("expected , or ] at {pos}, got {other:?}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected : at {pos}"));
+                }
+                *pos += 1;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(entries));
+                    }
+                    other => return Err(format!("expected , or }} at {pos}, got {other:?}")),
+                }
+            }
+        }
+        Some(b) if b.is_ascii_digit() => {
+            let start = *pos;
+            while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+        other => Err(format!("unexpected {other:?} at {pos}")),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    let mut chunk_start = *pos;
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                out.push_str(
+                    std::str::from_utf8(&bytes[chunk_start..*pos]).map_err(|e| e.to_string())?,
+                );
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at {pos}"))?;
+                        out.push(
+                            char::from_u32(hex).ok_or_else(|| format!("bad codepoint at {pos}"))?,
+                        );
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?} at {pos}")),
+                }
+                *pos += 1;
+                chunk_start = *pos;
+            }
+            Some(_) => *pos += 1,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codecs. Encoders build objects with keys in a fixed order; decoders
+// look keys up by name and panic on absence — a checksummed record that
+// lacks a field is a format-version mismatch, not a torn write.
+// ---------------------------------------------------------------------
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn need<'v>(value: &'v Value, key: &str) -> &'v Value {
+    value.get(key).unwrap_or_else(|| panic!("journal: record missing field {key:?}"))
+}
+
+fn need_num(value: &Value, key: &str) -> u64 {
+    need(value, key).as_num().unwrap_or_else(|| panic!("journal: field {key:?} is not a number"))
+}
+
+fn need_bool(value: &Value, key: &str) -> bool {
+    need(value, key).as_bool().unwrap_or_else(|| panic!("journal: field {key:?} is not a bool"))
+}
+
+fn need_str<'v>(value: &'v Value, key: &str) -> &'v str {
+    need(value, key).as_str().unwrap_or_else(|| panic!("journal: field {key:?} is not a string"))
+}
+
+fn need_arr<'v>(value: &'v Value, key: &str) -> &'v [Value] {
+    need(value, key).as_arr().unwrap_or_else(|| panic!("journal: field {key:?} is not an array"))
+}
+
+fn name_to_value(name: &DomainName) -> Value {
+    Value::Str(name.to_string())
+}
+
+fn name_from_value(value: &Value) -> DomainName {
+    let s = value.as_str().expect("journal: name is not a string");
+    s.parse().unwrap_or_else(|e| panic!("journal: bad domain name {s:?}: {e:?}"))
+}
+
+fn addr_to_value(addr: Ipv4Addr) -> Value {
+    Value::Str(addr.to_string())
+}
+
+fn addr_from_value(value: &Value) -> Ipv4Addr {
+    let s = value.as_str().expect("journal: address is not a string");
+    s.parse().unwrap_or_else(|e| panic!("journal: bad address {s:?}: {e}"))
+}
+
+fn addr_counts_to_value(counts: &[(Ipv4Addr, u64)]) -> Value {
+    Value::Arr(
+        counts
+            .iter()
+            .map(|&(addr, n)| Value::Arr(vec![addr_to_value(addr), Value::Num(n)]))
+            .collect(),
+    )
+}
+
+fn addr_counts_from_value(value: &Value) -> Vec<(Ipv4Addr, u64)> {
+    value
+        .as_arr()
+        .expect("journal: address counts are not an array")
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr().expect("journal: address count is not a pair");
+            (addr_from_value(&pair[0]), pair[1].as_num().expect("journal: count"))
+        })
+        .collect()
+}
+
+fn header_to_value(header: &JournalHeader) -> Value {
+    obj(vec![
+        ("kind", Value::str("header")),
+        ("names_fingerprint", Value::Num(header.names_fingerprint)),
+        ("domains", Value::Num(header.domains)),
+        ("config_echo", Value::Str(header.config_echo.clone())),
+    ])
+}
+
+fn header_from_value(value: &Value) -> JournalHeader {
+    JournalHeader {
+        names_fingerprint: need_num(value, "names_fingerprint"),
+        domains: need_num(value, "domains"),
+        config_echo: need_str(value, "config_echo").to_string(),
+    }
+}
+
+fn class_to_value(class: &ResponseClass) -> Value {
+    match class {
+        ResponseClass::Authoritative(targets) => obj(vec![
+            ("t", Value::str("auth")),
+            ("targets", Value::Arr(targets.iter().map(name_to_value).collect())),
+        ]),
+        ResponseClass::Referral { cut, targets, glue } => obj(vec![
+            ("t", Value::str("referral")),
+            ("cut", name_to_value(cut)),
+            ("targets", Value::Arr(targets.iter().map(name_to_value).collect())),
+            (
+                "glue",
+                Value::Arr(
+                    glue.iter()
+                        .map(|(host, addr)| {
+                            Value::Arr(vec![name_to_value(host), addr_to_value(*addr)])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        ResponseClass::Empty(rcode) => {
+            obj(vec![("t", Value::str("empty")), ("rcode", Value::Num(u64::from(*rcode)))])
+        }
+        ResponseClass::Rejected(rcode) => {
+            obj(vec![("t", Value::str("rejected")), ("rcode", Value::Num(u64::from(*rcode)))])
+        }
+        ResponseClass::Truncated => obj(vec![("t", Value::str("truncated"))]),
+        ResponseClass::Timeout => obj(vec![("t", Value::str("timeout"))]),
+        ResponseClass::Skipped => obj(vec![("t", Value::str("skipped"))]),
+    }
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn class_from_value(value: &Value) -> ResponseClass {
+    let names = |key: &str| need_arr(value, key).iter().map(name_from_value).collect();
+    match need_str(value, "t") {
+        "auth" => ResponseClass::Authoritative(names("targets")),
+        "referral" => ResponseClass::Referral {
+            cut: name_from_value(need(value, "cut")),
+            targets: names("targets"),
+            glue: need_arr(value, "glue")
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_arr().expect("journal: glue is not a pair");
+                    (name_from_value(&pair[0]), addr_from_value(&pair[1]))
+                })
+                .collect(),
+        },
+        "empty" => ResponseClass::Empty(need_num(value, "rcode") as u8),
+        "rejected" => ResponseClass::Rejected(need_num(value, "rcode") as u8),
+        "truncated" => ResponseClass::Truncated,
+        "timeout" => ResponseClass::Timeout,
+        "skipped" => ResponseClass::Skipped,
+        t => panic!("journal: unknown response class tag {t:?}"),
+    }
+}
+
+fn observation_to_value(o: &ServerObservation) -> Value {
+    obj(vec![
+        ("addr", addr_to_value(o.addr)),
+        ("class", class_to_value(&o.class)),
+        ("attempts", Value::Num(u64::from(o.attempts))),
+    ])
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn observation_from_value(value: &Value) -> ServerObservation {
+    ServerObservation {
+        addr: addr_from_value(need(value, "addr")),
+        class: class_from_value(need(value, "class")),
+        attempts: need_num(value, "attempts") as u32,
+    }
+}
+
+fn server_to_value(s: &ServerProbe) -> Value {
+    obj(vec![
+        ("host", name_to_value(&s.host)),
+        ("in_parent", Value::Bool(s.in_parent)),
+        ("in_child", Value::Bool(s.in_child)),
+        ("addrs", Value::Arr(s.addrs.iter().map(|&a| addr_to_value(a)).collect())),
+        ("observations", Value::Arr(s.observations.iter().map(observation_to_value).collect())),
+        ("recovered_in_round2", Value::Bool(s.recovered_in_round2)),
+    ])
+}
+
+fn server_from_value(value: &Value) -> ServerProbe {
+    ServerProbe {
+        host: name_from_value(need(value, "host")),
+        in_parent: need_bool(value, "in_parent"),
+        in_child: need_bool(value, "in_child"),
+        addrs: need_arr(value, "addrs").iter().map(addr_from_value).collect(),
+        observations: need_arr(value, "observations").iter().map(observation_from_value).collect(),
+        recovered_in_round2: need_bool(value, "recovered_in_round2"),
+    }
+}
+
+/// Full-fidelity SOA codec: all seven fields round-trip (the dataset's
+/// `canonical_json` prints only three, which is not enough to rebuild
+/// the in-memory record).
+fn soa_to_value(soa: &Soa) -> Value {
+    obj(vec![
+        ("mname", name_to_value(&soa.mname)),
+        ("rname", name_to_value(&soa.rname)),
+        ("serial", Value::Num(u64::from(soa.serial))),
+        ("refresh", Value::Num(u64::from(soa.refresh))),
+        ("retry", Value::Num(u64::from(soa.retry))),
+        ("expire", Value::Num(u64::from(soa.expire))),
+        ("minimum", Value::Num(u64::from(soa.minimum))),
+    ])
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn soa_from_value(value: &Value) -> Soa {
+    Soa {
+        mname: name_from_value(need(value, "mname")),
+        rname: name_from_value(need(value, "rname")),
+        serial: need_num(value, "serial") as u32,
+        refresh: need_num(value, "refresh") as u32,
+        retry: need_num(value, "retry") as u32,
+        expire: need_num(value, "expire") as u32,
+        minimum: need_num(value, "minimum") as u32,
+    }
+}
+
+fn probe_to_value(p: &DomainProbe) -> Value {
+    obj(vec![
+        ("domain", name_to_value(&p.domain)),
+        ("parent_zone", p.parent_zone.as_ref().map_or(Value::Null, name_to_value)),
+        ("parent_addrs", Value::Arr(p.parent_addrs.iter().map(|&a| addr_to_value(a)).collect())),
+        (
+            "parent_observations",
+            Value::Arr(p.parent_observations.iter().map(observation_to_value).collect()),
+        ),
+        ("parent_ns", Value::Arr(p.parent_ns.iter().map(name_to_value).collect())),
+        ("child_ns", Value::Arr(p.child_ns.iter().map(name_to_value).collect())),
+        ("servers", Value::Arr(p.servers.iter().map(server_to_value).collect())),
+        ("soa", p.soa.as_ref().map_or(Value::Null, soa_to_value)),
+        ("queries", Value::Num(u64::from(p.queries))),
+        ("elapsed_ms", Value::Num(u64::from(p.elapsed_ms))),
+        ("rounds", Value::Num(u64::from(p.rounds))),
+    ])
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn probe_from_value(value: &Value) -> DomainProbe {
+    let opt = |key: &str| match need(value, key) {
+        Value::Null => None,
+        v => Some(v),
+    };
+    DomainProbe {
+        domain: name_from_value(need(value, "domain")),
+        parent_zone: opt("parent_zone").map(name_from_value),
+        parent_addrs: need_arr(value, "parent_addrs").iter().map(addr_from_value).collect(),
+        parent_observations: need_arr(value, "parent_observations")
+            .iter()
+            .map(observation_from_value)
+            .collect(),
+        parent_ns: need_arr(value, "parent_ns").iter().map(name_from_value).collect(),
+        child_ns: need_arr(value, "child_ns").iter().map(name_from_value).collect(),
+        servers: need_arr(value, "servers").iter().map(server_from_value).collect(),
+        soa: opt("soa").map(soa_from_value),
+        queries: need_num(value, "queries") as u32,
+        elapsed_ms: need_num(value, "elapsed_ms") as u32,
+        rounds: need_num(value, "rounds") as u8,
+    }
+}
+
+fn record_data_to_value(data: &RecordData) -> Value {
+    match data {
+        RecordData::A(a) => obj(vec![("t", Value::str("a")), ("v", Value::Str(a.to_string()))]),
+        RecordData::Ns(n) => obj(vec![("t", Value::str("ns")), ("v", name_to_value(n))]),
+        RecordData::Cname(n) => obj(vec![("t", Value::str("cname")), ("v", name_to_value(n))]),
+        RecordData::Soa(s) => obj(vec![("t", Value::str("soa")), ("v", soa_to_value(s))]),
+        RecordData::Ptr(n) => obj(vec![("t", Value::str("ptr")), ("v", name_to_value(n))]),
+        RecordData::Txt(t) => obj(vec![("t", Value::str("txt")), ("v", Value::Str(t.clone()))]),
+        RecordData::Aaaa(a) => {
+            obj(vec![("t", Value::str("aaaa")), ("v", Value::Str(a.to_string()))])
+        }
+    }
+}
+
+fn record_data_from_value(value: &Value) -> RecordData {
+    let v = need(value, "v");
+    match need_str(value, "t") {
+        "a" => RecordData::A(addr_from_value(v)),
+        "ns" => RecordData::Ns(name_from_value(v)),
+        "cname" => RecordData::Cname(name_from_value(v)),
+        "soa" => RecordData::Soa(soa_from_value(v)),
+        "ptr" => RecordData::Ptr(name_from_value(v)),
+        "txt" => RecordData::Txt(v.as_str().expect("journal: txt payload").to_string()),
+        "aaaa" => RecordData::Aaaa(
+            v.as_str().and_then(|s| s.parse().ok()).expect("journal: bad AAAA payload"),
+        ),
+        t => panic!("journal: unknown record data tag {t:?}"),
+    }
+}
+
+fn resource_record_to_value(rr: &ResourceRecord) -> Value {
+    obj(vec![
+        ("name", name_to_value(&rr.name)),
+        ("ttl", Value::Num(u64::from(rr.ttl))),
+        ("data", record_data_to_value(&rr.data)),
+    ])
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn resource_record_from_value(value: &Value) -> ResourceRecord {
+    ResourceRecord {
+        name: name_from_value(need(value, "name")),
+        ttl: need_num(value, "ttl") as u32,
+        data: record_data_from_value(need(value, "data")),
+    }
+}
+
+fn limiter_to_value(state: &LimiterState) -> Value {
+    obj(vec![
+        ("issued", Value::Num(state.issued)),
+        ("per_round", Value::Arr(state.per_round.iter().map(|&n| Value::Num(n)).collect())),
+        ("per_destination", addr_counts_to_value(&state.per_destination)),
+        ("per_destination_retries", addr_counts_to_value(&state.per_destination_retries)),
+    ])
+}
+
+fn limiter_from_value(value: &Value) -> LimiterState {
+    let rounds = need_arr(value, "per_round");
+    assert_eq!(rounds.len(), 5, "journal: per_round must have 5 slots");
+    let mut per_round = [0u64; 5];
+    for (slot, v) in per_round.iter_mut().zip(rounds) {
+        *slot = v.as_num().expect("journal: per_round entry");
+    }
+    LimiterState {
+        issued: need_num(value, "issued"),
+        per_round,
+        per_destination: addr_counts_from_value(need(value, "per_destination")),
+        per_destination_retries: addr_counts_from_value(need(value, "per_destination_retries")),
+    }
+}
+
+fn breaker_to_value(s: &BreakerSnapshot) -> Value {
+    obj(vec![
+        ("addr", addr_to_value(s.addr)),
+        ("phase", Value::str(s.phase.as_str())),
+        ("consecutive_failures", Value::Num(u64::from(s.consecutive_failures))),
+        ("opened_rank", Value::Num(u64::from(s.opened_rank))),
+        ("trips", Value::Num(s.trips)),
+        ("denied", Value::Num(s.denied)),
+    ])
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn breaker_from_value(value: &Value) -> BreakerSnapshot {
+    let phase = need_str(value, "phase");
+    BreakerSnapshot {
+        addr: addr_from_value(need(value, "addr")),
+        phase: BreakerPhase::parse(phase)
+            .unwrap_or_else(|| panic!("journal: unknown breaker phase {phase:?}")),
+        consecutive_failures: need_num(value, "consecutive_failures") as u32,
+        opened_rank: need_num(value, "opened_rank") as u32,
+        trips: need_num(value, "trips"),
+        denied: need_num(value, "denied"),
+    }
+}
+
+fn checkpoint_to_value(cp: &Checkpoint) -> Value {
+    obj(vec![
+        ("kind", Value::str("checkpoint")),
+        ("probes_done", Value::Num(cp.probes_done)),
+        ("limiter", limiter_to_value(&cp.limiter)),
+        (
+            "traffic",
+            obj(vec![
+                ("queries_sent", Value::Num(cp.traffic.queries_sent)),
+                ("responses_received", Value::Num(cp.traffic.responses_received)),
+                ("timeouts", Value::Num(cp.traffic.timeouts)),
+                ("bytes_sent", Value::Num(cp.traffic.bytes_sent)),
+                ("bytes_received", Value::Num(cp.traffic.bytes_received)),
+                ("total_wait_ms", Value::Num(cp.traffic.total_wait_ms)),
+            ]),
+        ),
+        (
+            "faults",
+            obj(vec![
+                ("flap_timeouts", Value::Num(cp.faults.flap_timeouts)),
+                ("losses", Value::Num(cp.faults.losses)),
+                ("refused", Value::Num(cp.faults.refused)),
+                ("truncated", Value::Num(cp.faults.truncated)),
+                ("delayed", Value::Num(cp.faults.delayed)),
+            ]),
+        ),
+        ("net_per_destination", addr_counts_to_value(&cp.net_per_destination)),
+        (
+            "cache",
+            Value::Arr(
+                cp.cache
+                    .iter()
+                    .map(|((name, rtype), records)| {
+                        Value::Arr(vec![
+                            name_to_value(name),
+                            Value::Num(u64::from(rtype.code())),
+                            Value::Arr(records.iter().map(resource_record_to_value).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("breakers", Value::Arr(cp.breakers.iter().map(breaker_to_value).collect())),
+    ])
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn checkpoint_from_value(value: &Value) -> Checkpoint {
+    let traffic = need(value, "traffic");
+    let faults = need(value, "faults");
+    Checkpoint {
+        probes_done: need_num(value, "probes_done"),
+        limiter: limiter_from_value(need(value, "limiter")),
+        traffic: TrafficStats {
+            queries_sent: need_num(traffic, "queries_sent"),
+            responses_received: need_num(traffic, "responses_received"),
+            timeouts: need_num(traffic, "timeouts"),
+            bytes_sent: need_num(traffic, "bytes_sent"),
+            bytes_received: need_num(traffic, "bytes_received"),
+            total_wait_ms: need_num(traffic, "total_wait_ms"),
+        },
+        faults: FaultStats {
+            flap_timeouts: need_num(faults, "flap_timeouts"),
+            losses: need_num(faults, "losses"),
+            refused: need_num(faults, "refused"),
+            truncated: need_num(faults, "truncated"),
+            delayed: need_num(faults, "delayed"),
+        },
+        net_per_destination: addr_counts_from_value(need(value, "net_per_destination")),
+        cache: need_arr(value, "cache")
+            .iter()
+            .map(|entry| {
+                let entry = entry.as_arr().expect("journal: cache entry is not a triple");
+                let code = entry[1].as_num().expect("journal: cache record type") as u16;
+                let rtype = RecordType::from_code(code)
+                    .unwrap_or_else(|| panic!("journal: unknown record type code {code}"));
+                let records = entry[2]
+                    .as_arr()
+                    .expect("journal: cache records")
+                    .iter()
+                    .map(resource_record_from_value)
+                    .collect();
+                ((name_from_value(&entry[0]), rtype), records)
+            })
+            .collect(),
+        breakers: need_arr(value, "breakers").iter().map(breaker_from_value).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    fn sample_probe(idx: u8) -> DomainProbe {
+        DomainProbe {
+            domain: n(&format!("gov{idx}.zz")),
+            parent_zone: Some(n("zz")),
+            parent_addrs: vec![Ipv4Addr::new(10, 0, 0, idx)],
+            parent_observations: vec![ServerObservation {
+                addr: Ipv4Addr::new(10, 0, 0, idx),
+                class: ResponseClass::Referral {
+                    cut: n(&format!("gov{idx}.zz")),
+                    targets: vec![n("ns1.gov.zz")],
+                    glue: vec![(n("ns1.gov.zz"), Ipv4Addr::new(10, 1, 0, 1))],
+                },
+                attempts: 1,
+            }],
+            parent_ns: vec![n("ns1.gov.zz")],
+            child_ns: vec![n("ns1.gov.zz")],
+            servers: vec![ServerProbe {
+                host: n("ns1.gov.zz"),
+                in_parent: true,
+                in_child: true,
+                addrs: vec![Ipv4Addr::new(10, 1, 0, 1)],
+                observations: vec![
+                    ServerObservation {
+                        addr: Ipv4Addr::new(10, 1, 0, 1),
+                        class: ResponseClass::Authoritative(vec![n("ns1.gov.zz")]),
+                        attempts: 2,
+                    },
+                    ServerObservation {
+                        addr: Ipv4Addr::new(10, 1, 0, 2),
+                        class: ResponseClass::Skipped,
+                        attempts: 0,
+                    },
+                ],
+                recovered_in_round2: idx % 2 == 0,
+            }],
+            soa: Some(Soa {
+                mname: n("ns1.gov.zz"),
+                rname: n("hostmaster.gov.zz"),
+                serial: 77,
+                refresh: 7200,
+                retry: 900,
+                expire: 1_209_600,
+                minimum: 3600,
+            }),
+            queries: 12,
+            elapsed_ms: 340,
+            rounds: 2,
+        }
+    }
+
+    fn sample_checkpoint(done: u64) -> Checkpoint {
+        Checkpoint {
+            probes_done: done,
+            limiter: LimiterState {
+                issued: 42,
+                per_round: [30, 4, 2, 5, 1],
+                per_destination: vec![(Ipv4Addr::new(10, 1, 0, 1), 9)],
+                per_destination_retries: vec![(Ipv4Addr::new(10, 1, 0, 1), 2)],
+            },
+            traffic: TrafficStats {
+                queries_sent: 42,
+                responses_received: 40,
+                timeouts: 2,
+                bytes_sent: 2000,
+                bytes_received: 4000,
+                total_wait_ms: 900,
+            },
+            faults: FaultStats {
+                flap_timeouts: 1,
+                losses: 0,
+                refused: 2,
+                truncated: 0,
+                delayed: 3,
+            },
+            net_per_destination: vec![(Ipv4Addr::new(10, 0, 0, 1), 11)],
+            cache: vec![(
+                (n("ns1.gov.zz"), RecordType::A),
+                vec![ResourceRecord::new(
+                    n("ns1.gov.zz"),
+                    3600,
+                    RecordData::A(Ipv4Addr::new(10, 1, 0, 1)),
+                )],
+            )],
+            breakers: vec![BreakerSnapshot {
+                addr: Ipv4Addr::new(10, 1, 0, 2),
+                phase: BreakerPhase::Open,
+                consecutive_failures: 3,
+                opened_rank: 1,
+                trips: 1,
+                denied: 4,
+            }],
+        }
+    }
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            names_fingerprint: 0xdead_beef,
+            domains: 2,
+            config_echo: "qps=200 cap=none".to_string(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("govdns-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.journal", std::process::id()))
+    }
+
+    #[test]
+    fn probe_records_round_trip_with_full_fidelity() {
+        let path = tmp("roundtrip");
+        let mut w = JournalWriter::create(&path, &header());
+        w.probe(0, &sample_probe(0));
+        w.probe(1, &sample_probe(1));
+        w.checkpoint(&sample_checkpoint(2));
+        w.complete(2);
+        assert_eq!(w.records(), 5, "header + 2 probes + checkpoint + complete");
+        drop(w);
+
+        let replay = JournalReplay::load(&path);
+        assert_eq!(replay.header, header());
+        assert_eq!(replay.probes, vec![sample_probe(0), sample_probe(1)]);
+        assert_eq!(replay.checkpoint, Some(sample_checkpoint(2)));
+        assert_eq!(replay.records, 5);
+        assert_eq!(replay.dropped_bytes, 0);
+        assert!(replay.completed);
+        assert_eq!(replay.resumes, 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_earlier_records_survive() {
+        let path = tmp("torn");
+        let mut w = JournalWriter::create(&path, &header());
+        w.probe(0, &sample_probe(0));
+        w.checkpoint(&sample_checkpoint(1));
+        w.probe(1, &sample_probe(1));
+        drop(w);
+
+        // Chop the last record mid-payload: the crash case.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 37]).unwrap();
+        let replay = JournalReplay::load(&path);
+        assert_eq!(replay.probes, vec![sample_probe(0)]);
+        assert_eq!(replay.checkpoint, Some(sample_checkpoint(1)));
+        assert!(replay.dropped_bytes > 0);
+        assert!(!replay.completed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_the_replay_at_the_damage() {
+        let path = tmp("corrupt");
+        let mut w = JournalWriter::create(&path, &header());
+        w.probe(0, &sample_probe(0));
+        let before_flip = std::fs::metadata(&path).unwrap().len() as usize;
+        w.probe(1, &sample_probe(1));
+        w.checkpoint(&sample_checkpoint(2));
+        drop(w);
+
+        // Flip one payload byte of probe record 1: its checksum fails,
+        // and everything after it (the checkpoint) is unreachable.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[before_flip + 40] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let replay = JournalReplay::load(&path);
+        assert_eq!(replay.probes, vec![sample_probe(0)]);
+        assert_eq!(replay.checkpoint, None, "the checkpoint sits past the corruption");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn best_checkpoint_never_exceeds_the_contiguous_probe_prefix() {
+        let path = tmp("best-checkpoint");
+        let mut w = JournalWriter::create(&path, &header());
+        w.probe(0, &sample_probe(0));
+        w.checkpoint(&sample_checkpoint(1));
+        // An out-of-order record (a parallel worker raced ahead) leaves
+        // a gap: index 2 without index 1.
+        w.probe(2, &sample_probe(2));
+        w.checkpoint(&sample_checkpoint(3));
+        drop(w);
+
+        let replay = JournalReplay::load(&path);
+        assert_eq!(replay.probes.len(), 1, "index 2 is past the gap");
+        assert_eq!(replay.checkpoint.unwrap().probes_done, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_resumed_marker_counts_on_reload() {
+        let path = tmp("resumed");
+        let mut w = JournalWriter::create(&path, &header());
+        w.probe(0, &sample_probe(0));
+        drop(w);
+        let mut w = JournalWriter::append_to(&path);
+        w.resumed(1);
+        w.probe(1, &sample_probe(1));
+        drop(w);
+
+        let replay = JournalReplay::load(&path);
+        assert_eq!(replay.resumes, 1);
+        assert_eq!(replay.probes.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn string_escaping_survives_hostile_txt_payloads() {
+        let mut out = String::new();
+        encode_string(&mut out, "a\"b\\c\nd\te\u{1}f");
+        let parsed = parse_json(&out).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\te\u{1}f"));
+    }
+}

@@ -34,6 +34,7 @@ pub mod analysis;
 mod campaign;
 mod dataset;
 pub mod discovery;
+pub mod journal;
 mod probe;
 mod ratelimit;
 pub mod report;
@@ -44,8 +45,10 @@ pub mod tables;
 
 pub use campaign::Campaign;
 pub use dataset::{Funnel, MeasurementDataset};
+pub use journal::{Checkpoint, JournalHeader, JournalReplay, JournalSpec, JournalWriter};
 pub use probe::{
+    BreakerAdmission, BreakerBank, BreakerPhase, BreakerPolicy, BreakerSnapshot, BreakerTransition,
     DomainProbe, ProbeClient, ResponseClass, RetryPolicy, ServerObservation, ServerProbe,
 };
-pub use ratelimit::{QueryRound, RateLimiter};
+pub use ratelimit::{LimiterState, QueryRound, RateLimiter};
 pub use runner::{run_campaign, run_campaign_with, CampaignTelemetry, ChaosSpec, RunnerConfig};

@@ -11,10 +11,12 @@
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeSet, HashMap};
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use govdns_model::{DomainName, Message, Rcode, RecordType, Soa};
+use govdns_model::{DomainName, Message, Rcode, RecordType, ResourceRecord, Soa};
 use govdns_simnet::{SimNetwork, StubResolver};
 use govdns_telemetry::{Counter, Histogram, Registry};
 
@@ -99,6 +101,283 @@ impl Default for RetryPolicy {
     }
 }
 
+/// When a destination's circuit breaker opens and closes.
+///
+/// Distinct from [`RetryPolicy`]: retries *re-send* an exchange that
+/// just failed, breakers *stop sending* to a destination whose recent
+/// exchanges all failed. The cooldown is measured in ledger rounds
+/// ([`QueryRound::rank`]), not wall-clock time, so breaker behaviour is
+/// deterministic and byte-identical across identically-seeded runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerPolicy {
+    /// Consecutive failed exchanges (after retries) that trip the
+    /// breaker. `0` disables breakers entirely — the default.
+    pub failure_threshold: u32,
+    /// Ledger rounds an open breaker waits before admitting a half-open
+    /// trial: a breaker opened in round rank `r` admits its trial once
+    /// the current round rank reaches `r + cooldown_rounds`.
+    pub cooldown_rounds: u32,
+}
+
+impl BreakerPolicy {
+    /// Breakers disabled: every destination is always sent to. This is
+    /// the default, preserving pre-breaker behaviour.
+    pub fn none() -> Self {
+        BreakerPolicy { failure_threshold: 0, cooldown_rounds: 0 }
+    }
+
+    /// The quarantine policy chaos campaigns run with: trip after 3
+    /// consecutive failures, admit a half-open trial one round later.
+    pub fn guarded() -> Self {
+        BreakerPolicy { failure_threshold: 3, cooldown_rounds: 1 }
+    }
+
+    /// Whether breakers are active at all.
+    pub fn is_enabled(&self) -> bool {
+        self.failure_threshold > 0
+    }
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy::none()
+    }
+}
+
+/// Where a destination's breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BreakerPhase {
+    /// Healthy: exchanges flow normally.
+    Closed,
+    /// Quarantined: exchanges are skipped without sending.
+    Open,
+    /// Cooldown expired: one trial exchange decides reopen vs. reclose.
+    HalfOpen,
+}
+
+impl BreakerPhase {
+    /// Stable label (journal / report key).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half_open",
+        }
+    }
+
+    /// Parses [`as_str`](BreakerPhase::as_str) output.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "closed" => Some(BreakerPhase::Closed),
+            "open" => Some(BreakerPhase::Open),
+            "half_open" => Some(BreakerPhase::HalfOpen),
+            _ => None,
+        }
+    }
+}
+
+/// One destination's breaker state, as exported for journaling and the
+/// measurement-health report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    /// The destination address.
+    pub addr: Ipv4Addr,
+    /// Current phase.
+    pub phase: BreakerPhase,
+    /// Consecutive failures while closed (resets on success).
+    pub consecutive_failures: u32,
+    /// Round rank at which the breaker last opened.
+    pub opened_rank: u32,
+    /// Times the breaker tripped (closed/half-open → open).
+    pub trips: u64,
+    /// Exchanges skipped while open.
+    pub denied: u64,
+}
+
+/// How an admission check resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerAdmission {
+    /// Closed breaker (or breakers disabled): send normally.
+    Allowed,
+    /// Open breaker past its cooldown: send one half-open trial.
+    Trial,
+    /// Open breaker inside its cooldown: do not send.
+    Denied,
+}
+
+/// A state change produced by recording an exchange result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerTransition {
+    /// Closed → open: the failure threshold was just crossed.
+    Tripped,
+    /// Half-open → closed: the trial succeeded.
+    Reclosed,
+    /// Half-open → open: the trial failed.
+    Reopened,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BreakerSlot {
+    phase: BreakerPhase,
+    consecutive_failures: u32,
+    opened_rank: u32,
+    trips: u64,
+    denied: u64,
+}
+
+impl BreakerSlot {
+    fn new() -> Self {
+        BreakerSlot {
+            phase: BreakerPhase::Closed,
+            consecutive_failures: 0,
+            opened_rank: 0,
+            trips: 0,
+            denied: 0,
+        }
+    }
+}
+
+/// The campaign-wide bank of per-destination circuit breakers, shared
+/// by every probe worker (clones share state).
+///
+/// Only [`ProbeClient::send`]-path exchanges consult the bank; SOA
+/// fetches and stub-resolver side lookups bypass it, mirroring how the
+/// retry machinery scopes itself to the NS probing protocol.
+#[derive(Debug, Clone)]
+pub struct BreakerBank {
+    policy: BreakerPolicy,
+    slots: Arc<Mutex<HashMap<Ipv4Addr, BreakerSlot>>>,
+}
+
+impl BreakerBank {
+    /// A bank enforcing `policy` (no-op when the policy is disabled).
+    pub fn new(policy: BreakerPolicy) -> Self {
+        BreakerBank { policy, slots: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// The enforced policy.
+    pub fn policy(&self) -> BreakerPolicy {
+        self.policy
+    }
+
+    /// Decides whether an exchange with `dst` may be sent during a
+    /// round of rank `rank`, advancing open breakers whose cooldown has
+    /// expired into half-open.
+    pub fn admit(&self, dst: Ipv4Addr, rank: u32) -> BreakerAdmission {
+        if !self.policy.is_enabled() {
+            return BreakerAdmission::Allowed;
+        }
+        let mut slots = self.slots.lock();
+        let Some(slot) = slots.get_mut(&dst) else { return BreakerAdmission::Allowed };
+        match slot.phase {
+            BreakerPhase::Closed => BreakerAdmission::Allowed,
+            BreakerPhase::HalfOpen => BreakerAdmission::Trial,
+            BreakerPhase::Open => {
+                if rank >= slot.opened_rank.saturating_add(self.policy.cooldown_rounds) {
+                    slot.phase = BreakerPhase::HalfOpen;
+                    BreakerAdmission::Trial
+                } else {
+                    slot.denied += 1;
+                    BreakerAdmission::Denied
+                }
+            }
+        }
+    }
+
+    /// Records the final outcome of an admitted exchange with `dst`
+    /// (`failure` = the class is transient-looking even after retries),
+    /// returning any phase transition it caused.
+    pub fn on_result(&self, dst: Ipv4Addr, rank: u32, failure: bool) -> Option<BreakerTransition> {
+        if !self.policy.is_enabled() {
+            return None;
+        }
+        let mut slots = self.slots.lock();
+        let slot = slots.entry(dst).or_insert_with(BreakerSlot::new);
+        match slot.phase {
+            BreakerPhase::Closed => {
+                if failure {
+                    slot.consecutive_failures += 1;
+                    if slot.consecutive_failures >= self.policy.failure_threshold {
+                        slot.phase = BreakerPhase::Open;
+                        slot.opened_rank = rank;
+                        slot.trips += 1;
+                        return Some(BreakerTransition::Tripped);
+                    }
+                } else {
+                    slot.consecutive_failures = 0;
+                }
+                None
+            }
+            BreakerPhase::HalfOpen => {
+                if failure {
+                    slot.phase = BreakerPhase::Open;
+                    slot.opened_rank = rank;
+                    slot.trips += 1;
+                    Some(BreakerTransition::Reopened)
+                } else {
+                    // A half-open success fully closes the breaker: the
+                    // failure streak starts over from zero.
+                    slot.phase = BreakerPhase::Closed;
+                    slot.consecutive_failures = 0;
+                    Some(BreakerTransition::Reclosed)
+                }
+            }
+            // A straggler result landing while open (another worker's
+            // in-flight exchange): the breaker already decided.
+            BreakerPhase::Open => None,
+        }
+    }
+
+    /// Every destination's breaker state, sorted by address (a stable
+    /// order for journaling).
+    pub fn snapshot(&self) -> Vec<BreakerSnapshot> {
+        let slots = self.slots.lock();
+        let mut all: Vec<BreakerSnapshot> = slots
+            .iter()
+            .map(|(&addr, s)| BreakerSnapshot {
+                addr,
+                phase: s.phase,
+                consecutive_failures: s.consecutive_failures,
+                opened_rank: s.opened_rank,
+                trips: s.trips,
+                denied: s.denied,
+            })
+            .collect();
+        all.sort_by_key(|s| s.addr);
+        all
+    }
+
+    /// Overwrites the bank with checkpointed state (the resume path).
+    pub fn restore(&self, snapshots: &[BreakerSnapshot]) {
+        let mut slots = self.slots.lock();
+        slots.clear();
+        for s in snapshots {
+            slots.insert(
+                s.addr,
+                BreakerSlot {
+                    phase: s.phase,
+                    consecutive_failures: s.consecutive_failures,
+                    opened_rank: s.opened_rank,
+                    trips: s.trips,
+                    denied: s.denied,
+                },
+            );
+        }
+    }
+
+    /// Destinations that tripped at least once, as `(addr, denied)`
+    /// pairs ranked by how much traffic the quarantine suppressed —
+    /// what the runner publishes as the "quarantined destinations"
+    /// toplist and the health section surfaces.
+    pub fn quarantined(&self) -> Vec<(Ipv4Addr, u64)> {
+        let slots = self.slots.lock();
+        let mut hit: Vec<(Ipv4Addr, u64)> =
+            slots.iter().filter(|(_, s)| s.trips > 0).map(|(&addr, s)| (addr, s.denied)).collect();
+        hit.sort_by_key(|&(addr, denied)| (std::cmp::Reverse(denied), addr));
+        hit
+    }
+}
+
 /// What one address said when asked for the domain's NS records.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ResponseClass {
@@ -123,6 +402,10 @@ pub enum ResponseClass {
     Truncated,
     /// No response at all.
     Timeout,
+    /// The exchange was never sent: the destination's circuit breaker
+    /// was open. No query was issued and nothing was charged to the
+    /// rate limiter — breakers stop *sending*.
+    Skipped,
 }
 
 impl ResponseClass {
@@ -194,9 +477,10 @@ impl ResponseClass {
         matches!(self, ResponseClass::Authoritative(_))
     }
 
-    /// Whether any packet came back.
+    /// Whether any packet came back. A skipped exchange was never sent,
+    /// so nothing responded.
     pub fn responded(&self) -> bool {
-        !matches!(self, ResponseClass::Timeout)
+        !matches!(self, ResponseClass::Timeout | ResponseClass::Skipped)
     }
 
     /// Whether the failure looks transient — worth a backoff retry.
@@ -365,11 +649,17 @@ struct ProbeSink {
     rejected: Counter,
     truncated: Counter,
     timeout: Counter,
+    skipped: Counter,
     retry_attempts: Counter,
     retry_recovered: Counter,
     retry_exhausted: Counter,
     retry_budget_denied: Counter,
     retry_backoff_ms: Histogram,
+    breaker_tripped: Counter,
+    breaker_denied: Counter,
+    breaker_half_open: Counter,
+    breaker_reclosed: Counter,
+    breaker_reopened: Counter,
 }
 
 impl ProbeSink {
@@ -382,11 +672,17 @@ impl ProbeSink {
             rejected: registry.counter("probe.class.rejected"),
             truncated: registry.counter("probe.class.truncated"),
             timeout: registry.counter("probe.class.timeout"),
+            skipped: registry.counter("probe.class.skipped"),
             retry_attempts: registry.counter("probe.retry.attempts"),
             retry_recovered: registry.counter("probe.retry.recovered"),
             retry_exhausted: registry.counter("probe.retry.exhausted"),
             retry_budget_denied: registry.counter("probe.retry.budget_denied"),
             retry_backoff_ms: registry.histogram_latency_ms("probe.retry.backoff_ms"),
+            breaker_tripped: registry.counter("probe.breaker.tripped"),
+            breaker_denied: registry.counter("probe.breaker.denied"),
+            breaker_half_open: registry.counter("probe.breaker.half_open_trials"),
+            breaker_reclosed: registry.counter("probe.breaker.reclosed"),
+            breaker_reopened: registry.counter("probe.breaker.reopened"),
         }
     }
 
@@ -398,6 +694,15 @@ impl ProbeSink {
             ResponseClass::Rejected(_) => self.rejected.inc(),
             ResponseClass::Truncated => self.truncated.inc(),
             ResponseClass::Timeout => self.timeout.inc(),
+            ResponseClass::Skipped => self.skipped.inc(),
+        }
+    }
+
+    fn tally_transition(&self, transition: BreakerTransition) {
+        match transition {
+            BreakerTransition::Tripped => self.breaker_tripped.inc(),
+            BreakerTransition::Reclosed => self.breaker_reclosed.inc(),
+            BreakerTransition::Reopened => self.breaker_reopened.inc(),
         }
     }
 }
@@ -415,6 +720,7 @@ pub struct ProbeClient<'n> {
     /// The ledger round the client is currently probing in.
     round: Cell<QueryRound>,
     retry: RetryPolicy,
+    breakers: Option<BreakerBank>,
     /// Cumulative delivery attempts per `(destination, qname)` pair,
     /// carried across rounds so a round-2 re-probe continues the attempt
     /// count instead of restarting it — that continuation is what lets a
@@ -432,6 +738,7 @@ impl<'n> ProbeClient<'n> {
             telemetry: None,
             round: Cell::new(QueryRound::Round1),
             retry: RetryPolicy::none(),
+            breakers: None,
             attempts: RefCell::new(HashMap::new()),
         }
     }
@@ -441,6 +748,29 @@ impl<'n> ProbeClient<'n> {
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Attaches a (shared) circuit-breaker bank: every probing exchange
+    /// first asks the destination's breaker for admission, and skipped
+    /// exchanges are recorded as [`ResponseClass::Skipped`] without
+    /// sending anything or charging the rate limiter.
+    #[must_use]
+    pub fn with_breakers(mut self, bank: BreakerBank) -> Self {
+        self.breakers = Some(bank).filter(|b| b.policy().is_enabled());
+        self
+    }
+
+    /// Imports resolver-cache entries (a journal checkpoint's warmth);
+    /// see [`StubResolver::import_cache`].
+    pub fn import_cache(&self, entries: Vec<((DomainName, RecordType), Vec<ResourceRecord>)>) {
+        self.resolver.import_cache(entries);
+    }
+
+    /// Exports the resolver cache in deterministic order; see
+    /// [`StubResolver::export_cache`].
+    #[must_use]
+    pub fn export_cache(&self) -> Vec<((DomainName, RecordType), Vec<ResourceRecord>)> {
+        self.resolver.export_cache()
     }
 
     /// Starts tallying per-class response counters
@@ -552,10 +882,50 @@ impl<'n> ProbeClient<'n> {
         self.round.set(QueryRound::Round1);
     }
 
-    /// One exchange with `dst`, retrying transient failures under the
-    /// client's [`RetryPolicy`]. Returns the final class and the number
-    /// of delivery attempts it cost.
+    /// One exchange with `dst`, gated by the destination's circuit
+    /// breaker (if a bank is attached) and retried under the client's
+    /// [`RetryPolicy`]. A denied admission short-circuits to
+    /// [`ResponseClass::Skipped`] with zero attempts — nothing is sent
+    /// and the rate limiter is not charged.
     fn send(
+        &self,
+        dst: Ipv4Addr,
+        qname: &DomainName,
+        probe: &mut DomainProbe,
+    ) -> (ResponseClass, u32) {
+        let rank = self.round.get().rank();
+        if let Some(bank) = &self.breakers {
+            match bank.admit(dst, rank) {
+                BreakerAdmission::Denied => {
+                    let class = ResponseClass::Skipped;
+                    if let Some(sink) = &self.telemetry {
+                        sink.tally(&class);
+                        sink.breaker_denied.inc();
+                    }
+                    return (class, 0);
+                }
+                BreakerAdmission::Trial => {
+                    if let Some(sink) = &self.telemetry {
+                        sink.breaker_half_open.inc();
+                    }
+                }
+                BreakerAdmission::Allowed => {}
+            }
+        }
+        let (class, attempts) = self.send_inner(dst, qname, probe);
+        if let Some(bank) = &self.breakers {
+            if let Some(transition) = bank.on_result(dst, rank, class.is_retryable()) {
+                if let Some(sink) = &self.telemetry {
+                    sink.tally_transition(transition);
+                }
+            }
+        }
+        (class, attempts)
+    }
+
+    /// The breaker-free exchange: charges the limiter, delivers, and
+    /// retries transient failures within the retry budget.
+    fn send_inner(
         &self,
         dst: Ipv4Addr,
         qname: &DomainName,
@@ -1047,5 +1417,171 @@ mod tests {
             .servers
             .iter()
             .all(|s| s.observations.iter().all(|o| o.class.is_authoritative())));
+    }
+
+    #[test]
+    fn breaker_state_machine_walks_closed_open_half_open() {
+        let dst = Ipv4Addr::new(10, 8, 0, 1);
+        let bank = BreakerBank::new(BreakerPolicy { failure_threshold: 2, cooldown_rounds: 1 });
+
+        // Unknown destination: always admitted.
+        assert_eq!(bank.admit(dst, 1), BreakerAdmission::Allowed);
+        // One failure is below threshold; the second trips it.
+        assert_eq!(bank.on_result(dst, 1, true), None);
+        assert_eq!(bank.admit(dst, 1), BreakerAdmission::Allowed);
+        assert_eq!(bank.on_result(dst, 1, true), Some(BreakerTransition::Tripped));
+
+        // Open within the cooldown round: denied, and the denial is counted.
+        assert_eq!(bank.admit(dst, 1), BreakerAdmission::Denied);
+        assert_eq!(bank.admit(dst, 1), BreakerAdmission::Denied);
+        let snap = &bank.snapshot()[0];
+        assert_eq!(snap.phase, BreakerPhase::Open);
+        assert_eq!(snap.denied, 2);
+        assert_eq!(snap.trips, 1);
+
+        // Cooldown expired (rank 2 ≥ opened_rank 1 + 1): half-open trial.
+        assert_eq!(bank.admit(dst, 2), BreakerAdmission::Trial);
+        // Failed trial reopens; the next trial must wait a fresh cooldown.
+        assert_eq!(bank.on_result(dst, 2, true), Some(BreakerTransition::Reopened));
+        assert_eq!(bank.admit(dst, 2), BreakerAdmission::Denied);
+        assert_eq!(bank.admit(dst, 3), BreakerAdmission::Trial);
+        // Successful trial fully closes: the failure streak restarts.
+        assert_eq!(bank.on_result(dst, 3, false), Some(BreakerTransition::Reclosed));
+        assert_eq!(bank.admit(dst, 3), BreakerAdmission::Allowed);
+        assert_eq!(
+            bank.on_result(dst, 3, true),
+            None,
+            "one failure after reclose is below threshold"
+        );
+        let snap = &bank.snapshot()[0];
+        assert_eq!(snap.phase, BreakerPhase::Closed);
+        assert_eq!(snap.trips, 2);
+    }
+
+    #[test]
+    fn breaker_success_resets_the_failure_streak() {
+        let dst = Ipv4Addr::new(10, 8, 0, 2);
+        let bank = BreakerBank::new(BreakerPolicy::guarded());
+        for _ in 0..2 {
+            assert_eq!(bank.on_result(dst, 1, true), None);
+        }
+        assert_eq!(bank.on_result(dst, 1, false), None);
+        // Two more failures after the reset: still below the threshold of 3.
+        assert_eq!(bank.on_result(dst, 1, true), None);
+        assert_eq!(bank.on_result(dst, 1, true), None);
+        assert_eq!(bank.snapshot()[0].phase, BreakerPhase::Closed);
+        assert_eq!(bank.on_result(dst, 1, true), Some(BreakerTransition::Tripped));
+    }
+
+    #[test]
+    fn breaker_snapshot_round_trips_through_restore() {
+        let bank = BreakerBank::new(BreakerPolicy::guarded());
+        for i in 0..3u8 {
+            let dst = Ipv4Addr::new(10, 8, 1, i);
+            for _ in 0..3 {
+                bank.on_result(dst, 1, true);
+            }
+            bank.admit(dst, 1);
+        }
+        let snap = bank.snapshot();
+        let fresh = BreakerBank::new(BreakerPolicy::guarded());
+        fresh.restore(&snap);
+        assert_eq!(fresh.snapshot(), snap);
+        assert_eq!(fresh.quarantined(), bank.quarantined());
+        assert_eq!(fresh.admit(Ipv4Addr::new(10, 8, 1, 0), 1), BreakerAdmission::Denied);
+    }
+
+    #[test]
+    fn disabled_bank_is_a_no_op() {
+        let dst = Ipv4Addr::new(10, 8, 0, 3);
+        let bank = BreakerBank::new(BreakerPolicy::none());
+        for _ in 0..10 {
+            assert_eq!(bank.on_result(dst, 1, true), None);
+        }
+        assert_eq!(bank.admit(dst, 1), BreakerAdmission::Allowed);
+        assert!(bank.snapshot().is_empty());
+    }
+
+    #[test]
+    fn breaker_quarantines_a_dead_server_and_reclosing_trial_recovers_it() {
+        let (net, roots) = network();
+        let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+        // Attempt 0 (round 1's tripping exchange) is swallowed; the
+        // denied exchange never bumps the attempt counter, so round 2's
+        // half-open trial is attempt 1 — past the recovery threshold.
+        net.install_faults(Some(flap(a_ip, 1, 1.0, 1)));
+        let registry = Registry::new();
+        let bank = BreakerBank::new(BreakerPolicy { failure_threshold: 1, cooldown_rounds: 1 });
+        let c = ProbeClient::new(&net, roots, RateLimiter::with_telemetry(10_000, None, &registry))
+            .with_telemetry(&registry)
+            .with_breakers(bank.clone());
+        let mut p = c.probe(&n("a.gov.zz"));
+        assert!(!p.has_authoritative_answer(), "round 1 should fail: {:?}", p.servers);
+        // Both NS targets share a_ip: the first exchange trips the
+        // breaker, the second is denied without sending.
+        assert!(
+            p.servers.iter().any(|s| s
+                .observations
+                .iter()
+                .any(|o| { o.class == ResponseClass::Skipped && o.attempts == 0 })),
+            "denied exchange must surface as a zero-attempt Skipped observation: {:?}",
+            p.servers
+        );
+        let phase_of = |bank: &BreakerBank, addr: Ipv4Addr| {
+            bank.snapshot().iter().find(|s| s.addr == addr).map(|s| s.phase)
+        };
+        assert_eq!(phase_of(&bank, a_ip), Some(BreakerPhase::Open));
+
+        // Round 2 (rank 2) is past the cooldown: the half-open trial
+        // goes through, succeeds, and recloses the breaker.
+        c.retry_child_side(&mut p);
+        assert!(p.has_authoritative_answer(), "round 2 trial should recover: {:?}", p.servers);
+        assert!(p.recovered_in_round2());
+        assert_eq!(phase_of(&bank, a_ip), Some(BreakerPhase::Closed));
+        assert!(bank.quarantined().is_empty() || bank.quarantined()[0].0 == a_ip);
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["probe.breaker.tripped"], 1);
+        assert!(snap.counters["probe.breaker.denied"] >= 1);
+        assert_eq!(snap.counters["probe.class.skipped"], snap.counters["probe.breaker.denied"]);
+        assert_eq!(snap.counters["probe.breaker.half_open_trials"], 1);
+        assert_eq!(snap.counters["probe.breaker.reclosed"], 1);
+        assert_eq!(snap.counters["probe.breaker.reopened"], 0);
+    }
+
+    #[test]
+    fn denied_exchanges_charge_nothing_to_the_limiter() {
+        let (net, roots) = network();
+        let a_ip = Ipv4Addr::new(10, 3, 0, 1);
+        net.install_faults(Some(flap(a_ip, 1, 1.0, 99)));
+        let limiter = RateLimiter::default();
+        let bank = BreakerBank::new(BreakerPolicy { failure_threshold: 1, cooldown_rounds: 9 });
+        let c = ProbeClient::new(&net, roots, limiter.clone()).with_breakers(bank.clone());
+        let p = c.probe(&n("a.gov.zz"));
+        let skipped: u64 = p
+            .servers
+            .iter()
+            .flat_map(|s| &s.observations)
+            .filter(|o| o.class == ResponseClass::Skipped)
+            .count() as u64;
+        assert!(skipped >= 1, "expected at least one denied exchange: {:?}", p.servers);
+        let denied: u64 = bank.snapshot().iter().map(|s| s.denied).sum();
+        assert_eq!(denied, skipped);
+        // The denied exchanges charged neither the limiter nor the
+        // wire: without retries, a_ip's ledger charge equals the
+        // attempts the network actually saw for it.
+        let charged = limiter
+            .export_state()
+            .per_destination
+            .iter()
+            .find(|(addr, _)| *addr == a_ip)
+            .map_or(0, |&(_, count)| count);
+        let delivered = net
+            .per_destination_snapshot()
+            .iter()
+            .find(|(addr, _)| *addr == a_ip)
+            .map_or(0, |&(_, count)| count);
+        assert!(charged > 0, "the tripping exchange itself is charged");
+        assert_eq!(charged, delivered);
     }
 }

@@ -52,7 +52,24 @@ impl QueryRound {
         }
     }
 
-    const ALL: [QueryRound; 5] = [
+    /// The round's position in the campaign's probing schedule: 1 for
+    /// first-pass traffic (round 1, side lookups, their retries), 2 for
+    /// everything that runs after the first pass (round 2, SOA checks).
+    ///
+    /// Circuit-breaker cooldowns are measured in this rank — "wait one
+    /// round" means a breaker opened during the first pass admits its
+    /// half-open trial in round 2 — which keeps breaker behaviour a
+    /// pure function of campaign structure rather than wall-clock time.
+    pub fn rank(self) -> u32 {
+        match self {
+            QueryRound::Round1 | QueryRound::Side | QueryRound::Retry => 1,
+            QueryRound::Round2 | QueryRound::Soa => 2,
+        }
+    }
+
+    /// Every round, in ledger-index order (the order
+    /// [`LimiterState::per_round`] uses).
+    pub const ALL: [QueryRound; 5] = [
         QueryRound::Round1,
         QueryRound::Round2,
         QueryRound::Soa,
@@ -69,6 +86,24 @@ impl QueryRound {
             QueryRound::Retry => 4,
         }
     }
+}
+
+/// A frozen copy of a limiter's complete ledger state, exported by
+/// [`RateLimiter::export_state`] for campaign-journal checkpoints and
+/// replayed by [`RateLimiter::restore_state`] on resume.
+///
+/// Both per-destination maps are kept as sorted vectors so the
+/// serialized form is deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LimiterState {
+    /// Total queries issued.
+    pub issued: u64,
+    /// Per-round totals, indexed like [`QueryRound::ALL`].
+    pub per_round: [u64; 5],
+    /// Per-destination query counts, sorted by address.
+    pub per_destination: Vec<(Ipv4Addr, u64)>,
+    /// Per-destination backoff-retry charges, sorted by address.
+    pub per_destination_retries: Vec<(Ipv4Addr, u64)>,
 }
 
 /// A shared query-budget meter with per-round and per-destination
@@ -208,6 +243,43 @@ impl RateLimiter {
         self.inner.destination_cap
     }
 
+    /// Exports the full ledger state for a campaign-journal checkpoint:
+    /// totals, per-round splits, and both per-destination maps, with the
+    /// maps in sorted order so the serialized checkpoint is byte-stable.
+    pub fn export_state(&self) -> LimiterState {
+        let sorted = |map: &HashMap<Ipv4Addr, u64>| {
+            let mut v: Vec<(Ipv4Addr, u64)> = map.iter().map(|(&a, &c)| (a, c)).collect();
+            v.sort_by_key(|&(a, _)| a);
+            v
+        };
+        LimiterState {
+            issued: self.issued(),
+            per_round: QueryRound::ALL.map(|r| self.issued_in(r)),
+            per_destination: sorted(&self.inner.per_destination.lock()),
+            per_destination_retries: sorted(&self.inner.per_destination_retries.lock()),
+        }
+    }
+
+    /// Overwrites the ledger with a checkpointed [`LimiterState`] — the
+    /// resume path. Restoring also advances the mirrored
+    /// `ratelimit.issued` telemetry counter by the restored total, so
+    /// the counter keeps equalling [`issued`](RateLimiter::issued) on a
+    /// resumed run. The retry map is what prevents double-charging: a
+    /// destination that burned its [`QueryRound::Retry`] budget before
+    /// the crash stays burned after resume.
+    pub fn restore_state(&self, state: &LimiterState) {
+        let previously_issued = self.inner.issued.swap(state.issued, Ordering::Relaxed);
+        for (slot, &value) in self.inner.per_round.iter().zip(state.per_round.iter()) {
+            slot.store(value, Ordering::Relaxed);
+        }
+        *self.inner.per_destination.lock() = state.per_destination.iter().copied().collect();
+        *self.inner.per_destination_retries.lock() =
+            state.per_destination_retries.iter().copied().collect();
+        if let Some(c) = &self.inner.counter {
+            c.add(state.issued.saturating_sub(previously_issued));
+        }
+    }
+
     /// Wall-clock seconds the campaign would need at the configured rate.
     pub fn paced_duration_secs(&self) -> u64 {
         self.issued().div_ceil(u64::from(self.inner.max_qps))
@@ -336,6 +408,36 @@ mod tests {
             assert!(rl.try_acquire_retry(a, None));
         }
         assert_eq!(rl.retries_charged(a), 50);
+    }
+
+    #[test]
+    fn state_round_trips_and_mirrors_the_counter() {
+        let registry = Registry::new();
+        let rl = RateLimiter::with_telemetry(100, Some(3), &registry);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        let b = Ipv4Addr::new(192, 0, 2, 2);
+        for _ in 0..4 {
+            rl.acquire_for(QueryRound::Round1, Some(a));
+        }
+        rl.acquire_for(QueryRound::Round2, Some(b));
+        assert!(rl.try_acquire_retry(a, Some(2)));
+        let state = rl.export_state();
+        assert_eq!(state.issued, 6);
+        assert_eq!(state.per_round, [4, 1, 0, 0, 1]);
+        assert_eq!(state.per_destination, vec![(a, 5), (b, 1)]);
+        assert_eq!(state.per_destination_retries, vec![(a, 1)]);
+
+        // Restore into a fresh limiter: ledger, retry budget, and the
+        // telemetry mirror all line up with the original.
+        let registry2 = Registry::new();
+        let fresh = RateLimiter::with_telemetry(100, Some(3), &registry2);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.export_state(), state);
+        assert_eq!(fresh.ledger(), rl.ledger());
+        assert_eq!(registry2.snapshot().counters["ratelimit.issued"], fresh.issued());
+        assert_eq!(fresh.retries_charged(a), 1);
+        assert!(fresh.try_acquire_retry(a, Some(2)));
+        assert!(!fresh.try_acquire_retry(a, Some(2)), "restored charges count against the budget");
     }
 
     #[test]

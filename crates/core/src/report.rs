@@ -1,7 +1,13 @@
 //! One-call reproduction of every table and figure in the paper's
 //! evaluation, plus the §III funnel and traffic/ethics accounting.
+//!
+//! Analyses are *panic-isolated*: each stage runs under `catch_unwind`
+//! with its own `analysis.<stage>` span, so one analysis blowing up
+//! degrades the report to a partial one — the failed stage renders as
+//! an `analysis.failed` entry while every other section survives.
 
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Deserialize, Serialize};
 
@@ -79,6 +85,22 @@ pub struct MeasurementHealth {
     pub faults_injected: u64,
     /// Injected fault breakdown, from the network's own ledger.
     pub faults: govdns_simnet::FaultStats,
+    /// Circuit-breaker trips (`probe.breaker.tripped`).
+    pub breaker_tripped: u64,
+    /// Exchanges skipped because a breaker was open
+    /// (`probe.breaker.denied`).
+    pub breaker_denied: u64,
+    /// Breakers closed again by a successful half-open trial
+    /// (`probe.breaker.reclosed`).
+    pub breaker_reclosed: u64,
+    /// Breakers re-opened by a failed half-open trial
+    /// (`probe.breaker.reopened`).
+    pub breaker_reopened: u64,
+    /// Destinations a breaker quarantined at least once, with the
+    /// number of exchanges denied while quarantined — from the
+    /// `quarantined destinations` toplist. Empty when breakers were
+    /// disabled or nothing tripped.
+    pub quarantined: Vec<(String, u64)>,
     /// Countries ranked by degraded-domain count:
     /// `(country, responsive, degraded)`, worst first.
     pub flaky_countries: Vec<(govdns_world::CountryCode, usize, usize)>,
@@ -120,6 +142,16 @@ impl MeasurementHealth {
             retry_budget_denied: counter("probe.retry.budget_denied"),
             faults_injected: ds.faults.injected(),
             faults: ds.faults,
+            breaker_tripped: counter("probe.breaker.tripped"),
+            breaker_denied: counter("probe.breaker.denied"),
+            breaker_reclosed: counter("probe.breaker.reclosed"),
+            breaker_reopened: counter("probe.breaker.reopened"),
+            quarantined: ds
+                .telemetry
+                .toplists
+                .get("quarantined destinations")
+                .cloned()
+                .unwrap_or_default(),
             flaky_countries,
         }
     }
@@ -141,7 +173,82 @@ impl MeasurementHealth {
         row("fault_refused", self.faults.refused.to_string());
         row("fault_truncated", self.faults.truncated.to_string());
         row("fault_delayed", self.faults.delayed.to_string());
+        row("breaker_tripped", self.breaker_tripped.to_string());
+        row("breaker_denied", self.breaker_denied.to_string());
+        row("breaker_reclosed", self.breaker_reclosed.to_string());
+        row("breaker_reopened", self.breaker_reopened.to_string());
+        row("quarantined_destinations", self.quarantined.len().to_string());
         t
+    }
+}
+
+/// Forcing analysis stages to fail, for exercising the partial-report
+/// path without a genuinely buggy analysis.
+///
+/// Two triggers: [`arm`] marks a stage for the *current thread* (safe
+/// under parallel tests), and the `GOVDNS_FAIL_ANALYSIS` environment
+/// variable marks one process-wide (the CLI/CI hook).
+pub mod failpoint {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static ARMED: RefCell<Option<String>> = const { RefCell::new(None) };
+    }
+
+    /// Arms the failpoint: the named analysis stage panics on this
+    /// thread until [`disarm`] is called.
+    pub fn arm(stage: &str) {
+        ARMED.with(|a| *a.borrow_mut() = Some(stage.to_owned()));
+    }
+
+    /// Disarms the thread-local failpoint.
+    pub fn disarm() {
+        ARMED.with(|a| *a.borrow_mut() = None);
+    }
+
+    pub(crate) fn hit(stage: &str) -> bool {
+        ARMED.with(|a| a.borrow().as_deref() == Some(stage))
+            || std::env::var("GOVDNS_FAIL_ANALYSIS").is_ok_and(|v| v == stage)
+    }
+}
+
+/// One analysis stage that panicked during report generation: the
+/// partial report carries these instead of aborting.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisFailure {
+    /// Stage name (matches the `analysis.<stage>` span).
+    pub stage: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+/// Runs one analysis stage under `catch_unwind`, recording a span for
+/// it; a panic yields the stage's `Default` value plus a failure entry.
+fn guarded<T: Default>(
+    registry: Option<&govdns_telemetry::Registry>,
+    failures: &mut Vec<AnalysisFailure>,
+    stage: &str,
+    body: impl FnOnce() -> T,
+) -> T {
+    let span = registry.map(|r| r.span(&format!("analysis.{stage}")));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        assert!(!failpoint::hit(stage), "forced failure (failpoint) in analysis stage {stage}");
+        body()
+    }));
+    if let Some(span) = span {
+        span.finish();
+    }
+    match result {
+        Ok(value) => value,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            failures.push(AnalysisFailure { stage: stage.to_owned(), message });
+            T::default()
+        }
     }
 }
 
@@ -180,6 +287,9 @@ pub struct Report {
     pub health: MeasurementHealth,
     /// Ethics accounting: queries received by the single busiest server.
     pub busiest_server_queries: u64,
+    /// Analysis stages that panicked: their sections hold `Default`
+    /// placeholder values and the report renders as partial.
+    pub analysis_failures: Vec<AnalysisFailure>,
 }
 
 impl Report {
@@ -199,7 +309,7 @@ impl Report {
     ) -> Self {
         let dataset = run_campaign_with(campaign, config, ctl);
         let analysis_span = ctl.registry().span("analysis");
-        let mut report = Report::from_dataset(campaign, dataset);
+        let mut report = Report::from_dataset_guarded(campaign, dataset, Some(ctl.registry()));
         analysis_span.finish();
         report.busiest_server_queries =
             campaign.network.busiest_destinations(1).first().map(|&(_, c)| c).unwrap_or(0);
@@ -211,23 +321,85 @@ impl Report {
     /// Runs the analyses over an existing dataset (reuse between
     /// experiments).
     pub fn from_dataset(campaign: &Campaign<'_>, dataset: MeasurementDataset) -> Self {
-        let lon = Longitudinal::build(campaign, &dataset.seeds);
+        Report::from_dataset_guarded(campaign, dataset, None)
+    }
+
+    /// The panic-isolated analysis pass: every stage runs under its own
+    /// guard, so a panicking analysis degrades its section to `Default`
+    /// and records an [`AnalysisFailure`] instead of tearing down the
+    /// whole report. With a registry, each stage gets an
+    /// `analysis.<stage>` span.
+    fn from_dataset_guarded(
+        campaign: &Campaign<'_>,
+        dataset: MeasurementDataset,
+        registry: Option<&govdns_telemetry::Registry>,
+    ) -> Self {
+        let mut failures = Vec::new();
+        let f = &mut failures;
+        // The longitudinal reconstruction feeds four downstream stages;
+        // if it fails they are skipped (marked failed), not run against
+        // fabricated history.
+        let lon = guarded(registry, f, "longitudinal", || {
+            Some(Longitudinal::build(campaign, &dataset.seeds))
+        });
+        fn skipped<T: Default>(failures: &mut Vec<AnalysisFailure>, stage: &str) -> T {
+            failures.push(AnalysisFailure {
+                stage: stage.to_owned(),
+                message: "skipped: longitudinal reconstruction failed".to_owned(),
+            });
+            T::default()
+        }
+        let per_country_2020 = match &lon {
+            Some(lon) => {
+                guarded(registry, f, "per_country", || DomainsPerCountry::compute(lon, 2020))
+            }
+            None => skipped(f, "per_country"),
+        };
+        let churn = match &lon {
+            Some(lon) => guarded(registry, f, "churn", || SingleNsChurn::compute(lon)),
+            None => skipped(f, "churn"),
+        };
+        let private_share = match &lon {
+            Some(lon) => guarded(registry, f, "private_share", || PrivateShare::compute(lon)),
+            None => skipped(f, "private_share"),
+        };
+        let providers = match &lon {
+            Some(lon) => {
+                guarded(registry, f, "providers", || ProviderAnalysis::compute(lon, campaign))
+            }
+            None => skipped(f, "providers"),
+        };
         Report {
             funnel: dataset.funnel(),
             levels: LevelMix::compute(&dataset),
-            yearly: YearlyTotals::compute_raw(campaign, &dataset.seeds),
-            per_country_2020: DomainsPerCountry::compute(&lon, 2020),
-            churn: SingleNsChurn::compute(&lon),
-            private_share: PrivateShare::compute(&lon),
-            active_replication: ActiveReplication::compute(&dataset),
-            diversity: DiversityTable::compute(&dataset, campaign),
-            providers: ProviderAnalysis::compute(&lon, campaign),
-            delegation: DelegationAnalysis::compute(&dataset, campaign),
-            consistency: ConsistencyAnalysis::compute(&dataset, campaign),
-            concentration: ConcentrationAnalysis::compute(&dataset, campaign),
-            remedies: RemediationSummary::compute(&dataset, campaign),
+            yearly: guarded(registry, f, "yearly", || {
+                YearlyTotals::compute_raw(campaign, &dataset.seeds)
+            }),
+            per_country_2020,
+            churn,
+            private_share,
+            active_replication: guarded(registry, f, "replication", || {
+                ActiveReplication::compute(&dataset)
+            }),
+            diversity: guarded(registry, f, "diversity", || {
+                DiversityTable::compute(&dataset, campaign)
+            }),
+            providers,
+            delegation: guarded(registry, f, "delegation", || {
+                DelegationAnalysis::compute(&dataset, campaign)
+            }),
+            consistency: guarded(registry, f, "consistency", || {
+                ConsistencyAnalysis::compute(&dataset, campaign)
+            }),
+            concentration: guarded(registry, f, "concentration", || {
+                ConcentrationAnalysis::compute(&dataset, campaign)
+            }),
+            remedies: guarded(registry, f, "remedies", || {
+                RemediationSummary::compute(&dataset, campaign)
+            }),
             health: MeasurementHealth::compute(&dataset),
             busiest_server_queries: 0,
+            analysis_failures: failures,
             dataset,
         }
     }
@@ -241,22 +413,53 @@ impl Report {
     pub fn write_csv_bundle(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         let write = |name: &str, csv: String| std::fs::write(dir.join(name), csv);
-        write("fig02_03_yearly.csv", self.yearly.table().to_csv())?;
-        write("fig04_domains_per_country.csv", self.per_country_2020.table().to_csv())?;
-        write("fig06_d1ns_churn.csv", self.churn.table().to_csv())?;
-        write("fig07_private_share.csv", self.private_share.table().to_csv())?;
-        write("fig08_d1ns_stale.csv", self.active_replication.stale_table().to_csv())?;
-        write("fig09_ns_cdf.csv", self.active_replication.cdf_table().to_csv())?;
-        write("table1_diversity.csv", self.diversity.table().to_csv())?;
-        write("table2_major_providers.csv", self.providers.table2().to_csv())?;
-        write("table3_top_providers_2011.csv", self.providers.table3(2011).to_csv())?;
-        write("table3_top_providers_2020.csv", self.providers.table3(2020).to_csv())?;
-        write("fig10_defective_by_country.csv", self.delegation.per_country_table().to_csv())?;
-        write("fig11_available_dns.csv", self.delegation.available_table().to_csv())?;
-        write("fig12_costs.csv", self.delegation.cost_table().to_csv())?;
-        write("fig13_consistency.csv", self.consistency.summary_table().to_csv())?;
-        write("fig14_disagreement.csv", self.consistency.per_country_table().to_csv())?;
-        write("concentration.csv", self.concentration.table(30).to_csv())?;
+        // Files produced by a panicked stage are *omitted* (their data
+        // is a `Default` placeholder); `analysis_failed.csv` below names
+        // the missing stages.
+        let failed = |stage: &str| self.analysis_failures.iter().any(|f| f.stage == stage);
+        let staged = |stage: &str, name: &str, csv: &dyn Fn() -> String| -> std::io::Result<()> {
+            if failed(stage) {
+                Ok(())
+            } else {
+                std::fs::write(dir.join(name), csv())
+            }
+        };
+        staged("yearly", "fig02_03_yearly.csv", &|| self.yearly.table().to_csv())?;
+        staged("per_country", "fig04_domains_per_country.csv", &|| {
+            self.per_country_2020.table().to_csv()
+        })?;
+        staged("churn", "fig06_d1ns_churn.csv", &|| self.churn.table().to_csv())?;
+        staged("private_share", "fig07_private_share.csv", &|| {
+            self.private_share.table().to_csv()
+        })?;
+        staged("replication", "fig08_d1ns_stale.csv", &|| {
+            self.active_replication.stale_table().to_csv()
+        })?;
+        staged("replication", "fig09_ns_cdf.csv", &|| {
+            self.active_replication.cdf_table().to_csv()
+        })?;
+        staged("diversity", "table1_diversity.csv", &|| self.diversity.table().to_csv())?;
+        staged("providers", "table2_major_providers.csv", &|| self.providers.table2().to_csv())?;
+        staged("providers", "table3_top_providers_2011.csv", &|| {
+            self.providers.table3(2011).to_csv()
+        })?;
+        staged("providers", "table3_top_providers_2020.csv", &|| {
+            self.providers.table3(2020).to_csv()
+        })?;
+        staged("delegation", "fig10_defective_by_country.csv", &|| {
+            self.delegation.per_country_table().to_csv()
+        })?;
+        staged("delegation", "fig11_available_dns.csv", &|| {
+            self.delegation.available_table().to_csv()
+        })?;
+        staged("delegation", "fig12_costs.csv", &|| self.delegation.cost_table().to_csv())?;
+        staged("consistency", "fig13_consistency.csv", &|| {
+            self.consistency.summary_table().to_csv()
+        })?;
+        staged("consistency", "fig14_disagreement.csv", &|| {
+            self.consistency.per_country_table().to_csv()
+        })?;
+        staged("concentration", "concentration.csv", &|| self.concentration.table(30).to_csv())?;
         write("dataset_summary.csv", self.dataset.to_summary_csv())?;
         write("telemetry_scalars.csv", self.dataset.telemetry.scalars_csv())?;
         write("telemetry_stages.csv", self.dataset.telemetry.stages_csv())?;
@@ -264,6 +467,13 @@ impl Report {
         write("telemetry_toplists.csv", self.dataset.telemetry.toplists_csv())?;
         write("telemetry_ledger.csv", self.dataset.telemetry.ledger_csv())?;
         write("measurement_health.csv", self.health.table().to_csv())?;
+        if !self.analysis_failures.is_empty() {
+            let mut t = crate::tables::TextTable::new(["stage", "message"]);
+            for failure in &self.analysis_failures {
+                t.push_row([failure.stage.clone(), failure.message.clone()]);
+            }
+            write("analysis_failed.csv", t.to_csv())?;
+        }
         Ok(())
     }
 
@@ -271,9 +481,25 @@ impl Report {
     /// the paper's tables and figures carry.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        let failed = |stage: &str| self.analysis_failures.iter().any(|f| f.stage == stage);
         let mut section = |title: &str, body: String| {
             let _ = writeln!(out, "== {title} ==\n{body}");
         };
+        // Sections tied to an analysis stage wrap their body in
+        // `stage_body!`, which renders a placeholder — *without
+        // evaluating the body* — when that stage panicked.
+        macro_rules! stage_body {
+            ($stage:literal, $body:expr) => {
+                if failed($stage) {
+                    format!(
+                        "(unavailable — analysis stage `{}` panicked; see `analysis.failed`)\n",
+                        $stage
+                    )
+                } else {
+                    $body
+                }
+            };
+        }
 
         section(
             "collection funnel (§III-B)",
@@ -311,111 +537,152 @@ impl Report {
         );
         section(
             "Fig 2/3 — PDNS domains, countries, nameservers per year",
-            self.yearly.table().to_text(),
+            stage_body!("yearly", self.yearly.table().to_text()),
         );
-        section("Fig 4 — domains per country, 2020 (top 20)", {
-            let mut t = crate::tables::TextTable::new(["country", "domains"]);
-            for (c, n) in self.per_country_2020.rows.iter().take(20) {
-                t.push_row([c.to_string(), n.to_string()]);
-            }
-            t.to_text()
-        });
-        section("Fig 6 — single-NS cohort churn", self.churn.table().to_text());
-        section("Fig 7 — private ADNS share per year", self.private_share.table().to_text());
+        section(
+            "Fig 4 — domains per country, 2020 (top 20)",
+            stage_body!("per_country", {
+                let mut t = crate::tables::TextTable::new(["country", "domains"]);
+                for (c, n) in self.per_country_2020.rows.iter().take(20) {
+                    t.push_row([c.to_string(), n.to_string()]);
+                }
+                t.to_text()
+            }),
+        );
+        section(
+            "Fig 6 — single-NS cohort churn",
+            stage_body!("churn", self.churn.table().to_text()),
+        );
+        section(
+            "Fig 7 — private ADNS share per year",
+            stage_body!("private_share", self.private_share.table().to_text()),
+        );
         section(
             "Fig 8 — stale single-NS domains by d_gov",
-            format!(
-                "overall: {} d1NS, {:.1}% without any authoritative response\n{}",
-                self.active_replication.d1ns_total,
-                self.active_replication.d1ns_stale_share,
-                self.active_replication.stale_table().to_text()
+            stage_body!(
+                "replication",
+                format!(
+                    "overall: {} d1NS, {:.1}% without any authoritative response\n{}",
+                    self.active_replication.d1ns_total,
+                    self.active_replication.d1ns_stale_share,
+                    self.active_replication.stale_table().to_text()
+                )
             ),
         );
         section(
             "Fig 9 — nameservers per domain (CDF)",
-            format!(
-                "≥2 NS: {:.1}%  |  countries with no under-replicated domain: {}\n{}",
-                self.active_replication.multi_ns_share,
-                self.active_replication.all_replicated_countries,
-                self.active_replication.cdf_table().to_text()
+            stage_body!(
+                "replication",
+                format!(
+                    "≥2 NS: {:.1}%  |  countries with no under-replicated domain: {}\n{}",
+                    self.active_replication.multi_ns_share,
+                    self.active_replication.all_replicated_countries,
+                    self.active_replication.cdf_table().to_text()
+                )
             ),
         );
         section(
             "Table I — diversity of nameserver placement",
-            format!(
-                "{}\nsecond-level multi-/24: {:.1}%  deeper: {:.1}%\n",
-                self.diversity.table().to_text(),
-                self.diversity.second_level_multi_24_pct,
-                self.diversity.deeper_multi_24_pct
+            stage_body!(
+                "diversity",
+                format!(
+                    "{}\nsecond-level multi-/24: {:.1}%  deeper: {:.1}%\n",
+                    self.diversity.table().to_text(),
+                    self.diversity.second_level_multi_24_pct,
+                    self.diversity.deeper_multi_24_pct
+                )
             ),
         );
-        section("Table II — major providers, 2011 vs 2020", self.providers.table2().to_text());
+        section(
+            "Table II — major providers, 2011 vs 2020",
+            stage_body!("providers", self.providers.table2().to_text()),
+        );
         section(
             "Table III — top providers by countries, 2011",
-            self.providers.table3(2011).to_text(),
+            stage_body!("providers", self.providers.table3(2011).to_text()),
         );
         section(
             "Table III — top providers by countries, 2020",
-            self.providers.table3(2020).to_text(),
+            stage_body!("providers", self.providers.table3(2020).to_text()),
         );
         section(
             "centralization headline",
-            format!(
-                "countries on the most widespread provider: {} (2011) → {} (2020)\n",
-                self.providers.top_provider_countries(2011),
-                self.providers.top_provider_countries(2020)
+            stage_body!(
+                "providers",
+                format!(
+                    "countries on the most widespread provider: {} (2011) → {} (2020)\n",
+                    self.providers.top_provider_countries(2011),
+                    self.providers.top_provider_countries(2020)
+                )
             ),
         );
         section(
             "Fig 10 — defective delegations",
-            format!(
-                "any: {} ({:.1}%)  partial(parent): {} ({:.1}%)  full: {}\n{}",
-                self.delegation.any_defective,
-                self.delegation.any_defective_pct(),
-                self.delegation.partial_parent,
-                self.delegation.partial_parent_pct(),
-                self.delegation.fully_defective,
-                self.delegation.per_country_table().to_text()
+            stage_body!(
+                "delegation",
+                format!(
+                    "any: {} ({:.1}%)  partial(parent): {} ({:.1}%)  full: {}\n{}",
+                    self.delegation.any_defective,
+                    self.delegation.any_defective_pct(),
+                    self.delegation.partial_parent,
+                    self.delegation.partial_parent_pct(),
+                    self.delegation.fully_defective,
+                    self.delegation.per_country_table().to_text()
+                )
             ),
         );
         section(
             "Fig 11 — registrable dangling NS domains",
-            format!(
-                "available d_ns: {}  affected domains: {}  countries: {}  fully stale: {}\n{}",
-                self.delegation.available.len(),
-                self.delegation.affected_domains,
-                self.delegation.affected_countries,
-                self.delegation.affected_fully_stale,
-                self.delegation.available_table().to_text()
+            stage_body!(
+                "delegation",
+                format!(
+                    "available d_ns: {}  affected domains: {}  countries: {}  fully stale: {}\n{}",
+                    self.delegation.available.len(),
+                    self.delegation.affected_domains,
+                    self.delegation.affected_countries,
+                    self.delegation.affected_fully_stale,
+                    self.delegation.available_table().to_text()
+                )
             ),
         );
         section(
             "Fig 12 — registration cost of available d_ns",
-            self.delegation.cost_table().to_text(),
+            stage_body!("delegation", self.delegation.cost_table().to_text()),
         );
         section(
             "Fig 13 — parent/child consistency",
-            format!(
-                "{}\nP=C second-level: {:.1}%  deeper: {:.1}%  |  P≠C with partial lame: {:.1}%\n",
-                self.consistency.summary_table().to_text(),
-                self.consistency.equal_pct_second_level,
-                self.consistency.equal_pct_deeper,
-                self.consistency.disagree_with_lame_pct
+            stage_body!(
+                "consistency",
+                format!(
+                    "{}\nP=C second-level: {:.1}%  deeper: {:.1}%  |  P≠C with partial lame: {:.1}%\n",
+                    self.consistency.summary_table().to_text(),
+                    self.consistency.equal_pct_second_level,
+                    self.consistency.equal_pct_deeper,
+                    self.consistency.disagree_with_lame_pct
+                )
             ),
         );
-        section("Fig 14 — disagreement by country", self.consistency.per_country_table().to_text());
+        section(
+            "Fig 14 — disagreement by country",
+            stage_body!("consistency", self.consistency.per_country_table().to_text()),
+        );
         section(
             "§IV-A (text) — provider concentration per d_gov",
-            self.concentration.table(12).to_text(),
+            stage_body!("concentration", self.concentration.table(12).to_text()),
         );
         section(
             "§IV-D — inconsistency-only hijack surface",
-            format!(
-                "registrable d_ns: {}  affected domains: {}  countries: {}  min price: {}\n",
-                self.consistency.parked.len(),
-                self.consistency.parked_affected_domains,
-                self.consistency.parked_affected_countries,
-                self.consistency.parked_min_price.map_or("-".to_owned(), |p| format!("{p:.2} USD")),
+            stage_body!(
+                "consistency",
+                format!(
+                    "registrable d_ns: {}  affected domains: {}  countries: {}  min price: {}\n",
+                    self.consistency.parked.len(),
+                    self.consistency.parked_affected_domains,
+                    self.consistency.parked_affected_countries,
+                    self.consistency
+                        .parked_min_price
+                        .map_or("-".to_owned(), |p| format!("{p:.2} USD")),
+                )
             ),
         );
         if !self.dataset.telemetry.counters.is_empty() || !self.dataset.telemetry.stages.is_empty()
@@ -424,20 +691,31 @@ impl Report {
         }
         section(
             "§V-B — remediation workload",
-            format!(
-                "domains needing action: {} of {}\nstale delegations to remove: {}\nNS records to fix or drop: {}\nparent syncs (CSYNC/EPP): {}\nhijack exposures to close: {}\nplacement advisories: {}\nflakiness follow-ups: {}\n",
-                self.remedies.needing_action,
-                self.remedies.domains,
-                self.remedies.removals,
-                self.remedies.ns_fixes,
-                self.remedies.synchronizations,
-                self.remedies.hijack_exposures,
-                self.remedies.placement_advice,
-                self.remedies.flakiness_followups,
+            stage_body!(
+                "remedies",
+                format!(
+                    "domains needing action: {} of {}\nstale delegations to remove: {}\nNS records to fix or drop: {}\nparent syncs (CSYNC/EPP): {}\nhijack exposures to close: {}\nplacement advisories: {}\nflakiness follow-ups: {}\nquarantine follow-ups: {}\n",
+                    self.remedies.needing_action,
+                    self.remedies.domains,
+                    self.remedies.removals,
+                    self.remedies.ns_fixes,
+                    self.remedies.synchronizations,
+                    self.remedies.hijack_exposures,
+                    self.remedies.placement_advice,
+                    self.remedies.flakiness_followups,
+                    self.remedies.quarantine_followups,
+                )
             ),
         );
         {
             let mut body = self.health.table().to_text();
+            if !self.health.quarantined.is_empty() {
+                let mut t = crate::tables::TextTable::new(["destination", "denied"]);
+                for (dst, denied) in &self.health.quarantined {
+                    t.push_row([dst.clone(), denied.to_string()]);
+                }
+                let _ = write!(body, "quarantined destinations:\n{}", t.to_text());
+            }
             if !self.health.flaky_countries.is_empty() {
                 let mut t = crate::tables::TextTable::new(["country", "responsive", "degraded"]);
                 for &(c, total, degraded) in &self.health.flaky_countries {
@@ -446,6 +724,18 @@ impl Report {
                 let _ = write!(body, "flakiest countries:\n{}", t.to_text());
             }
             section("measurement health (§III-B re-probes, chaos)", body);
+        }
+        if !self.analysis_failures.is_empty() {
+            let mut body = String::new();
+            let _ = writeln!(
+                body,
+                "PARTIAL REPORT: {} analysis stage(s) did not complete.",
+                self.analysis_failures.len()
+            );
+            for failure in &self.analysis_failures {
+                let _ = writeln!(body, "  {}: {}", failure.stage, failure.message);
+            }
+            section("analysis.failed", body);
         }
         out
     }

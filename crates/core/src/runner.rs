@@ -7,7 +7,20 @@
 //! spans, network counters, worker utilization, progress callbacks, and
 //! the §III-D query ledger. The resulting snapshot is embedded in the
 //! returned [`MeasurementDataset`].
+//!
+//! Crash safety: with [`RunnerConfig::journal`] set, every completed
+//! probe is appended to a write-ahead journal (see
+//! [`journal`](crate::journal)) and the full pipeline state is
+//! checkpointed periodically. A campaign killed mid-flight is resumed
+//! with [`RunnerConfig::resume_from`]: the runner replays the journal,
+//! restores the checkpointed rate-limiter ledger, network accounting,
+//! resolver cache, and breaker bank, and re-probes only the remainder.
+//! With a single worker (and no baseline packet loss) the resumed
+//! dataset is byte-identical to the uninterrupted run's
+//! `canonical_json()` — the same determinism contract the chaos
+//! machinery already guarantees.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -17,7 +30,8 @@ use govdns_simnet::ChaosProfile;
 use govdns_telemetry::{ProgressEvent, Registry};
 
 use crate::discovery::{self, DiscoveryConfig};
-use crate::probe::{DomainProbe, ProbeClient, RetryPolicy};
+use crate::journal::{fnv64, Checkpoint, JournalHeader, JournalReplay, JournalSpec, JournalWriter};
+use crate::probe::{BreakerBank, BreakerPolicy, DomainProbe, ProbeClient, RetryPolicy};
 use crate::ratelimit::RateLimiter;
 use crate::seed;
 use crate::{Campaign, MeasurementDataset};
@@ -34,7 +48,7 @@ pub struct ChaosSpec {
 }
 
 /// Runner parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RunnerConfig {
     /// Probe worker threads.
     pub workers: usize,
@@ -53,6 +67,21 @@ pub struct RunnerConfig {
     /// Fault injection to install on the network for this run (`None` =
     /// clean delivery).
     pub chaos: Option<ChaosSpec>,
+    /// Per-destination circuit breakers: when enabled, destinations
+    /// whose exchanges keep failing are quarantined — further exchanges
+    /// are skipped (not sent, not charged) until a cooldown round
+    /// admits a half-open trial.
+    pub breaker: BreakerPolicy,
+    /// Write-ahead journaling: where to persist completed probes and
+    /// periodic state checkpoints (`None` = no journal).
+    pub journal: Option<JournalSpec>,
+    /// Resume a crashed campaign from this journal: replay its probes,
+    /// restore its best checkpoint, and probe only the remainder.
+    pub resume_from: Option<PathBuf>,
+    /// Stop (gracefully) after this many completed probes, yielding a
+    /// truncated dataset — the test/CI hook for simulating a campaign
+    /// that dies mid-flight with its journal intact.
+    pub stop_after: Option<usize>,
 }
 
 impl Default for RunnerConfig {
@@ -64,7 +93,30 @@ impl Default for RunnerConfig {
             destination_cap: None,
             retry: RetryPolicy::none(),
             chaos: None,
+            breaker: BreakerPolicy::none(),
+            journal: None,
+            resume_from: None,
+            stop_after: None,
         }
+    }
+}
+
+impl RunnerConfig {
+    /// A deterministic echo of every knob that shapes observations,
+    /// stored in the journal header and byte-compared on resume.
+    /// Worker count, journaling, and `stop_after` are deliberately
+    /// excluded: they change scheduling, not observations.
+    fn config_echo(&self, collection_date: govdns_model::SimDate) -> String {
+        format!(
+            "qps={} cap={:?} second_round={} retry={:?} chaos={:?} breaker={:?} date={}",
+            self.max_qps,
+            self.destination_cap,
+            self.second_round,
+            self.retry,
+            self.chaos,
+            self.breaker,
+            collection_date
+        )
     }
 }
 
@@ -149,6 +201,12 @@ pub fn run_campaign(campaign: &Campaign<'_>, config: RunnerConfig) -> Measuremen
 ///
 /// Telemetry is strictly observational: the probing behavior (and hence
 /// the dataset) is identical with or without it.
+///
+/// # Panics
+///
+/// Panics if [`RunnerConfig::resume_from`] names a journal whose header
+/// does not match this campaign (different discovered domains or a
+/// different observation-shaping config), or if journal I/O fails.
 pub fn run_campaign_with(
     campaign: &Campaign<'_>,
     config: RunnerConfig,
@@ -162,7 +220,7 @@ pub fn run_campaign_with(
     seed_span.finish();
 
     let discovery_span = registry.span("discovery");
-    let discovered =
+    let mut discovered =
         discovery::discover(campaign, &seeds, DiscoveryConfig::paper(campaign.collection_date));
     discovery_span.finish();
 
@@ -174,15 +232,93 @@ pub fn run_campaign_with(
 
     let limiter = RateLimiter::with_telemetry(config.max_qps, config.destination_cap, &registry);
     *ctl.limiter.lock() = Some(limiter.clone());
+    let bank = BreakerBank::new(config.breaker);
     let workers = config.workers.max(1);
     registry.gauge("runner.workers").set(workers as i64);
 
-    let results: Vec<Mutex<Option<DomainProbe>>> =
-        (0..discovered.len()).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let completed = AtomicUsize::new(0);
-    let retried = AtomicUsize::new(0);
     let total = discovered.len();
+    let header = JournalHeader {
+        names_fingerprint: names_fingerprint(&discovered),
+        domains: total as u64,
+        config_echo: config.config_echo(campaign.collection_date),
+    };
+
+    // Resume: replay the journal up to its best checkpoint and restore
+    // every piece of state the checkpoint captured. Probes past the
+    // checkpoint have no state snapshot to pair with, so they are
+    // re-probed (the journal still shortened the rerun to the
+    // checkpoint cadence).
+    let mut replayed: Vec<DomainProbe> = Vec::new();
+    let mut initial_cache = None;
+    if let Some(resume_path) = &config.resume_from {
+        let replay = JournalReplay::load(resume_path);
+        assert_eq!(
+            replay.header,
+            header,
+            "journal {} belongs to a different campaign or config",
+            resume_path.display()
+        );
+        let resume_point = replay.checkpoint.as_ref().map_or(0, |cp| cp.probes_done) as usize;
+        replayed = replay.probes;
+        replayed.truncate(resume_point);
+        if let Some(cp) = replay.checkpoint {
+            limiter.restore_state(&cp.limiter);
+            campaign.network.restore_accounting(cp.traffic, cp.faults, cp.net_per_destination);
+            bank.restore(&cp.breakers);
+            initial_cache = Some(cp.cache);
+        }
+        registry.counter("journal.replayed_probes").add(replayed.len() as u64);
+        registry.counter("journal.dropped_bytes").add(replay.dropped_bytes);
+        registry.counter("journal.resumes").add(replay.resumes + 1);
+    }
+    let resume_point = replayed.len();
+    // Round-2 reconciliation: the `retried` tally (and the ledger's
+    // retry budgets, restored above) must count the replayed probes'
+    // second rounds exactly once — the runner is the only caller of
+    // `retry_child_side`, so `rounds >= 2` is that marker.
+    let replayed_retried = replayed.iter().filter(|p| p.rounds >= 2).count();
+
+    // Journal continuation: appending to the journal we resumed from
+    // needs only a resume marker; journaling a resumed campaign to a
+    // *different* path makes the new journal self-contained by
+    // re-journaling the replayed history and the restored state.
+    let journal: Option<Mutex<JournalWriter>> = match (&config.journal, &config.resume_from) {
+        (Some(spec), Some(resume_path)) if &spec.path == resume_path => {
+            let mut w = JournalWriter::append_to(&spec.path);
+            w.resumed(resume_point as u64);
+            Some(Mutex::new(w))
+        }
+        (Some(spec), _) => {
+            let mut w = JournalWriter::create(&spec.path, &header);
+            for (i, probe) in replayed.iter().enumerate() {
+                w.probe(i as u64, probe);
+            }
+            if resume_point > 0 {
+                w.checkpoint(&Checkpoint {
+                    probes_done: resume_point as u64,
+                    limiter: limiter.export_state(),
+                    traffic: campaign.network.stats(),
+                    faults: campaign.network.fault_stats(),
+                    net_per_destination: campaign.network.per_destination_snapshot(),
+                    cache: initial_cache.clone().unwrap_or_default(),
+                    breakers: bank.snapshot(),
+                });
+                w.resumed(resume_point as u64);
+            }
+            Some(Mutex::new(w))
+        }
+        (None, _) => None,
+    };
+    let checkpoint_every = config.journal.as_ref().map_or(0, |s| s.checkpoint_every.max(1));
+
+    let probe_limit = config.stop_after.map_or(total, |s| s.clamp(resume_point, total));
+
+    let mut prefill: Vec<Option<DomainProbe>> = replayed.into_iter().map(Some).collect();
+    prefill.resize_with(total, || None);
+    let results: Vec<Mutex<Option<DomainProbe>>> = prefill.into_iter().map(Mutex::new).collect();
+    let next = AtomicUsize::new(resume_point);
+    let completed = AtomicUsize::new(resume_point);
+    let retried = AtomicUsize::new(replayed_retried);
     let probed_counter = registry.counter("runner.domains_probed");
     let retried_counter = registry.counter("runner.retried");
     let busy_ms = registry.histogram_latency_ms("runner.worker_busy_ms");
@@ -192,14 +328,31 @@ pub fn run_campaign_with(
         for _ in 0..workers {
             scope.spawn(|_| {
                 // One client (and resolver cache) per worker, as the real
-                // pipeline sharded its query load.
+                // pipeline sharded its query load. On resume every worker
+                // starts from the checkpointed cache warmth.
                 let client =
                     ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone())
                         .with_telemetry(&registry)
-                        .with_retry(config.retry);
+                        .with_retry(config.retry)
+                        .with_breakers(bank.clone());
+                if let Some(cache) = &initial_cache {
+                    client.import_cache(cache.clone());
+                }
+                let capture = |done: u64| Checkpoint {
+                    probes_done: done,
+                    limiter: limiter.export_state(),
+                    traffic: campaign.network.stats(),
+                    faults: campaign.network.fault_stats(),
+                    net_per_destination: campaign.network.per_destination_snapshot(),
+                    cache: client.export_cache(),
+                    breakers: bank.snapshot(),
+                };
                 let busy_start = Instant::now();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= probe_limit {
+                        break;
+                    }
                     let Some(d) = discovered.get(i) else { break };
                     let mut probe = client.probe(&d.name);
                     // Second round: parent listed nameservers, but no
@@ -215,14 +368,32 @@ pub fn run_campaign_with(
                         retried.fetch_add(1, Ordering::Relaxed);
                         retried_counter.inc();
                     }
+                    // Journal before reporting done: a kill after the
+                    // progress callback fires can lose nothing that was
+                    // already counted.
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    if let Some(journal) = &journal {
+                        let mut w = journal.lock();
+                        w.probe(i as u64, &probe);
+                        if done.is_multiple_of(checkpoint_every) {
+                            w.checkpoint(&capture(done as u64));
+                        }
+                    }
                     *results[i].lock() = Some(probe);
                     probed_counter.inc();
-                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
                     if ctl.progress_every > 0
-                        && (done.is_multiple_of(ctl.progress_every) || done == total)
+                        && (done.is_multiple_of(ctl.progress_every) || done == probe_limit)
                     {
                         ctl.emit("probing", done, total, limiter.issued());
                     }
+                }
+                // Exit checkpoint: the worker drained its share, so the
+                // journal ends on a state snapshot a resume can pick up
+                // without re-probing anything it covers.
+                if let Some(journal) = &journal {
+                    let mut w = journal.lock();
+                    let done = completed.load(Ordering::Relaxed) as u64;
+                    w.checkpoint(&capture(done));
                 }
                 // Worker utilization: how long each worker spent probing.
                 busy_ms.record(busy_start.elapsed().as_secs_f64() * 1e3);
@@ -232,8 +403,24 @@ pub fn run_campaign_with(
     .expect("probe workers do not panic");
     probing_span.finish();
 
-    let probes: Vec<DomainProbe> =
-        results.into_iter().map(|m| m.into_inner().expect("every index was processed")).collect();
+    if let Some(journal) = &journal {
+        let mut w = journal.lock();
+        if probe_limit == total {
+            w.complete(total as u64);
+        }
+        registry.counter("journal.records_appended").add(w.records());
+    }
+
+    // A graceful early stop yields a truncated dataset: the contiguous
+    // prefix of completed probes, with the domain list cut to match.
+    let mut probes: Vec<DomainProbe> = Vec::with_capacity(total);
+    for slot in results {
+        match slot.into_inner() {
+            Some(p) => probes.push(p),
+            None => break,
+        }
+    }
+    discovered.truncate(probes.len());
 
     registry.set_ledger(limiter.ledger());
     registry.set_toplist(
@@ -245,6 +432,15 @@ pub fn run_campaign_with(
             .map(|(addr, count)| (addr.to_string(), count))
             .collect(),
     );
+    if config.breaker.is_enabled() {
+        registry.set_toplist(
+            "quarantined destinations",
+            bank.quarantined()
+                .into_iter()
+                .map(|(addr, denied)| (addr.to_string(), denied))
+                .collect(),
+        );
+    }
 
     MeasurementDataset {
         seeds,
@@ -256,4 +452,15 @@ pub fn run_campaign_with(
         retried: retried.into_inner(),
         telemetry: registry.snapshot(),
     }
+}
+
+/// FNV-1a fingerprint of the discovered-domain list, in probing order —
+/// the journal header's campaign identity.
+fn names_fingerprint(discovered: &[crate::discovery::DiscoveredDomain]) -> u64 {
+    let mut joined = String::new();
+    for d in discovered {
+        joined.push_str(&d.name.to_string());
+        joined.push('\n');
+    }
+    fnv64(joined.as_bytes())
 }

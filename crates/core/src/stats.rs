@@ -53,7 +53,7 @@ pub fn ns_daily_mode(spans: &[DateRange], year: DateRange) -> Option<usize> {
 }
 
 /// An empirical CDF over `f64` samples.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }

@@ -1,11 +1,12 @@
-//! Property tests for the pipeline's pure stages: discovery soundness and
-//! the disposable-name heuristic.
+//! Property tests for the pipeline's pure stages: discovery soundness,
+//! the disposable-name heuristic, and the destination circuit-breaker
+//! state machine.
 
 use proptest::prelude::*;
 
 use govdns_core::discovery::{discover, looks_disposable, DiscoveryConfig};
 use govdns_core::seed::{SeedDomain, SeedKind, SeedProvenance};
-use govdns_core::Campaign;
+use govdns_core::{BreakerAdmission, BreakerBank, BreakerPolicy, Campaign};
 use govdns_model::{DateRange, DomainName, RecordData, SimDate};
 use govdns_pdns::PdnsDb;
 use govdns_world::CountryCode;
@@ -129,5 +130,108 @@ proptest! {
         let digits = blob.chars().filter(|c| c.is_ascii_digit()).count();
         let hexname: DomainName = format!("{blob}.gov.zz").parse().unwrap();
         prop_assert_eq!(looks_disposable(&hexname), digits >= 2, "{}", hexname);
+    }
+
+    /// An Open breaker admits *nothing* before its cooldown round: every
+    /// admission below `opened_rank + cooldown_rounds` is denied, and
+    /// the first admission at or past it is a half-open trial.
+    #[test]
+    fn open_breaker_denies_until_its_cooldown_round(
+        threshold in 1u32..5,
+        cooldown in 1u32..5,
+        trip_rank in 1u32..4,
+        probe_ranks in prop::collection::vec(1u32..12, 1..20),
+    ) {
+        let bank = BreakerBank::new(BreakerPolicy {
+            failure_threshold: threshold,
+            cooldown_rounds: cooldown,
+        });
+        let dst = std::net::Ipv4Addr::new(192, 0, 2, 1);
+        for _ in 0..threshold {
+            prop_assert_eq!(bank.admit(dst, trip_rank), BreakerAdmission::Allowed);
+            bank.on_result(dst, trip_rank, true);
+        }
+        for &rank in &probe_ranks {
+            match bank.admit(dst, rank) {
+                BreakerAdmission::Denied => {
+                    prop_assert!(rank < trip_rank + cooldown, "denied at rank {rank} past cooldown");
+                }
+                BreakerAdmission::Trial => {
+                    prop_assert!(rank >= trip_rank + cooldown, "trial at rank {rank} before cooldown");
+                    // The slot is HalfOpen now; further admissions are
+                    // trials regardless of rank, so stop here.
+                    break;
+                }
+                BreakerAdmission::Allowed => {
+                    prop_assert!(false, "open breaker allowed an exchange at rank {rank}");
+                }
+            }
+        }
+    }
+
+    /// A successful half-open trial *fully* closes the breaker: the
+    /// failure streak restarts from zero, so it takes a full
+    /// `failure_threshold` of fresh failures to trip again.
+    #[test]
+    fn half_open_success_fully_closes_the_breaker(
+        threshold in 1u32..5,
+        cooldown in 1u32..5,
+        post_failures in 0u32..5,
+    ) {
+        let bank = BreakerBank::new(BreakerPolicy {
+            failure_threshold: threshold,
+            cooldown_rounds: cooldown,
+        });
+        let dst = std::net::Ipv4Addr::new(192, 0, 2, 1);
+        for _ in 0..threshold {
+            bank.admit(dst, 1);
+            bank.on_result(dst, 1, true);
+        }
+        let trial_rank = 1 + cooldown;
+        prop_assert_eq!(bank.admit(dst, trial_rank), BreakerAdmission::Trial);
+        bank.on_result(dst, trial_rank, false); // trial succeeds → reclose
+        let fresh = post_failures.min(threshold);
+        for i in 0..fresh {
+            prop_assert_eq!(
+                bank.admit(dst, trial_rank),
+                BreakerAdmission::Allowed,
+                "failure {i} of {fresh} after reclose was not admitted"
+            );
+            bank.on_result(dst, trial_rank, true);
+        }
+        if fresh < threshold {
+            prop_assert_eq!(bank.admit(dst, trial_rank), BreakerAdmission::Allowed);
+        } else {
+            // Exactly `threshold` fresh failures re-tripped it.
+            prop_assert_eq!(bank.admit(dst, trial_rank), BreakerAdmission::Denied);
+        }
+    }
+
+    /// `snapshot` → `restore` into a fresh bank reproduces the exact
+    /// admission behaviour of the original.
+    #[test]
+    fn breaker_snapshot_restore_preserves_admissions(
+        events in prop::collection::vec((0u8..4, 1u32..4, any::<bool>()), 0..40),
+    ) {
+        let policy = BreakerPolicy { failure_threshold: 2, cooldown_rounds: 1 };
+        let bank = BreakerBank::new(policy);
+        for &(d, rank, failed) in &events {
+            let dst = std::net::Ipv4Addr::new(192, 0, 2, d);
+            if bank.admit(dst, rank) != BreakerAdmission::Denied {
+                bank.on_result(dst, rank, failed);
+            }
+        }
+        let twin = BreakerBank::new(policy);
+        twin.restore(&bank.snapshot());
+        prop_assert_eq!(bank.snapshot(), twin.snapshot());
+        // Both banks must make identical decisions from here on (admit
+        // mutates Open→HalfOpen, but identically on both).
+        for d in 0..4u8 {
+            let dst = std::net::Ipv4Addr::new(192, 0, 2, d);
+            for rank in 1u32..6 {
+                prop_assert_eq!(bank.admit(dst, rank), twin.admit(dst, rank));
+            }
+        }
+        prop_assert_eq!(bank.snapshot(), twin.snapshot());
     }
 }

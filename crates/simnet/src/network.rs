@@ -339,6 +339,40 @@ impl SimNetwork {
         *self.stats.lock()
     }
 
+    /// Every destination's cumulative query count, sorted by address —
+    /// the full accounting behind [`busiest_destinations`], exported in
+    /// a stable order so a campaign journal can checkpoint it.
+    ///
+    /// [`busiest_destinations`]: SimNetwork::busiest_destinations
+    pub fn per_destination_snapshot(&self) -> Vec<(Ipv4Addr, u64)> {
+        let map = self.per_destination.lock();
+        let mut all: Vec<(Ipv4Addr, u64)> = map.iter().map(|(&a, &c)| (a, c)).collect();
+        all.sort_by_key(|&(a, _)| a);
+        all
+    }
+
+    /// Overwrites the traffic, fault, and per-destination accounting
+    /// with a checkpointed snapshot — the resume path of a journaled
+    /// campaign. Overwrite (not add) semantics: the checkpoint already
+    /// contains whatever this network accrued before it was taken, so a
+    /// resumed run's own pre-probe traffic (seed selection, discovery)
+    /// is deliberately replaced, not double-counted.
+    ///
+    /// Per-destination counts are load-bearing beyond reporting: the
+    /// installed [`FaultPlan`]'s `RefusedBurst` rules key off them, so
+    /// restoring them is what keeps a resumed run's fault stream
+    /// identical to an uninterrupted one.
+    pub fn restore_accounting(
+        &self,
+        stats: TrafficStats,
+        faults: FaultStats,
+        per_destination: Vec<(Ipv4Addr, u64)>,
+    ) {
+        *self.stats.lock() = stats;
+        *self.fault_stats.lock() = faults;
+        *self.per_destination.lock() = per_destination.into_iter().collect();
+    }
+
     /// The `n` destinations that received the most queries — the load
     /// concentration the campaign's rate limiting exists to bound (§III-D
     /// ethics).
@@ -570,6 +604,29 @@ mod tests {
         assert!(net.deliver(dst, &q).reply().is_none());
         net.install_faults(None);
         assert!(net.deliver(dst, &q).reply().is_some());
+    }
+
+    #[test]
+    fn accounting_snapshot_round_trips_through_restore() {
+        let net = network_with_one_zone();
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let a = Ipv4Addr::new(192, 0, 2, 1);
+        for _ in 0..3 {
+            net.deliver(a, &q);
+        }
+        net.deliver(Ipv4Addr::new(203, 0, 113, 5), &q);
+        let (stats, faults, per_dst) =
+            (net.stats(), net.fault_stats(), net.per_destination_snapshot());
+        assert_eq!(per_dst.iter().find(|&&(d, _)| d == a).unwrap().1, 3);
+
+        // A fresh network with its own pre-restore traffic: restore
+        // overwrites, so the checkpointed state wins exactly.
+        let other = network_with_one_zone();
+        other.deliver(a, &q);
+        other.restore_accounting(stats, faults, per_dst.clone());
+        assert_eq!(other.stats(), stats);
+        assert_eq!(other.per_destination_snapshot(), per_dst);
+        assert_eq!(other.busiest_destinations(1), vec![(a, 3)]);
     }
 
     #[test]

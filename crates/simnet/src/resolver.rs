@@ -96,6 +96,28 @@ impl<'net> StubResolver<'net> {
         &self.roots
     }
 
+    /// Exports the positive cache as a sorted list of entries — the
+    /// campaign journal checkpoints this so a resumed run starts with
+    /// the same cache warmth (a cache hit costs zero queries, so cache
+    /// state is load-bearing for byte-identical resume).
+    pub fn export_cache(&self) -> Vec<((DomainName, RecordType), Vec<ResourceRecord>)> {
+        let cache = self.cache.lock();
+        let mut entries: Vec<_> = cache.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Imports cache entries (from [`export_cache`]), replacing any
+    /// existing entry under the same key.
+    ///
+    /// [`export_cache`]: StubResolver::export_cache
+    pub fn import_cache(&self, entries: Vec<((DomainName, RecordType), Vec<ResourceRecord>)>) {
+        let mut cache = self.cache.lock();
+        for (key, records) in entries {
+            cache.insert(key, records);
+        }
+    }
+
     /// Resolves `name`/`rtype` iteratively from the root.
     ///
     /// # Errors
@@ -341,6 +363,22 @@ mod tests {
         let second = r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
         assert_eq!(second.queries, 0);
         assert_eq!(second.records, first.records);
+    }
+
+    #[test]
+    fn exported_cache_restores_warmth_in_a_fresh_resolver() {
+        let net = test_network();
+        let r = resolver(&net);
+        r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        let exported = r.export_cache();
+        assert!(!exported.is_empty());
+        assert_eq!(exported, r.export_cache(), "export order is stable");
+
+        let fresh = resolver(&net);
+        fresh.import_cache(exported);
+        let hit = fresh.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert_eq!(hit.queries, 0, "imported cache serves without queries");
+        assert_eq!(hit.addresses(), vec![Ipv4Addr::new(10, 2, 0, 80)]);
     }
 
     #[test]

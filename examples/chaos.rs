@@ -4,7 +4,7 @@
 //! and the second probe round recover.
 //!
 //! ```sh
-//! cargo run --release --example chaos -- --seed 7 [--profile flaky|congested|hostile] [--scale 0.02]
+//! cargo run --release --example chaos -- --seed 7 [--profile flaky|congested|hostile] [--scale 0.02] [--breaker]
 //! ```
 //!
 //! The output is fully deterministic for a given `(seed, profile,
@@ -29,6 +29,7 @@ fn main() {
     let mut seed = 7u64;
     let mut profile = ChaosProfile::Flaky;
     let mut scale = 0.02f64;
+    let mut breaker = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -39,6 +40,7 @@ fn main() {
                     .unwrap_or_else(|| panic!("unknown profile {name:?}"));
             }
             "--scale" => scale = args.next().and_then(|s| s.parse().ok()).expect("--scale F"),
+            "--breaker" => breaker = true,
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -53,6 +55,7 @@ fn main() {
         workers: 1,
         retry: RetryPolicy::adaptive(),
         chaos: Some(ChaosSpec { profile, seed }),
+        breaker: if breaker { BreakerPolicy::guarded() } else { BreakerPolicy::none() },
         ..RunnerConfig::default()
     };
     let report = Report::generate(&campaign, config);
@@ -89,9 +92,24 @@ fn main() {
             println!("  {c}  {total}/{degraded}");
         }
     }
+    if breaker {
+        println!();
+        println!("== circuit breakers ==");
+        println!("tripped:          {}", h.breaker_tripped);
+        println!("exchanges denied: {}", h.breaker_denied);
+        println!("reclosed:         {}", h.breaker_reclosed);
+        println!("reopened:         {}", h.breaker_reopened);
+        if !h.quarantined.is_empty() {
+            println!("quarantined destinations (denied exchanges):");
+            for (dst, denied) in &h.quarantined {
+                println!("  {dst}  {denied}");
+            }
+        }
+    }
     println!();
     println!("== remediation ==");
     println!("flakiness follow-ups: {}", report.remedies.flakiness_followups);
+    println!("quarantine follow-ups: {}", report.remedies.quarantine_followups);
     println!();
     let json = report.dataset.canonical_json();
     println!(

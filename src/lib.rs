@@ -46,7 +46,8 @@ pub use govdns_world as world;
 pub mod prelude {
     pub use govdns_core::report::Report;
     pub use govdns_core::{
-        Campaign, CampaignTelemetry, ChaosSpec, MeasurementDataset, RetryPolicy, RunnerConfig,
+        BreakerPolicy, Campaign, CampaignTelemetry, ChaosSpec, JournalReplay, JournalSpec,
+        MeasurementDataset, RetryPolicy, RunnerConfig,
     };
     pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
     pub use govdns_simnet::ChaosProfile;

@@ -282,9 +282,9 @@ fn telemetry_is_purely_observational() {
         let matchers = world.catalog.matchers();
         let campaign = Campaign::new(&world, &matchers);
         let ds = if telemetry {
-            govdns::core::run_campaign_with(&campaign, config, &CampaignTelemetry::new())
+            govdns::core::run_campaign_with(&campaign, config.clone(), &CampaignTelemetry::new())
         } else {
-            govdns::core::run_campaign(&campaign, config)
+            govdns::core::run_campaign(&campaign, config.clone())
         };
         let mut summary: Vec<(String, bool, usize)> = ds
             .probes
@@ -381,6 +381,247 @@ mod chaos {
             "chaos should not erase the population: {:?}",
             report.funnel
         );
+    }
+}
+
+mod crash_safety {
+    use super::*;
+    use govdns::core::{JournalReplay, JournalSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("govdns-e2e-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run(seed: u64, config: RunnerConfig) -> govdns::core::MeasurementDataset {
+        let world = tiny(seed);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        govdns::core::run_campaign(&campaign, config)
+    }
+
+    /// The tentpole contract: kill a journaled campaign halfway, resume
+    /// from the journal, and the finished dataset is byte-identical to
+    /// an uninterrupted run.
+    #[test]
+    fn kill_and_resume_is_byte_identical() {
+        let journal = tmp("clean.journal");
+        let base = RunnerConfig { workers: 1, ..RunnerConfig::default() };
+        // Phase 1: half the campaign, then the simulated crash.
+        let partial = run(
+            63,
+            RunnerConfig {
+                journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 8 }),
+                stop_after: Some(150),
+                ..base.clone()
+            },
+        );
+        assert_eq!(partial.probes.len(), 150, "stop_after did not stop");
+        // Phase 2: resume from the journal, appending to it.
+        let resumed = run(
+            63,
+            RunnerConfig {
+                journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 8 }),
+                resume_from: Some(journal.clone()),
+                ..base.clone()
+            },
+        );
+        let reference = run(63, base);
+        assert!(resumed.probes.len() > 150, "resume did not continue");
+        assert_eq!(
+            resumed.canonical_json(),
+            reference.canonical_json(),
+            "resumed dataset diverged from the uninterrupted run"
+        );
+        // The journal itself records the resume boundary and completion.
+        let replay = JournalReplay::load(&journal);
+        assert_eq!(replay.resumes, 1);
+        assert!(replay.completed, "finished campaign should close the journal");
+        assert_eq!(replay.probes.len(), reference.probes.len());
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    /// The same contract under hostile chaos with adaptive retries and
+    /// guarded circuit breakers — the crash/resume boundary must not
+    /// shift fault injection, retry spend, or breaker state.
+    #[test]
+    fn kill_and_resume_is_byte_identical_under_hostile_chaos() {
+        let journal = tmp("hostile.journal");
+        let base = RunnerConfig {
+            workers: 1,
+            retry: RetryPolicy::adaptive(),
+            chaos: Some(ChaosSpec { profile: ChaosProfile::Hostile, seed: 3 }),
+            breaker: BreakerPolicy::guarded(),
+            ..RunnerConfig::default()
+        };
+        let partial = run(
+            7,
+            RunnerConfig {
+                journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 5 }),
+                stop_after: Some(117),
+                ..base.clone()
+            },
+        );
+        assert_eq!(partial.probes.len(), 117);
+        let resumed = run(
+            7,
+            RunnerConfig {
+                journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 5 }),
+                resume_from: Some(journal.clone()),
+                ..base.clone()
+            },
+        );
+        let reference = run(7, base);
+        assert_eq!(
+            resumed.canonical_json(),
+            reference.canonical_json(),
+            "hostile-chaos resume diverged from the uninterrupted run"
+        );
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    /// A crash mid-append leaves a torn record at the journal's tail;
+    /// the replayer drops it and the resume still converges.
+    #[test]
+    fn torn_journal_tail_is_dropped_on_resume() {
+        let journal = tmp("torn.journal");
+        let base = RunnerConfig { workers: 1, ..RunnerConfig::default() };
+        run(
+            63,
+            RunnerConfig {
+                journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 8 }),
+                stop_after: Some(120),
+                ..base.clone()
+            },
+        );
+        // Tear the tail: a record the crash cut off mid-write.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new().append(true).open(&journal).unwrap();
+            f.write_all(b"J1 0123456789abcdef 000000ff\n{\"kind\":\"probe\",\"tr").unwrap();
+        }
+        let replay = JournalReplay::load(&journal);
+        assert!(replay.dropped_bytes > 0, "torn tail not detected");
+        assert_eq!(replay.probes.len(), 120, "torn tail corrupted valid records");
+        let resumed = run(
+            63,
+            RunnerConfig {
+                journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 8 }),
+                resume_from: Some(journal.clone()),
+                ..base.clone()
+            },
+        );
+        let reference = run(63, base);
+        assert_eq!(resumed.canonical_json(), reference.canonical_json());
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    /// Regression for the retry ledger: resuming must restore — not
+    /// re-charge — the limiter's per-round and per-destination retry
+    /// accounting. A double-charge would show up as a ledger mismatch
+    /// against the uninterrupted run.
+    #[test]
+    fn resume_does_not_double_charge_the_retry_ledger() {
+        let journal = tmp("ledger.journal");
+        let base = RunnerConfig {
+            workers: 1,
+            retry: RetryPolicy::adaptive(),
+            chaos: Some(ChaosSpec { profile: ChaosProfile::Flaky, seed: 7 }),
+            ..RunnerConfig::default()
+        };
+        let ledger_of = |config: RunnerConfig| {
+            let world = tiny(7);
+            let matchers = world.catalog.matchers();
+            let campaign = Campaign::new(&world, &matchers);
+            let ctl = CampaignTelemetry::new();
+            let ds = govdns::core::run_campaign_with(&campaign, config, &ctl);
+            let state = ctl.limiter().expect("campaign ran").export_state();
+            (state, ds.canonical_json())
+        };
+        let (_, _) = ledger_of(RunnerConfig {
+            journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 8 }),
+            stop_after: Some(117),
+            ..base.clone()
+        });
+        let (resumed_ledger, resumed_json) = ledger_of(RunnerConfig {
+            journal: Some(JournalSpec { path: journal.clone(), checkpoint_every: 8 }),
+            resume_from: Some(journal.clone()),
+            ..base.clone()
+        });
+        let (full_ledger, full_json) = ledger_of(base);
+        assert_eq!(resumed_json, full_json);
+        assert_eq!(
+            resumed_ledger, full_ledger,
+            "resume double-charged (or dropped) limiter accounting"
+        );
+        std::fs::remove_file(&journal).unwrap();
+    }
+
+    /// Tripped breakers must be visible end to end: telemetry counters,
+    /// the health section, the quarantined toplist, and the §V-B
+    /// quarantine follow-ups.
+    #[test]
+    fn breakers_trip_under_hostile_chaos_and_surface_in_health() {
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let report = Report::generate(
+            &campaign,
+            RunnerConfig {
+                workers: 1,
+                retry: RetryPolicy::none(),
+                chaos: Some(ChaosSpec { profile: ChaosProfile::Hostile, seed: 3 }),
+                breaker: BreakerPolicy { failure_threshold: 2, cooldown_rounds: 1 },
+                ..RunnerConfig::default()
+            },
+        );
+        let counters = &report.dataset.telemetry.counters;
+        assert!(counters["probe.breaker.tripped"] > 0, "no breaker tripped under hostile chaos");
+        assert!(counters["probe.breaker.denied"] > 0, "open breakers denied nothing");
+        assert_eq!(report.health.breaker_tripped, counters["probe.breaker.tripped"]);
+        assert_eq!(report.health.breaker_denied, counters["probe.breaker.denied"]);
+        assert!(!report.health.quarantined.is_empty(), "no quarantined destinations surfaced");
+        assert!(
+            report.dataset.telemetry.toplists.contains_key("quarantined destinations"),
+            "quarantined toplist missing"
+        );
+        let text = report.render();
+        assert!(text.contains("quarantined destinations"), "health section lacks quarantine");
+        assert!(text.contains("breaker_tripped"));
+    }
+
+    /// A panicking analysis stage degrades the report to a partial one:
+    /// every other section still renders, the failure is named in
+    /// `analysis.failed`, and the CSV bundle omits only the dead stage.
+    #[test]
+    fn forced_analysis_panic_yields_a_partial_report() {
+        use govdns::core::report::failpoint;
+        let world = tiny(44);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        failpoint::arm("providers");
+        let report = Report::generate(&campaign, RunnerConfig::default());
+        failpoint::disarm();
+
+        assert_eq!(report.analysis_failures.len(), 1, "{:?}", report.analysis_failures);
+        assert_eq!(report.analysis_failures[0].stage, "providers");
+        let text = report.render();
+        assert!(text.contains("analysis.failed"), "partial report not flagged");
+        assert!(text.contains("Table I"), "healthy sections must survive");
+        assert!(text.contains("Fig 10"), "healthy sections must survive");
+        assert!(
+            text.contains("analysis stage `providers` panicked"),
+            "dead section not annotated:\n{text}"
+        );
+
+        let dir = std::env::temp_dir().join(format!("govdns-partial-{}", std::process::id()));
+        report.write_csv_bundle(&dir).unwrap();
+        assert!(!dir.join("table2_major_providers.csv").exists(), "dead stage still wrote CSV");
+        assert!(dir.join("table1_diversity.csv").exists());
+        let failed_csv = std::fs::read_to_string(dir.join("analysis_failed.csv")).unwrap();
+        assert!(failed_csv.contains("providers"), "{failed_csv}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
 
