@@ -76,4 +76,37 @@ cargo bench -q -p govdns-bench --bench telemetry | tee /dev/stderr | awk '
 python3 -c "import json; d = json.load(open('BENCH_telemetry.json')); assert d, 'no benches parsed'" \
     || { echo "bench guard: BENCH_telemetry.json is empty or invalid" >&2; exit 1; }
 
+echo "== bench guard: campaign throughput scales with workers =="
+# End-to-end probes/sec at 1/2/4/8 workers over the same world. The
+# ratio gate catches a re-serialized hot path: on a multi-core machine
+# 8 workers must deliver at least 2x the 1-worker throughput; on
+# starved runners (< 4 cores) we only require that adding workers does
+# not *halve* throughput — the signature of a lock convoy.
+cargo bench -q -p govdns-bench --bench campaign | tee /dev/stderr | awk '
+    BEGIN { print "{"; first = 1 }
+    / ns\/iter / {
+        if (!first) printf ",\n"
+        first = 0
+        printf "  \"%s\": %s", $2, $3
+    }
+    END { if (!first) printf "\n"; print "}" }
+' > BENCH_campaign.json
+python3 - <<'PY' || { echo "bench guard: campaign scaling regressed" >&2; exit 1; }
+import json, os
+
+d = json.load(open("BENCH_campaign.json"))
+one = d["campaign/workers_1"]
+eight = d["campaign/workers_8"]
+assert one > 0 and eight > 0, f"degenerate timings: {d}"
+# Same work per iteration, so throughput ratio = inverse time ratio.
+ratio = one / eight
+cores = os.cpu_count() or 1
+floor = 2.0 if cores >= 4 else 0.5
+print(f"campaign bench: 8-worker/1-worker throughput ratio {ratio:.2f} "
+      f"(floor {floor}, {cores} cores)")
+assert ratio >= floor, (
+    f"8 workers deliver only {ratio:.2f}x the 1-worker throughput "
+    f"(floor {floor} on {cores} cores) — hot path re-serialized?")
+PY
+
 echo "ci: all green"

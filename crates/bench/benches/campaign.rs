@@ -1,0 +1,48 @@
+//! End-to-end campaign throughput across worker counts — the regression
+//! gate for the de-serialized query hot path.
+//!
+//! Each bench runs the full probing pipeline (seed selection excluded by
+//! construction: the world and matchers are built once) over the same
+//! 1%-scale world at 1, 2, 4, and 8 workers. With per-query accounting
+//! on atomics and sharded tables, adding workers must scale throughput;
+//! a global lock on the hot path flattens (or inverts) the curve, which
+//! is exactly what `ci.sh`'s ratio guard on `BENCH_campaign.json`
+//! detects. Probes per second is `domains / (ns_per_iter / 1e9)`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use govdns_core::{run_campaign, Campaign, RunnerConfig};
+use govdns_world::{WorldConfig, WorldGenerator};
+
+fn campaign_throughput(c: &mut Criterion) {
+    let world = WorldGenerator::new(WorldConfig::small(77).with_scale(0.01)).generate();
+    let matchers = world.catalog.matchers();
+    let domains = {
+        let campaign = Campaign::new(&world, &matchers);
+        let ds = run_campaign(&campaign, RunnerConfig::default());
+        ds.probes.len() as u64
+    };
+
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(5);
+    group.throughput(Throughput::Elements(domains));
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| {
+                let campaign = Campaign::new(&world, &matchers);
+                let ds =
+                    run_campaign(&campaign, RunnerConfig { workers, ..RunnerConfig::default() });
+                black_box(ds.probes.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(5);
+    targets = campaign_throughput
+}
+criterion_main!(benches);

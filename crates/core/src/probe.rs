@@ -84,12 +84,11 @@ impl RetryPolicy {
         let exp = retry.saturating_sub(1).min(16);
         let base = self.base_backoff_ms.saturating_mul(1 << exp).min(self.max_backoff_ms);
         // Deterministic jitter in [0, base/4]: spread retries without an
-        // RNG so identically-seeded runs stay identical.
-        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ u64::from(u32::from(dst));
-        for b in qname.to_string().bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
-        }
-        h = (h ^ u64::from(retry)).wrapping_mul(0x100_0000_01b3);
+        // RNG so identically-seeded runs stay identical. `fold_fnv64`
+        // hashes the name's presentation bytes in place — same digest as
+        // folding `to_string()`, without allocating it.
+        let h = qname.fold_fnv64(0xcbf2_9ce4_8422_2325u64 ^ u64::from(u32::from(dst)));
+        let h = (h ^ u64::from(retry)).wrapping_mul(0x100_0000_01b3);
         let jitter = (h % u64::from(base / 4 + 1)) as u32;
         base + jitter
     }
@@ -724,8 +723,10 @@ pub struct ProbeClient<'n> {
     /// Cumulative delivery attempts per `(destination, qname)` pair,
     /// carried across rounds so a round-2 re-probe continues the attempt
     /// count instead of restarting it — that continuation is what lets a
-    /// flapping server's `recover_after` threshold be crossed.
-    attempts: RefCell<HashMap<(Ipv4Addr, DomainName), u32>>,
+    /// flapping server's `recover_after` threshold be crossed. Nested by
+    /// destination so the hot-path lookup never clones the qname: the
+    /// name is only cloned once, when a pair is first seen.
+    attempts: RefCell<HashMap<Ipv4Addr, HashMap<DomainName, u32>>>,
 }
 
 impl<'n> ProbeClient<'n> {
@@ -939,7 +940,13 @@ impl<'n> ProbeClient<'n> {
             // recovery threshold is eventually crossed.
             let attempt = {
                 let mut map = self.attempts.borrow_mut();
-                let slot = map.entry((dst, qname.clone())).or_insert(0);
+                let by_name = map.entry(dst).or_default();
+                // Clone the qname only on the pair's first attempt; every
+                // later lookup hashes the existing key in place.
+                if !by_name.contains_key(qname) {
+                    by_name.insert(qname.clone(), 0);
+                }
+                let slot = by_name.get_mut(qname).expect("just inserted");
                 let now = *slot;
                 *slot += 1;
                 now

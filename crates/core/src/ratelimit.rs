@@ -19,7 +19,74 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use govdns_simnet::{dst_shard, DST_SHARDS};
 use govdns_telemetry::{Counter, QueryLedger, Registry};
+
+/// A per-destination `u64` table sharded [`DST_SHARDS`] ways by
+/// [`dst_shard`], so concurrent probe workers booking queries against
+/// different destinations do not serialize on one mutex. Exports merge
+/// and sort the shards, keeping checkpoint serialization byte-stable.
+#[derive(Debug)]
+struct ShardedLedgerMap {
+    shards: [Mutex<HashMap<Ipv4Addr, u64>>; DST_SHARDS],
+}
+
+impl ShardedLedgerMap {
+    fn new() -> Self {
+        ShardedLedgerMap { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    fn add(&self, dst: Ipv4Addr, n: u64) {
+        *self.shards[dst_shard(dst)].lock().entry(dst).or_insert(0) += n;
+    }
+
+    fn get(&self, dst: Ipv4Addr) -> u64 {
+        self.shards[dst_shard(dst)].lock().get(&dst).copied().unwrap_or(0)
+    }
+
+    /// Atomically charges one unit against `dst` unless its count has
+    /// already reached `budget`; returns whether the charge was booked.
+    fn try_charge(&self, dst: Ipv4Addr, budget: Option<u64>) -> bool {
+        let mut shard = self.shards[dst_shard(dst)].lock();
+        let slot = shard.entry(dst).or_insert(0);
+        if budget.is_some_and(|b| *slot >= b) {
+            return false;
+        }
+        *slot += 1;
+        true
+    }
+
+    /// Merged snapshot, sorted by address — the byte-stable export order
+    /// journal checkpoints rely on.
+    fn snapshot_sorted(&self) -> Vec<(Ipv4Addr, u64)> {
+        let mut all: Vec<(Ipv4Addr, u64)> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().iter().map(|(&a, &c)| (a, c)));
+        }
+        all.sort_by_key(|&(a, _)| a);
+        all
+    }
+
+    fn restore(&self, entries: &[(Ipv4Addr, u64)]) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        for &(addr, count) in entries {
+            self.shards[dst_shard(addr)].lock().insert(addr, count);
+        }
+    }
+
+    /// Folds `f` over every `(addr, count)` entry across all shards.
+    fn fold<A>(&self, init: A, mut f: impl FnMut(A, Ipv4Addr, u64) -> A) -> A {
+        let mut acc = init;
+        for shard in &self.shards {
+            for (&addr, &count) in shard.lock().iter() {
+                acc = f(acc, addr, count);
+            }
+        }
+        acc
+    }
+}
 
 /// The phase of the campaign a query belongs to, for ledger accounting.
 ///
@@ -122,10 +189,10 @@ struct Inner {
     /// uncapped — an explicit state, not a zero sentinel a default could
     /// silently select.
     destination_cap: Option<u64>,
-    per_destination: Mutex<HashMap<Ipv4Addr, u64>>,
+    per_destination: ShardedLedgerMap,
     /// Backoff retries already charged to each destination, for the
     /// per-destination retry budget.
-    per_destination_retries: Mutex<HashMap<Ipv4Addr, u64>>,
+    per_destination_retries: ShardedLedgerMap,
     /// Mirror of `issued` in the telemetry registry, when attached.
     counter: Option<Counter>,
 }
@@ -159,8 +226,8 @@ impl RateLimiter {
                 per_round: [const { AtomicU64::new(0) }; 5],
                 max_qps,
                 destination_cap,
-                per_destination: Mutex::new(HashMap::new()),
-                per_destination_retries: Mutex::new(HashMap::new()),
+                per_destination: ShardedLedgerMap::new(),
+                per_destination_retries: ShardedLedgerMap::new(),
                 counter,
             }),
         }
@@ -180,7 +247,7 @@ impl RateLimiter {
             c.inc();
         }
         if let Some(dst) = dst {
-            *self.inner.per_destination.lock().entry(dst).or_insert(0) += 1;
+            self.inner.per_destination.add(dst, 1);
         }
     }
 
@@ -192,13 +259,8 @@ impl RateLimiter {
     /// of `None` is unlimited. Approved retries are booked into the
     /// [`QueryRound::Retry`] ledger slot and the per-destination ledger.
     pub fn try_acquire_retry(&self, dst: Ipv4Addr, budget: Option<u64>) -> bool {
-        {
-            let mut retries = self.inner.per_destination_retries.lock();
-            let slot = retries.entry(dst).or_insert(0);
-            if budget.is_some_and(|b| *slot >= b) {
-                return false;
-            }
-            *slot += 1;
+        if !self.inner.per_destination_retries.try_charge(dst, budget) {
+            return false;
         }
         self.acquire_for(QueryRound::Retry, Some(dst));
         true
@@ -206,7 +268,7 @@ impl RateLimiter {
 
     /// Backoff retries charged to `dst` so far.
     pub fn retries_charged(&self, dst: Ipv4Addr) -> u64 {
-        self.inner.per_destination_retries.lock().get(&dst).copied().unwrap_or(0)
+        self.inner.per_destination_retries.get(dst)
     }
 
     /// Books `n` queries issued on the limiter's behalf by a component
@@ -247,16 +309,11 @@ impl RateLimiter {
     /// totals, per-round splits, and both per-destination maps, with the
     /// maps in sorted order so the serialized checkpoint is byte-stable.
     pub fn export_state(&self) -> LimiterState {
-        let sorted = |map: &HashMap<Ipv4Addr, u64>| {
-            let mut v: Vec<(Ipv4Addr, u64)> = map.iter().map(|(&a, &c)| (a, c)).collect();
-            v.sort_by_key(|&(a, _)| a);
-            v
-        };
         LimiterState {
             issued: self.issued(),
             per_round: QueryRound::ALL.map(|r| self.issued_in(r)),
-            per_destination: sorted(&self.inner.per_destination.lock()),
-            per_destination_retries: sorted(&self.inner.per_destination_retries.lock()),
+            per_destination: self.inner.per_destination.snapshot_sorted(),
+            per_destination_retries: self.inner.per_destination_retries.snapshot_sorted(),
         }
     }
 
@@ -272,9 +329,8 @@ impl RateLimiter {
         for (slot, &value) in self.inner.per_round.iter().zip(state.per_round.iter()) {
             slot.store(value, Ordering::Relaxed);
         }
-        *self.inner.per_destination.lock() = state.per_destination.iter().copied().collect();
-        *self.inner.per_destination_retries.lock() =
-            state.per_destination_retries.iter().copied().collect();
+        self.inner.per_destination.restore(&state.per_destination);
+        self.inner.per_destination_retries.restore(&state.per_destination_retries);
         if let Some(c) = &self.inner.counter {
             c.add(state.issued.saturating_sub(previously_issued));
         }
@@ -288,13 +344,19 @@ impl RateLimiter {
     /// Freezes the ledger: totals, per-round splits, and the
     /// per-destination cap accounting for the ethics section.
     pub fn ledger(&self) -> QueryLedger {
-        let per_destination = self.inner.per_destination.lock();
         let cap = self.inner.destination_cap;
-        let busiest = per_destination.values().copied().max().unwrap_or(0);
-        let at_cap = match cap {
-            None => 0,
-            Some(cap) => per_destination.values().filter(|&&c| c >= cap).count() as u64,
-        };
+        // One pass over the sharded ledger: busiest destination, distinct
+        // destination count, and how many are at the soft cap.
+        let (busiest, distinct, at_cap) = self.inner.per_destination.fold(
+            (0u64, 0u64, 0u64),
+            |(busiest, distinct, at_cap), _addr, count| {
+                (
+                    busiest.max(count),
+                    distinct + 1,
+                    at_cap + u64::from(cap.is_some_and(|cap| count >= cap)),
+                )
+            },
+        );
         QueryLedger {
             total: self.issued(),
             per_round: QueryRound::ALL
@@ -305,7 +367,7 @@ impl RateLimiter {
             max_qps: self.inner.max_qps,
             // The serialized ledger keeps the 0-as-uncapped convention.
             destination_cap: cap.unwrap_or(0),
-            distinct_destinations: per_destination.len() as u64,
+            distinct_destinations: distinct,
             busiest_destination_queries: busiest,
             destinations_at_cap: at_cap,
         }
@@ -438,6 +500,36 @@ mod tests {
         assert_eq!(fresh.retries_charged(a), 1);
         assert!(fresh.try_acquire_retry(a, Some(2)));
         assert!(!fresh.try_acquire_retry(a, Some(2)), "restored charges count against the budget");
+    }
+
+    #[test]
+    fn sharded_export_is_sorted_and_round_trips_across_many_destinations() {
+        // Enough destinations to populate every shard: export order must
+        // stay globally sorted by address (the byte-stability contract
+        // journal checkpoints rely on), and a restore must land every
+        // entry back in the shard lookups expect it in.
+        let rl = RateLimiter::new(100);
+        for i in 0..200u32 {
+            let dst = Ipv4Addr::from(0xc633_6400 | (i % 100)); // 198.51.100.x
+            rl.acquire_for(QueryRound::Round1, Some(dst));
+            if i % 3 == 0 {
+                assert!(rl.try_acquire_retry(dst, None));
+            }
+        }
+        let state = rl.export_state();
+        assert!(
+            state.per_destination.windows(2).all(|w| w[0].0 < w[1].0),
+            "per-destination export must be strictly sorted by address"
+        );
+        assert!(state.per_destination_retries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(state.per_destination.iter().map(|&(_, c)| c).sum::<u64>(), 200 + 67);
+
+        let fresh = RateLimiter::new(100);
+        fresh.restore_state(&state);
+        assert_eq!(fresh.export_state(), state);
+        for &(dst, charged) in &state.per_destination_retries {
+            assert_eq!(fresh.retries_charged(dst), charged);
+        }
     }
 
     #[test]

@@ -235,6 +235,10 @@ pub fn run_campaign_with(
     let bank = BreakerBank::new(config.breaker);
     let workers = config.workers.max(1);
     registry.gauge("runner.workers").set(workers as i64);
+    // Marker gauge for dashboards and regression baselines: this build's
+    // per-query hot path uses atomics + sharded tables, never a global
+    // stats mutex or shared RNG.
+    registry.gauge("net.lock_free").set(1);
 
     let total = discovered.len();
     let header = JournalHeader {
@@ -322,6 +326,10 @@ pub fn run_campaign_with(
     let probed_counter = registry.counter("runner.domains_probed");
     let retried_counter = registry.counter("runner.retried");
     let busy_ms = registry.histogram_latency_ms("runner.worker_busy_ms");
+    // Per-worker busy times, collected so the max/min spread across
+    // workers can be reported after the scope drains: a lopsided spread
+    // is the signature of workers convoying on a shared lock.
+    let worker_busy: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(workers));
 
     let probing_span = registry.span("round1");
     crossbeam::scope(|scope| {
@@ -396,12 +404,29 @@ pub fn run_campaign_with(
                     w.checkpoint(&capture(done));
                 }
                 // Worker utilization: how long each worker spent probing.
-                busy_ms.record(busy_start.elapsed().as_secs_f64() * 1e3);
+                let elapsed_ms = busy_start.elapsed().as_secs_f64() * 1e3;
+                busy_ms.record(elapsed_ms);
+                worker_busy.lock().push(elapsed_ms);
             });
         }
     })
     .expect("probe workers do not panic");
     probing_span.finish();
+
+    // Worker-balance gauges: busiest and idlest worker, and their ratio
+    // as a percentage (100 = perfectly even). Healthy lock-free probing
+    // keeps the spread close to 100; a convoyed run drives it up.
+    {
+        let busy = worker_busy.into_inner();
+        let max = busy.iter().copied().fold(0.0_f64, f64::max);
+        let min = busy.iter().copied().fold(f64::INFINITY, f64::min);
+        if max > 0.0 && min.is_finite() {
+            registry.gauge("runner.worker_busy_max_ms").set(max.round() as i64);
+            registry.gauge("runner.worker_busy_min_ms").set(min.round() as i64);
+            let spread = if min > 0.0 { (max / min) * 100.0 } else { f64::from(u16::MAX) };
+            registry.gauge("runner.worker_busy_spread_pct").set(spread.round() as i64);
+        }
+    }
 
     if let Some(journal) = &journal {
         let mut w = journal.lock();

@@ -224,6 +224,49 @@ impl DomainName {
     pub fn ancestors(&self) -> Ancestors<'_> {
         Ancestors { name: self, next_level: Some(self.labels.len()) }
     }
+
+    /// FNV-1a (64-bit) over the presentation form, without allocating.
+    ///
+    /// Byte-identical to hashing `self.to_string()` (labels joined by
+    /// `.`, the root hashing as `"."`), which is the stream every
+    /// qname-keyed hash in the workspace was historically computed
+    /// over — fault plans, loss decisions, and retry-backoff jitter all
+    /// key off this value, so it is part of the determinism contract.
+    ///
+    /// ```
+    /// use govdns_model::DomainName;
+    /// let name: DomainName = "portal.gov.example".parse()?;
+    /// let mut reference: u64 = 0xcbf2_9ce4_8422_2325;
+    /// for b in name.to_string().bytes() {
+    ///     reference = (reference ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    /// }
+    /// assert_eq!(name.fnv64(), reference);
+    /// # Ok::<(), govdns_model::ModelError>(())
+    /// ```
+    pub fn fnv64(&self) -> u64 {
+        self.fold_fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds the name's presentation bytes into an in-progress FNV-1a
+    /// state `h` — the continuation form of [`fnv64`](Self::fnv64) for
+    /// callers that seed the hash with other material (e.g. a
+    /// destination address) before the name.
+    pub fn fold_fnv64(&self, mut h: u64) -> u64 {
+        const PRIME: u64 = 0x100_0000_01b3;
+        if self.labels.is_empty() {
+            // The root displays as ".".
+            return (h ^ u64::from(b'.')).wrapping_mul(PRIME);
+        }
+        for (i, label) in self.labels.iter().enumerate() {
+            if i > 0 {
+                h = (h ^ u64::from(b'.')).wrapping_mul(PRIME);
+            }
+            for &b in label.as_str().as_bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        h
+    }
 }
 
 /// Iterator over a name and its ancestors; see [`DomainName::ancestors`].
@@ -376,6 +419,35 @@ mod tests {
         let mut v = vec![n("b.c"), n("a.c"), n("c")];
         v.sort();
         assert_eq!(v, vec![n("a.c"), n("b.c"), n("c")]);
+    }
+
+    #[test]
+    fn fnv64_matches_the_allocating_reference() {
+        let reference = |name: &DomainName| {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.to_string().bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            h
+        };
+        for s in ["gov.zz", "www.portal.gov.example", "a", "_dmarc.x.y", "."] {
+            let name = n(s);
+            assert_eq!(name.fnv64(), reference(&name), "{s}");
+        }
+        assert_eq!(DomainName::root().fnv64(), reference(&DomainName::root()));
+    }
+
+    #[test]
+    fn fold_fnv64_continues_an_external_state() {
+        // Seeding with arbitrary state must equal hashing the same bytes
+        // by hand from that state — the backoff-jitter use case.
+        let name = n("ns1.gov.zz");
+        let seed = 0xdead_beef_u64;
+        let mut h = seed;
+        for b in name.to_string().bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        assert_eq!(name.fold_fnv64(seed), h);
     }
 
     #[test]

@@ -41,6 +41,31 @@ pub fn prefix24(addr: Ipv4Addr) -> Prefix24 {
     Prefix24::of(addr)
 }
 
+/// Number of shards every per-destination table in the workspace splits
+/// into — a power of two so the shard index is a mask, sized so eight
+/// probe workers rarely collide on the same shard lock.
+pub const DST_SHARDS: usize = 16;
+
+/// Stable shard index for a destination address, in `0..DST_SHARDS`.
+///
+/// A pure SplitMix64 finalizer over the address: every table sharded by
+/// destination (the network's per-destination query ordinals, the rate
+/// limiter's ledger maps) uses this same function, so a given address
+/// always lives in exactly one shard and per-destination ordinals stay
+/// exact under concurrency.
+pub fn dst_shard(addr: Ipv4Addr) -> usize {
+    (mix(u64::from(u32::from(addr))) as usize) & (DST_SHARDS - 1)
+}
+
+/// SplitMix64 finalizer — the deterministic mixer behind fault
+/// decisions, hash-based packet loss, and destination sharding.
+pub(crate) fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,5 +95,25 @@ mod tests {
     #[test]
     fn display_is_cidr() {
         assert_eq!(prefix24(Ipv4Addr::new(203, 0, 113, 9)).to_string(), "203.0.113.0/24");
+    }
+
+    #[test]
+    fn dst_shard_is_stable_and_in_range() {
+        for i in 0..1000u32 {
+            let addr = Ipv4Addr::from(i.wrapping_mul(2_654_435_761));
+            let s = dst_shard(addr);
+            assert!(s < DST_SHARDS);
+            assert_eq!(s, dst_shard(addr), "same address, same shard");
+        }
+    }
+
+    #[test]
+    fn dst_shard_spreads_addresses() {
+        let mut seen = [false; DST_SHARDS];
+        for i in 0..256u32 {
+            seen[dst_shard(Ipv4Addr::from(0x0a00_0000 | i))] = true;
+        }
+        let hit = seen.iter().filter(|&&s| s).count();
+        assert!(hit >= DST_SHARDS / 2, "256 addresses hit only {hit} shards");
     }
 }

@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use govdns_model::DomainName;
 
+use crate::addr::mix;
 use crate::{prefix24, Prefix24};
 
 /// The kind of fault that fired on a delivery, for accounting.
@@ -167,16 +168,6 @@ impl FaultStats {
     pub fn injected(&self) -> u64 {
         self.flap_timeouts + self.losses + self.refused + self.truncated
     }
-
-    pub(crate) fn count(&mut self, kind: FaultKind) {
-        match kind {
-            FaultKind::Flap => self.flap_timeouts += 1,
-            FaultKind::Loss => self.losses += 1,
-            FaultKind::Refused => self.refused += 1,
-            FaultKind::Truncated => self.truncated += 1,
-            FaultKind::Delayed => self.delayed += 1,
-        }
-    }
 }
 
 /// A seeded, composable set of fault rules the network consults on
@@ -263,11 +254,24 @@ impl FaultPlan {
         attempt: u32,
         dst_queries_so_far: u64,
     ) -> FaultDecision {
+        self.decide_hashed(dst, qname.fnv64(), attempt, dst_queries_so_far)
+    }
+
+    /// [`decide`](Self::decide) with the query name pre-hashed
+    /// ([`DomainName::fnv64`]) — the hot-path form: the network computes
+    /// the name hash once per delivery and reuses it for both the fault
+    /// and the loss decision.
+    pub fn decide_hashed(
+        &self,
+        dst: Ipv4Addr,
+        qhash: u64,
+        attempt: u32,
+        dst_queries_so_far: u64,
+    ) -> FaultDecision {
         let mut decision = FaultDecision::default();
         if self.rules.is_empty() {
             return decision;
         }
-        let qhash = qname_hash(qname);
         for (idx, rule) in self.rules.iter().enumerate() {
             if !rule.scope.matches(dst) {
                 continue;
@@ -407,24 +411,6 @@ impl std::fmt::Display for ChaosProfile {
     }
 }
 
-/// SplitMix64 finalizer — the same mixer the latency model uses.
-fn mix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-/// FNV-1a over the textual name: stable across runs and platforms.
-fn qname_hash(name: &DomainName) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.to_string().bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +428,18 @@ mod tests {
         let plan = FaultPlan::new(1);
         assert!(plan.is_empty());
         assert!(plan.decide(dst(1), &n("a.gov.zz"), 0, 0).is_clean());
+    }
+
+    #[test]
+    fn decide_hashed_matches_decide() {
+        let plan = ChaosProfile::Hostile.plan(9);
+        for i in 0..50u8 {
+            let name = n(&format!("d{i}.gov.zz"));
+            assert_eq!(
+                plan.decide(dst(i), &name, u32::from(i % 4), 100),
+                plan.decide_hashed(dst(i), name.fnv64(), u32::from(i % 4), 100),
+            );
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@ impl LatencyModel {
         if self.spread_ms == 0 {
             return self.base_ms;
         }
-        self.base_ms + (stable_hash(u32::from(dst)) % self.spread_ms)
+        self.base_ms + ((crate::addr::mix(u64::from(u32::from(dst))) as u32) % self.spread_ms)
     }
 }
 
@@ -40,14 +40,6 @@ impl Default for LatencyModel {
     fn default() -> Self {
         LatencyModel::wide_area()
     }
-}
-
-/// SplitMix64-style finalizer: cheap, deterministic, well-distributed.
-fn stable_hash(x: u32) -> u32 {
-    let mut z = u64::from(x).wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    (z ^ (z >> 31)) as u32
 }
 
 #[cfg(test)]

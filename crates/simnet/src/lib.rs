@@ -41,7 +41,7 @@ mod network;
 mod resolver;
 mod server;
 
-pub use addr::{prefix24, Prefix24};
+pub use addr::{dst_shard, prefix24, Prefix24, DST_SHARDS};
 pub use asn::{Asn, AsnDb};
 pub use fault::{
     ChaosProfile, FaultDecision, FaultKind, FaultPlan, FaultProfile, FaultRule, FaultScope,

@@ -1,14 +1,15 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use govdns_model::{wire, Message, Rcode};
 use govdns_telemetry::{Counter, Histogram, Registry};
 
+use crate::addr::{dst_shard, mix, DST_SHARDS};
 use crate::{AuthoritativeServer, FaultKind, FaultPlan, FaultStats, LatencyModel};
 
 /// Cached telemetry handles for the per-query hot path: interned once
@@ -112,22 +113,153 @@ pub struct TrafficStats {
     pub total_wait_ms: u64,
 }
 
+/// [`TrafficStats`] as independent atomics: the hot path increments
+/// bare counters instead of serializing every worker on one mutex.
+/// Cross-field consistency is only needed at snapshot time, after the
+/// probing workers have drained — which is when `stats()` is read.
+#[derive(Debug, Default)]
+struct AtomicTraffic {
+    queries_sent: AtomicU64,
+    responses_received: AtomicU64,
+    timeouts: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    total_wait_ms: AtomicU64,
+}
+
+impl AtomicTraffic {
+    fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            queries_sent: self.queries_sent.load(Ordering::Relaxed),
+            responses_received: self.responses_received.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            total_wait_ms: self.total_wait_ms.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(&self, stats: TrafficStats) {
+        self.queries_sent.store(stats.queries_sent, Ordering::Relaxed);
+        self.responses_received.store(stats.responses_received, Ordering::Relaxed);
+        self.timeouts.store(stats.timeouts, Ordering::Relaxed);
+        self.bytes_sent.store(stats.bytes_sent, Ordering::Relaxed);
+        self.bytes_received.store(stats.bytes_received, Ordering::Relaxed);
+        self.total_wait_ms.store(stats.total_wait_ms, Ordering::Relaxed);
+    }
+}
+
+/// [`FaultStats`] as independent atomics, same rationale as
+/// [`AtomicTraffic`].
+#[derive(Debug, Default)]
+struct AtomicFaults {
+    flap_timeouts: AtomicU64,
+    losses: AtomicU64,
+    refused: AtomicU64,
+    truncated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl AtomicFaults {
+    fn count(&self, kind: FaultKind) {
+        match kind {
+            FaultKind::Flap => &self.flap_timeouts,
+            FaultKind::Loss => &self.losses,
+            FaultKind::Refused => &self.refused,
+            FaultKind::Truncated => &self.truncated,
+            FaultKind::Delayed => &self.delayed,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            flap_timeouts: self.flap_timeouts.load(Ordering::Relaxed),
+            losses: self.losses.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+        }
+    }
+
+    fn restore(&self, stats: FaultStats) {
+        self.flap_timeouts.store(stats.flap_timeouts, Ordering::Relaxed);
+        self.losses.store(stats.losses, Ordering::Relaxed);
+        self.refused.store(stats.refused, Ordering::Relaxed);
+        self.truncated.store(stats.truncated, Ordering::Relaxed);
+        self.delayed.store(stats.delayed, Ordering::Relaxed);
+    }
+}
+
+/// The per-destination query ordinals, sharded [`DST_SHARDS`] ways by
+/// [`dst_shard`] so concurrent workers probing different destinations
+/// rarely contend on the same lock. Every address maps to exactly one
+/// shard, so its ordinal sequence is exactly what a single global table
+/// would have produced — the property `RefusedBurst` fault decisions
+/// and resumed campaigns depend on.
+#[derive(Debug)]
+struct ShardedCounts {
+    shards: [Mutex<HashMap<Ipv4Addr, u64>>; DST_SHARDS],
+}
+
+impl ShardedCounts {
+    fn new() -> Self {
+        ShardedCounts { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    /// Post-increments `dst`'s query count, returning the pre-increment
+    /// ordinal (how many queries the destination had absorbed before
+    /// this one).
+    fn next_ordinal(&self, dst: Ipv4Addr) -> u64 {
+        let mut shard = self.shards[dst_shard(dst)].lock();
+        let slot = shard.entry(dst).or_insert(0);
+        *slot += 1;
+        *slot - 1
+    }
+
+    /// Merges every shard, sorted by address — byte-stable export order.
+    fn snapshot_sorted(&self) -> Vec<(Ipv4Addr, u64)> {
+        let mut all: Vec<(Ipv4Addr, u64)> = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().iter().map(|(&a, &c)| (a, c)));
+        }
+        all.sort_by_key(|&(a, _)| a);
+        all
+    }
+
+    /// Overwrites the whole table, distributing entries to their shards.
+    fn restore(&self, entries: Vec<(Ipv4Addr, u64)>) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        for (addr, count) in entries {
+            self.shards[dst_shard(addr)].lock().insert(addr, count);
+        }
+    }
+}
+
 /// The simulated internet: a routing table from IPv4 addresses to
 /// authoritative servers, plus latency, loss, and traffic accounting.
 ///
 /// `SimNetwork` is `Sync`; the measurement runner queries it from many
-/// threads at once, as the real campaign parallelized its lookups.
+/// threads at once, as the real campaign parallelized its lookups. The
+/// per-query hot path is deliberately lock-light: traffic and fault
+/// counters are bare atomics, per-destination ordinals live in a
+/// sharded table, the telemetry/fault plans are read through one brief
+/// `RwLock` access each, and packet loss is a pure hash — no global
+/// mutex or shared RNG is touched between deliveries.
 #[derive(Debug)]
 pub struct SimNetwork {
     servers: HashMap<Ipv4Addr, AuthoritativeServer>,
     latency: LatencyModel,
     loss_rate: f64,
-    rng: Mutex<SmallRng>,
-    stats: Mutex<TrafficStats>,
-    per_destination: Mutex<HashMap<Ipv4Addr, u64>>,
-    telemetry: RwLock<Option<NetSink>>,
-    faults: RwLock<Option<FaultPlan>>,
-    fault_stats: Mutex<FaultStats>,
+    /// Seed for the deterministic loss hash (see `loss_hits`).
+    seed: u64,
+    stats: AtomicTraffic,
+    per_destination: ShardedCounts,
+    telemetry: RwLock<Option<Arc<NetSink>>>,
+    faults: RwLock<Option<Arc<FaultPlan>>>,
+    fault_stats: AtomicFaults,
 }
 
 impl SimNetwork {
@@ -137,12 +269,12 @@ impl SimNetwork {
             servers: HashMap::new(),
             latency: LatencyModel::default(),
             loss_rate: 0.0,
-            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
-            stats: Mutex::new(TrafficStats::default()),
-            per_destination: Mutex::new(HashMap::new()),
+            seed,
+            stats: AtomicTraffic::default(),
+            per_destination: ShardedCounts::new(),
             telemetry: RwLock::new(None),
             faults: RwLock::new(None),
-            fault_stats: Mutex::new(FaultStats::default()),
+            fault_stats: AtomicFaults::default(),
         }
     }
 
@@ -151,10 +283,10 @@ impl SimNetwork {
     /// histogram, and `net.{query,response}_bytes` size histograms.
     ///
     /// Takes `&self` because the runner only ever holds a shared
-    /// reference to the network. Recording never touches the network
-    /// RNG, so attaching telemetry cannot perturb simulated outcomes.
+    /// reference to the network. Recording never touches simulated
+    /// outcomes, so attaching telemetry cannot perturb them.
     pub fn attach_telemetry(&self, registry: &Registry) {
-        *self.telemetry.write() = Some(NetSink::new(registry));
+        *self.telemetry.write() = Some(Arc::new(NetSink::new(registry)));
     }
 
     /// Installs a fault plan; every subsequent delivery consults it.
@@ -162,12 +294,14 @@ impl SimNetwork {
     ///
     /// Takes `&self` for the same reason as [`attach_telemetry`]: by the
     /// time the runner decides to inject chaos it only holds a shared
-    /// reference. Fault decisions never touch the network RNG, so a plan
-    /// cannot perturb the baseline loss stream.
+    /// reference. Fault decisions are pure hashes, so a plan cannot
+    /// perturb the baseline loss stream — and because deliveries only
+    /// hold the plan lock long enough to clone an `Arc`, installing a
+    /// plan never stalls in-flight traffic.
     ///
     /// [`attach_telemetry`]: SimNetwork::attach_telemetry
     pub fn install_faults(&self, plan: Option<FaultPlan>) {
-        *self.faults.write() = plan.filter(|p| !p.is_empty());
+        *self.faults.write() = plan.filter(|p| !p.is_empty()).map(Arc::new);
     }
 
     /// Sets a fault plan (builder style); see [`install_faults`].
@@ -181,7 +315,7 @@ impl SimNetwork {
 
     /// A snapshot of the injected-fault counters.
     pub fn fault_stats(&self) -> FaultStats {
-        *self.fault_stats.lock()
+        self.fault_stats.snapshot()
     }
 
     /// Sets the latency model (builder style).
@@ -192,6 +326,13 @@ impl SimNetwork {
     }
 
     /// Sets the packet-loss probability per exchange, in `[0, 1]`.
+    ///
+    /// Loss is decided by a deterministic hash of
+    /// `(seed, destination, qname, attempt)` — the same construction
+    /// fault-plan packet loss uses — so each retry of an exchange is an
+    /// independent draw, and the verdict for a given attempt does not
+    /// depend on how many workers are probing or how their queries
+    /// interleave.
     ///
     /// # Panics
     ///
@@ -235,6 +376,24 @@ impl SimNetwork {
         self.latency
     }
 
+    /// Whether baseline packet loss drops this attempt: a pure
+    /// SplitMix64 fold over `(seed, dst, qname-hash, attempt)`, mapped
+    /// onto `[0, 1)` exactly like fault-plan rates.
+    fn loss_hits(&self, dst: Ipv4Addr, qhash: u64, attempt: u32) -> bool {
+        if self.loss_rate <= 0.0 {
+            return false;
+        }
+        if self.loss_rate >= 1.0 {
+            return true;
+        }
+        let mut h = self.seed;
+        for s in [0x6c6f_7373, u64::from(u32::from(dst)), qhash, u64::from(attempt)] {
+            h = mix(h ^ s);
+        }
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.loss_rate
+    }
+
     /// Sends `query` to `dst` and waits for the outcome.
     ///
     /// Unrouted addresses and [`ServerBehavior::Unresponsive`] servers both
@@ -254,26 +413,24 @@ impl SimNetwork {
     /// [`deliver`]: SimNetwork::deliver
     pub fn deliver_attempt(&self, dst: Ipv4Addr, query: &Message, attempt: u32) -> DeliveryOutcome {
         let qbytes = wire::encoded_len(query) as u64;
-        {
-            let mut stats = self.stats.lock();
-            stats.queries_sent += 1;
-            stats.bytes_sent += qbytes;
-        }
-        let dst_queries_so_far = {
-            let mut map = self.per_destination.lock();
-            let slot = map.entry(dst).or_insert(0);
-            *slot += 1;
-            *slot - 1
-        };
-        let lost = self.loss_rate > 0.0 && self.rng.lock().gen_bool(self.loss_rate);
-        let fault = match &*self.faults.read() {
-            Some(plan) => plan.decide(dst, &query.question.name, attempt, dst_queries_so_far),
+        self.stats.queries_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_sent.fetch_add(qbytes, Ordering::Relaxed);
+        let dst_queries_so_far = self.per_destination.next_ordinal(dst);
+        // One name hash per delivery, shared by the loss and fault
+        // decisions; one brief read-lock each to clone the Arc handles,
+        // so neither `install_faults` nor `attach_telemetry` can stall
+        // behind an in-flight delivery (or vice versa).
+        let qhash = query.question.name.fnv64();
+        let lost = self.loss_hits(dst, qhash, attempt);
+        let plan = self.faults.read().clone();
+        let fault = match &plan {
+            Some(plan) => plan.decide_hashed(dst, qhash, attempt, dst_queries_so_far),
             None => Default::default(),
         };
-        let sink = self.telemetry.read();
+        let sink = self.telemetry.read().clone();
         let count_fault = |kind: FaultKind| {
-            self.fault_stats.lock().count(kind);
-            if let Some(sink) = &*sink {
+            self.fault_stats.count(kind);
+            if let Some(sink) = &sink {
                 sink.count_fault(kind);
             }
         };
@@ -298,7 +455,7 @@ impl SimNetwork {
             }
             msg
         };
-        if let Some(sink) = &*sink {
+        if let Some(sink) = &sink {
             sink.queries.inc();
             sink.query_bytes.record(qbytes as f64);
             if lost {
@@ -309,26 +466,24 @@ impl SimNetwork {
             Some(msg) => {
                 let rtt_ms = self.latency.rtt_ms(dst).saturating_add(fault.extra_delay_ms);
                 let rbytes = wire::encoded_len(&msg) as u64;
-                if let Some(sink) = &*sink {
+                if let Some(sink) = &sink {
                     sink.replies.inc();
                     sink.rtt_ms.record(f64::from(rtt_ms));
                     sink.response_bytes.record(rbytes as f64);
                 }
-                let mut stats = self.stats.lock();
-                stats.responses_received += 1;
-                stats.bytes_received += rbytes;
-                stats.total_wait_ms += u64::from(rtt_ms);
+                self.stats.responses_received.fetch_add(1, Ordering::Relaxed);
+                self.stats.bytes_received.fetch_add(rbytes, Ordering::Relaxed);
+                self.stats.total_wait_ms.fetch_add(u64::from(rtt_ms), Ordering::Relaxed);
                 DeliveryOutcome::Reply { msg, rtt_ms }
             }
             None => {
                 let waited_ms = self.latency.timeout_ms.saturating_add(fault.extra_delay_ms);
-                if let Some(sink) = &*sink {
+                if let Some(sink) = &sink {
                     sink.timeouts.inc();
                     sink.rtt_ms.record(f64::from(waited_ms));
                 }
-                let mut stats = self.stats.lock();
-                stats.timeouts += 1;
-                stats.total_wait_ms += u64::from(waited_ms);
+                self.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                self.stats.total_wait_ms.fetch_add(u64::from(waited_ms), Ordering::Relaxed);
                 DeliveryOutcome::Timeout { waited_ms }
             }
         }
@@ -336,7 +491,7 @@ impl SimNetwork {
 
     /// A snapshot of the traffic counters.
     pub fn stats(&self) -> TrafficStats {
-        *self.stats.lock()
+        self.stats.snapshot()
     }
 
     /// Every destination's cumulative query count, sorted by address —
@@ -345,10 +500,7 @@ impl SimNetwork {
     ///
     /// [`busiest_destinations`]: SimNetwork::busiest_destinations
     pub fn per_destination_snapshot(&self) -> Vec<(Ipv4Addr, u64)> {
-        let map = self.per_destination.lock();
-        let mut all: Vec<(Ipv4Addr, u64)> = map.iter().map(|(&a, &c)| (a, c)).collect();
-        all.sort_by_key(|&(a, _)| a);
-        all
+        self.per_destination.snapshot_sorted()
     }
 
     /// Overwrites the traffic, fault, and per-destination accounting
@@ -368,17 +520,16 @@ impl SimNetwork {
         faults: FaultStats,
         per_destination: Vec<(Ipv4Addr, u64)>,
     ) {
-        *self.stats.lock() = stats;
-        *self.fault_stats.lock() = faults;
-        *self.per_destination.lock() = per_destination.into_iter().collect();
+        self.stats.restore(stats);
+        self.fault_stats.restore(faults);
+        self.per_destination.restore(per_destination);
     }
 
     /// The `n` destinations that received the most queries — the load
     /// concentration the campaign's rate limiting exists to bound (§III-D
     /// ethics).
     pub fn busiest_destinations(&self, n: usize) -> Vec<(Ipv4Addr, u64)> {
-        let map = self.per_destination.lock();
-        let mut all: Vec<(Ipv4Addr, u64)> = map.iter().map(|(&a, &c)| (a, c)).collect();
+        let mut all = self.per_destination.snapshot_sorted();
         all.sort_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
         all.truncate(n);
         all
@@ -460,10 +611,39 @@ mod tests {
                 .with_zone(zone),
         );
         let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        // Each attempt is an independent hash draw; a fixed (dst, qname)
+        // pair across varying attempts must land near the rate.
         let replies = (0..200)
-            .filter(|_| net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q).reply().is_some())
+            .filter(|&i| net.deliver_attempt(Ipv4Addr::new(192, 0, 2, 1), &q, i).reply().is_some())
             .count();
         assert!((60..140).contains(&replies), "got {replies} replies out of 200");
+    }
+
+    #[test]
+    fn loss_verdicts_are_per_attempt_and_order_free() {
+        let dst = Ipv4Addr::new(192, 0, 2, 9);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        let routed = || {
+            let mut zone = Zone::new(n("gov.zz"));
+            zone.add_ns(n("gov.zz"), n("ns1.gov.zz"));
+            let mut net = SimNetwork::new(11).with_loss_rate(0.5);
+            net.add_server(
+                AuthoritativeServer::new(dst, ServerBehavior::Responsive).with_zone(zone.clone()),
+            );
+            net
+        };
+        // Deliver the same 64 attempts forward and backward: the verdict
+        // for a given attempt number must not depend on delivery order,
+        // because there is no shared RNG consuming draws in sequence.
+        let fwd_net = routed();
+        let fwd: Vec<bool> =
+            (0..64).map(|i| fwd_net.deliver_attempt(dst, &q, i).reply().is_some()).collect();
+        let bwd_net = routed();
+        let mut bwd: Vec<bool> =
+            (0..64).rev().map(|i| bwd_net.deliver_attempt(dst, &q, i).reply().is_some()).collect();
+        bwd.reverse();
+        assert_eq!(fwd, bwd, "loss verdicts depend only on (seed, dst, qname, attempt)");
+        assert!(fwd.iter().any(|&r| r) && fwd.iter().any(|&r| !r), "0.5 loss mixes outcomes");
     }
 
     #[test]
@@ -517,7 +697,7 @@ mod tests {
             }
             let q = Message::query(1, n("gov.zz"), RecordType::Ns);
             (0..50)
-                .map(|_| net.deliver(Ipv4Addr::new(192, 0, 2, 1), &q).reply().is_some())
+                .map(|i| net.deliver_attempt(Ipv4Addr::new(192, 0, 2, 1), &q, i).reply().is_some())
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(false), run(true));

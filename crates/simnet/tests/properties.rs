@@ -1,6 +1,7 @@
 //! Property tests for the simulated network: servers always produce a
-//! well-formed outcome, classification is closed, and accounting is
-//! conserved.
+//! well-formed outcome, classification is closed, accounting is
+//! conserved, and the lock-light hot path is observationally equivalent
+//! to a single-threaded reference.
 
 use std::net::Ipv4Addr;
 
@@ -112,5 +113,118 @@ proptest! {
         // Per-destination counts sum to the total.
         let sum: u64 = net.busiest_destinations(usize::MAX).iter().map(|&(_, c)| c).sum();
         prop_assert_eq!(sum, s.queries_sent);
+    }
+
+    /// The sharded, atomic accounting matches a single-threaded
+    /// reference tally exactly: totals, the full per-destination table,
+    /// and the busiest-destination ranking — whether deliveries run on
+    /// one thread or race across several.
+    #[test]
+    fn concurrent_accounting_matches_a_single_threaded_reference(
+        targets in prop::collection::vec(any::<[u8; 4]>(), 1..60),
+        threads in 1usize..=4,
+    ) {
+        let q = Message::query(1, "gov.zz".parse::<DomainName>().unwrap(), RecordType::Ns);
+        let build = || {
+            let mut net = SimNetwork::new(5);
+            net.add_server(
+                AuthoritativeServer::new(Ipv4Addr::new(10, 0, 0, 1), ServerBehavior::Responsive)
+                    .with_zone(sample_zone()),
+            );
+            net
+        };
+
+        // Reference: one thread, in order, tallied by hand.
+        let reference = build();
+        let mut expected: std::collections::BTreeMap<Ipv4Addr, u64> =
+            std::collections::BTreeMap::new();
+        for t in &targets {
+            let dst = Ipv4Addr::from(*t);
+            reference.deliver(dst, &q);
+            *expected.entry(dst).or_insert(0) += 1;
+        }
+
+        // Subject: the same deliveries split across worker threads.
+        let subject = build();
+        let (subject_ref, q_ref) = (&subject, &q);
+        std::thread::scope(|scope| {
+            for chunk in targets.chunks(targets.len().div_ceil(threads)) {
+                scope.spawn(move || {
+                    for t in chunk {
+                        subject_ref.deliver(Ipv4Addr::from(*t), q_ref);
+                    }
+                });
+            }
+        });
+
+        prop_assert_eq!(subject.stats(), reference.stats());
+        prop_assert_eq!(
+            subject.per_destination_snapshot(),
+            expected.iter().map(|(&a, &c)| (a, c)).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            subject.busiest_destinations(5),
+            reference.busiest_destinations(5)
+        );
+    }
+
+    /// Hash-based packet loss is a pure function of
+    /// `(seed, dst, qname, attempt)`: the per-exchange verdicts are the
+    /// same whether the campaign runs on one worker or eight, however
+    /// the threads interleave.
+    #[test]
+    fn loss_verdicts_do_not_depend_on_worker_count(
+        seed in any::<u64>(),
+        loss_pct in 1u8..100,
+        dsts in prop::collection::vec(any::<[u8; 4]>(), 1..12),
+    ) {
+        let q = Message::query(1, "gov.zz".parse::<DomainName>().unwrap(), RecordType::Ns);
+        let rate = f64::from(loss_pct) / 100.0;
+        let build = |dsts: &[[u8; 4]]| {
+            let mut net = SimNetwork::new(seed).with_loss_rate(rate);
+            for t in dsts {
+                let addr = Ipv4Addr::from(*t);
+                if net.server(addr).is_none() {
+                    net.add_server(
+                        AuthoritativeServer::new(addr, ServerBehavior::Responsive)
+                            .with_zone(sample_zone()),
+                    );
+                }
+            }
+            net
+        };
+        // Routed servers answer unless loss eats the exchange, so
+        // `reply().is_none()` observes the loss verdict directly.
+        let exchanges: Vec<(Ipv4Addr, u32)> = dsts
+            .iter()
+            .flat_map(|t| (0..4u32).map(|a| (Ipv4Addr::from(*t), a)))
+            .collect();
+
+        let single = build(&dsts);
+        let sequential: Vec<bool> = exchanges
+            .iter()
+            .map(|&(dst, a)| single.deliver_attempt(dst, &q, a).reply().is_none())
+            .collect();
+
+        let parallel = build(&dsts);
+        let verdicts: Vec<std::sync::Mutex<Option<bool>>> =
+            exchanges.iter().map(|_| std::sync::Mutex::new(None)).collect();
+        let (parallel_ref, q_ref) = (&parallel, &q);
+        std::thread::scope(|scope| {
+            for (chunk_x, chunk_v) in exchanges
+                .chunks(exchanges.len().div_ceil(8))
+                .zip(verdicts.chunks(exchanges.len().div_ceil(8)))
+            {
+                scope.spawn(move || {
+                    for ((dst, a), slot) in chunk_x.iter().zip(chunk_v) {
+                        *slot.lock().unwrap() =
+                            Some(parallel_ref.deliver_attempt(*dst, q_ref, *a).reply().is_none());
+                    }
+                });
+            }
+        });
+        let threaded: Vec<bool> =
+            verdicts.iter().map(|v| v.lock().unwrap().expect("all exchanges ran")).collect();
+        prop_assert_eq!(threaded, sequential);
     }
 }

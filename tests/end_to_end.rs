@@ -126,6 +126,31 @@ fn worker_count_does_not_change_results() {
 }
 
 #[test]
+fn runner_reports_lock_free_marker_and_worker_busy_spread() {
+    let world = tiny(17);
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+    let ds = govdns::core::run_campaign(
+        &campaign,
+        RunnerConfig { workers: 4, ..RunnerConfig::default() },
+    );
+    let gauges = &ds.telemetry.gauges;
+    assert_eq!(gauges["runner.workers"], 4);
+    assert_eq!(gauges["net.lock_free"], 1, "hot path advertises its lock-free accounting");
+
+    // Every worker's busy time lands in the histogram and the spread
+    // gauges: max >= min > 0, and the spread is max/min as a percentage
+    // (so never below 100).
+    let busy = &ds.telemetry.histograms["runner.worker_busy_ms"];
+    assert_eq!(busy.count, 4, "one busy-time sample per worker");
+    let max = gauges["runner.worker_busy_max_ms"];
+    let min = gauges["runner.worker_busy_min_ms"];
+    let spread = gauges["runner.worker_busy_spread_pct"];
+    assert!(max >= min && min >= 0, "max {max} < min {min}");
+    assert!(spread >= 100, "spread {spread} is max/min in percent");
+}
+
+#[test]
 fn ethics_accounting_shows_bounded_hotspots() {
     let world = tiny(21);
     let matchers = world.catalog.matchers();
