@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, release build, full test suite (incl. doc
 # tests), warning-free clippy, the chaos determinism smoke, the
-# crash/resume smoke, and the telemetry bench guard. Mirrored by
-# .github/workflows/ci.yml.
+# crash/resume smoke, the trace determinism smoke, and the bench
+# guards (telemetry, campaign scaling, flight-recorder overhead).
+# Mirrored by .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -61,6 +62,20 @@ resumed_fp="$(grep 'dataset fingerprint' "$resume_dir/resumed.out")"
 }
 grep -q "probes replayed" "$resume_dir/resumed.out"
 
+echo "== trace smoke: identical seeds => byte-identical traces at any worker count =="
+trace_dir="$(mktemp -d)"
+trap 'rm -f "$chaos_a" "$chaos_b" "$breaker_a" "$breaker_b"; rm -rf "$resume_dir" "$trace_dir"' EXIT
+cargo run -q --release --example trace -- --seed 7 --workers 1 --scale 0.01 \
+    --out "$trace_dir/w1.trace" > "$trace_dir/w1.out"
+cargo run -q --release --example trace -- --seed 7 --workers 8 --scale 0.01 \
+    --out "$trace_dir/w8.trace" > "$trace_dir/w8.out"
+cmp "$trace_dir/w1.trace" "$trace_dir/w8.trace" || {
+    echo "trace smoke: trace files differ between 1 and 8 workers" >&2
+    exit 1
+}
+diff -u "$trace_dir/w1.out" "$trace_dir/w8.out"
+grep -q "trace fingerprint" "$trace_dir/w1.out"
+
 echo "== bench guard: telemetry hot path =="
 # The vendored criterion stand-in prints one "ns/iter" line per bench;
 # keep the numbers as a machine-readable artifact for trend-watching.
@@ -107,6 +122,36 @@ print(f"campaign bench: 8-worker/1-worker throughput ratio {ratio:.2f} "
 assert ratio >= floor, (
     f"8 workers deliver only {ratio:.2f}x the 1-worker throughput "
     f"(floor {floor} on {cores} cores) — hot path re-serialized?")
+PY
+
+echo "== bench guard: flight recorder overhead =="
+# traced_8 is the 8-worker campaign with the flight recorder on (full
+# sampling, file sink). Block/dump encoding runs on the worker threads
+# outside the sink lock, so on a multi-core machine it overlaps probing
+# and traced throughput must stay within 0.90x of untraced. On starved
+# runners (< 4 cores) there is no parallelism to hide the encode CPU
+# behind — same policy as the worker-scaling gate above — so we only
+# require tracing not to halve throughput.
+python3 - <<'PY' || { echo "bench guard: tracing overhead regressed" >&2; exit 1; }
+import json, os
+
+d = json.load(open("BENCH_campaign.json"))
+untraced = d["campaign/workers_8"]
+traced = d["campaign/traced_8"]
+assert untraced > 0 and traced > 0, f"degenerate timings: {d}"
+# Same work per iteration, so throughput ratio = inverse time ratio.
+ratio = untraced / traced
+cores = os.cpu_count() or 1
+floor = 0.90 if cores >= 4 else 0.5
+print(f"trace bench: traced/untraced throughput ratio {ratio:.2f} "
+      f"(floor {floor}, {cores} cores)")
+json.dump({"campaign/workers_8": untraced, "campaign/traced_8": traced,
+           "traced_over_untraced_throughput": round(ratio, 4)},
+          open("BENCH_trace.json", "w"), indent=2)
+assert ratio >= floor, (
+    f"tracing costs too much: traced throughput is {ratio:.2f}x untraced "
+    f"(floor {floor} on {cores} cores) — is emission taking a lock or "
+    f"doing I/O inline?")
 PY
 
 echo "ci: all green"

@@ -8,11 +8,17 @@
 //! a global lock on the hot path flattens (or inverts) the curve, which
 //! is exactly what `ci.sh`'s ratio guard on `BENCH_campaign.json`
 //! detects. Probes per second is `domains / (ns_per_iter / 1e9)`.
+//!
+//! `traced_8` re-runs the 8-worker configuration with the flight
+//! recorder on (full sampling, trace file to a temp path): `ci.sh`'s
+//! guard on `BENCH_trace.json` requires traced throughput to stay
+//! within 0.90x of untraced, keeping event emission off the lock path.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use govdns_core::{run_campaign, Campaign, RunnerConfig};
+use govdns_trace::TraceSpec;
 use govdns_world::{WorldConfig, WorldGenerator};
 
 fn campaign_throughput(c: &mut Criterion) {
@@ -37,6 +43,23 @@ fn campaign_throughput(c: &mut Criterion) {
             })
         });
     }
+    let trace_path =
+        std::env::temp_dir().join(format!("govdns-bench-trace-{}.trace", std::process::id()));
+    group.bench_function("traced_8", |b| {
+        b.iter(|| {
+            let campaign = Campaign::new(&world, &matchers);
+            let ds = run_campaign(
+                &campaign,
+                RunnerConfig {
+                    workers: 8,
+                    trace: Some(TraceSpec::new(&trace_path)),
+                    ..RunnerConfig::default()
+                },
+            );
+            black_box(ds.probes.len())
+        })
+    });
+    let _ = std::fs::remove_file(&trace_path);
     group.finish();
 }
 

@@ -19,6 +19,7 @@ use serde::{Deserialize, Serialize};
 use govdns_model::{DomainName, Message, Rcode, RecordType, ResourceRecord, Soa};
 use govdns_simnet::{SimNetwork, StubResolver};
 use govdns_telemetry::{Counter, Histogram, Registry};
+use govdns_trace::{Step, TraceData, WorkerTracer};
 
 use crate::ratelimit::{QueryRound, RateLimiter};
 
@@ -492,6 +493,19 @@ impl ResponseClass {
             ResponseClass::Timeout | ResponseClass::Rejected(_) | ResponseClass::Truncated
         )
     }
+
+    /// Stable lowercase label for trace events and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResponseClass::Authoritative(_) => "authoritative",
+            ResponseClass::Referral { .. } => "referral",
+            ResponseClass::Empty(_) => "empty",
+            ResponseClass::Rejected(_) => "rejected",
+            ResponseClass::Truncated => "truncated",
+            ResponseClass::Timeout => "timeout",
+            ResponseClass::Skipped => "skipped",
+        }
+    }
 }
 
 /// One query observation against one address.
@@ -727,6 +741,10 @@ pub struct ProbeClient<'n> {
     /// destination so the hot-path lookup never clones the qname: the
     /// name is only cloned once, when a pair is first seen.
     attempts: RefCell<HashMap<Ipv4Addr, HashMap<DomainName, u32>>>,
+    /// The flight recorder's per-worker event ring, when tracing is on.
+    /// `RefCell` because every emission mutates the ring but probing
+    /// methods take `&self`; the client is already `!Sync` by design.
+    tracer: RefCell<Option<WorkerTracer>>,
 }
 
 impl<'n> ProbeClient<'n> {
@@ -741,6 +759,79 @@ impl<'n> ProbeClient<'n> {
             retry: RetryPolicy::none(),
             breakers: None,
             attempts: RefCell::new(HashMap::new()),
+            tracer: RefCell::new(None),
+        }
+    }
+
+    /// Attaches a per-worker flight recorder: every delivery attempt and
+    /// every decision about it (fault verdicts, limiter charges, breaker
+    /// admissions, backoffs) is recorded as a trace event. The runner
+    /// brackets each domain with [`ProbeClient::trace_begin`] /
+    /// [`ProbeClient::trace_end`].
+    #[must_use]
+    pub fn with_tracer(self, tracer: WorkerTracer) -> Self {
+        *self.tracer.borrow_mut() = Some(tracer);
+        self
+    }
+
+    /// Starts the trace scope for campaign domain `index`; events
+    /// emitted until [`ProbeClient::trace_end`] belong to this domain.
+    pub fn trace_begin(&self, index: u64, domain: &DomainName) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            t.begin(index, domain);
+        }
+    }
+
+    /// Ends the current trace scope, submitting the domain's events (or
+    /// an unsampled placeholder) to the shared sink.
+    pub fn trace_end(&self) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            t.end();
+        }
+    }
+
+    /// Emits a trace event at the worker's current step. The closure
+    /// only runs when a tracer is attached *and* this domain is sampled,
+    /// so disabled runs never build event payloads.
+    fn trace(&self, f: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            if t.recording() {
+                let data = f();
+                t.emit(data);
+            }
+        }
+    }
+
+    /// Emits a trace event pinned to `step` regardless of the current
+    /// walk position (side resolutions, SOA fetches).
+    fn trace_at(&self, step: Step, f: impl FnOnce() -> TraceData) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            if t.recording() {
+                let data = f();
+                t.emit_at(step, data);
+            }
+        }
+    }
+
+    /// Moves the worker's trace cursor to `step`.
+    fn trace_step(&self, step: Step) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            t.set_step(step);
+        }
+    }
+
+    /// Dumps the flight recorder's last-N events under `trigger`.
+    fn trace_dump(&self, trigger: &str) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            t.dump(trigger);
+        }
+    }
+
+    /// Dumps at most once per trigger per domain — for triggers that
+    /// fire on many exchanges of an already-degraded domain.
+    fn trace_dump_once(&self, trigger: &str) {
+        if let Some(t) = self.tracer.borrow_mut().as_mut() {
+            t.dump_once(trigger);
         }
     }
 
@@ -821,11 +912,28 @@ impl<'n> ProbeClient<'n> {
         else {
             return;
         };
+        self.trace_step(Step::DirectProbe);
         self.limiter.acquire_for(QueryRound::Soa, Some(addr));
+        self.trace(|| TraceData::Charge { round: "soa".into(), dst: Some(addr) });
         let q = Message::query((probe.queries % 0xFFFF) as u16, domain.clone(), RecordType::Soa);
-        let out = self.network.deliver(addr, &q);
+        self.trace(|| TraceData::Send { dst: addr, attempt: 0 });
+        let (out, delivery) = self.network.deliver_attempt_traced(addr, &q, 0);
         probe.queries += 1;
         probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
+        if let Some(verdict) = delivery.verdict() {
+            self.trace(|| TraceData::Fault {
+                dst: addr,
+                attempt: 0,
+                verdict: verdict.into(),
+                extra_ms: u64::from(delivery.fault.extra_delay_ms),
+            });
+        }
+        self.trace(|| TraceData::Response {
+            dst: addr,
+            attempt: 0,
+            class: if out.reply().is_some() { "answer".into() } else { "timeout".into() },
+            ms: u64::from(out.elapsed_ms()),
+        });
         if let Some(reply) = out.reply() {
             if reply.is_authoritative_answer() {
                 probe.soa = reply.answers.iter().find_map(|rr| rr.data.as_soa().cloned());
@@ -903,12 +1011,14 @@ impl<'n> ProbeClient<'n> {
                         sink.tally(&class);
                         sink.breaker_denied.inc();
                     }
+                    self.trace(|| TraceData::BreakerDenied { dst });
                     return (class, 0);
                 }
                 BreakerAdmission::Trial => {
                     if let Some(sink) = &self.telemetry {
                         sink.breaker_half_open.inc();
                     }
+                    self.trace(|| TraceData::BreakerTrial { dst });
                 }
                 BreakerAdmission::Allowed => {}
             }
@@ -918,6 +1028,15 @@ impl<'n> ProbeClient<'n> {
             if let Some(transition) = bank.on_result(dst, rank, class.is_retryable()) {
                 if let Some(sink) = &self.telemetry {
                     sink.tally_transition(transition);
+                }
+                let label = match transition {
+                    BreakerTransition::Tripped => "tripped",
+                    BreakerTransition::Reclosed => "reclosed",
+                    BreakerTransition::Reopened => "reopened",
+                };
+                self.trace(|| TraceData::Breaker { dst, transition: label.into() });
+                if matches!(transition, BreakerTransition::Tripped) {
+                    self.trace_dump("breaker_trip");
                 }
             }
         }
@@ -933,6 +1052,10 @@ impl<'n> ProbeClient<'n> {
         probe: &mut DomainProbe,
     ) -> (ResponseClass, u32) {
         self.limiter.acquire_for(self.round.get(), Some(dst));
+        self.trace(|| TraceData::Charge {
+            round: self.round.get().as_str().into(),
+            dst: Some(dst),
+        });
         let mut attempts_here = 0u32;
         loop {
             // The cumulative attempt number is what the fault plan sees:
@@ -952,13 +1075,31 @@ impl<'n> ProbeClient<'n> {
                 now
             };
             let q = Message::query((probe.queries % 0xFFFF) as u16, qname.clone(), RecordType::Ns);
-            let out = self.network.deliver_attempt(dst, &q, attempt);
+            self.trace(|| TraceData::Send { dst, attempt });
+            let (out, delivery) = self.network.deliver_attempt_traced(dst, &q, attempt);
             probe.queries += 1;
             probe.elapsed_ms = probe.elapsed_ms.saturating_add(out.elapsed_ms());
             let class = ResponseClass::of(out.reply(), qname);
             attempts_here += 1;
             if let Some(sink) = &self.telemetry {
                 sink.tally(&class);
+            }
+            if let Some(verdict) = delivery.verdict() {
+                self.trace(|| TraceData::Fault {
+                    dst,
+                    attempt,
+                    verdict: verdict.into(),
+                    extra_ms: u64::from(delivery.fault.extra_delay_ms),
+                });
+            }
+            self.trace(|| TraceData::Response {
+                dst,
+                attempt,
+                class: class.label().into(),
+                ms: u64::from(out.elapsed_ms()),
+            });
+            if delivery.fault.refuse {
+                self.trace_dump_once("refused_burst");
             }
             if !class.is_retryable() {
                 if attempts_here > 1 {
@@ -973,6 +1114,7 @@ impl<'n> ProbeClient<'n> {
                     if let Some(sink) = &self.telemetry {
                         sink.retry_exhausted.inc();
                     }
+                    self.trace_dump_once("retry_exhausted");
                 }
                 return (class, attempts_here);
             }
@@ -980,6 +1122,7 @@ impl<'n> ProbeClient<'n> {
                 if let Some(sink) = &self.telemetry {
                     sink.retry_budget_denied.inc();
                 }
+                self.trace(|| TraceData::RetryDenied { dst });
                 return (class, attempts_here);
             }
             let backoff = self.retry.backoff_ms(dst, qname, attempts_here);
@@ -988,13 +1131,19 @@ impl<'n> ProbeClient<'n> {
                 sink.retry_attempts.inc();
                 sink.retry_backoff_ms.record(f64::from(backoff));
             }
+            self.trace(|| TraceData::Backoff {
+                dst,
+                attempt: attempts_here,
+                ms: u64::from(backoff),
+            });
         }
     }
 
     /// Resolves a hostname, charging the probe for the side queries.
     fn side_resolve(&self, host: &DomainName, probe: &mut DomainProbe) -> Vec<Ipv4Addr> {
         self.limiter.acquire_for(QueryRound::Side, None);
-        match self.resolver.resolve(host, RecordType::A) {
+        self.trace_at(Step::AddrResolve, || TraceData::Charge { round: "side".into(), dst: None });
+        let addrs = match self.resolver.resolve(host, RecordType::A) {
             Ok(res) => {
                 // Book the resolver's extra queries beyond the one
                 // already acquired (a cache hit costs zero, which the
@@ -1005,12 +1154,18 @@ impl<'n> ProbeClient<'n> {
                 res.addresses()
             }
             Err(_) => Vec::new(),
-        }
+        };
+        self.trace_at(Step::AddrResolve, || TraceData::Resolve {
+            host: host.to_string(),
+            addrs: addrs.clone(),
+        });
+        addrs
     }
 
     /// Walks from the root toward the domain, recording the parent-zone
     /// level: its addresses, responses, and the parent-side NS set.
     fn walk_to_parent(&self, domain: &DomainName, probe: &mut DomainProbe) {
+        self.trace_step(Step::ParentNs);
         let mut level: Vec<Ipv4Addr> = self.resolver.roots().to_vec();
         let mut level_zone = DomainName::root();
 
@@ -1054,6 +1209,10 @@ impl<'n> ProbeClient<'n> {
                                 }
                             }
                             addrs.dedup();
+                            self.trace_at(Step::Referral, || TraceData::Referral {
+                                cut: cut.to_string(),
+                                targets: targets.len() as u64,
+                            });
                             next = Some((cut.clone(), addrs));
                         }
                         // Upward or sideways referrals: useless, move on.
@@ -1085,6 +1244,7 @@ impl<'n> ProbeClient<'n> {
     /// Step ③–④ plus the final per-address sweep: query every identified
     /// nameserver for the domain's NS records.
     fn query_child_side(&self, domain: &DomainName, probe: &mut DomainProbe) {
+        self.trace_step(Step::ChildNs);
         let mut pending: Vec<DomainName> = Vec::new();
         for h in &probe.parent_ns {
             if !pending.contains(h) {

@@ -104,6 +104,10 @@ pub struct MeasurementHealth {
     /// Countries ranked by degraded-domain count:
     /// `(country, responsive, degraded)`, worst first.
     pub flaky_countries: Vec<(govdns_world::CountryCode, usize, usize)>,
+    /// Exemplar causal timelines for degraded domains, reconstructed
+    /// from the flight recorder's trace file (empty when tracing was
+    /// off or no degraded domain was sampled).
+    pub exemplars: Vec<String>,
 }
 
 impl MeasurementHealth {
@@ -153,6 +157,7 @@ impl MeasurementHealth {
                 .cloned()
                 .unwrap_or_default(),
             flaky_countries,
+            exemplars: Vec::new(),
         }
     }
 
@@ -220,6 +225,37 @@ pub struct AnalysisFailure {
     pub stage: String,
     /// The panic payload, stringified.
     pub message: String,
+}
+
+/// Picks up to three degraded domains and renders their causal
+/// timelines from the trace file — the `MeasurementHealth` exemplars.
+/// Long timelines keep only their last ten events (the decision that
+/// classified the domain is at the end).
+fn trace_exemplars(dataset: &MeasurementDataset, log: &govdns_trace::TraceLog) -> Vec<String> {
+    const EXEMPLARS: usize = 3;
+    const TAIL_EVENTS: usize = 10;
+    let mut out = Vec::new();
+    for (i, probe) in dataset.probes.iter().enumerate() {
+        if out.len() >= EXEMPLARS {
+            break;
+        }
+        if !probe.degraded() {
+            continue;
+        }
+        let name = dataset.discovered[i].name.to_string();
+        let Some(block) = log.domain(&name) else { continue };
+        let lines = block.timeline();
+        let skip = lines.len().saturating_sub(TAIL_EVENTS);
+        let mut s = format!("{name} ({} events):", block.events.len());
+        if skip > 0 {
+            let _ = write!(s, "\n  … {skip} earlier events elided");
+        }
+        for line in &lines[skip..] {
+            let _ = write!(s, "\n  {line}");
+        }
+        out.push(s);
+    }
+    out
 }
 
 /// Runs one analysis stage under `catch_unwind`, recording a span for
@@ -313,6 +349,19 @@ impl Report {
         analysis_span.finish();
         report.busiest_server_queries =
             campaign.network.busiest_destinations(1).first().map(|&(_, c)| c).unwrap_or(0);
+        if let Some(tracer) = ctl.tracer() {
+            // A panicked analysis gets the flight recorder's last-seen
+            // events appended to the trace file, tagged with its stage.
+            for failure in &report.analysis_failures {
+                tracer.analysis_dump(&failure.stage);
+            }
+            // Reading the file back (rather than holding blocks in
+            // memory) keeps the runner's memory bounded and exercises
+            // the same reader the inspection CLI uses.
+            if let Ok(log) = govdns_trace::read_trace(&tracer.spec().path) {
+                report.health.exemplars = trace_exemplars(&report.dataset, &log);
+            }
+        }
         // Re-freeze so the embedded snapshot covers the analysis span.
         report.dataset.telemetry = ctl.registry().snapshot();
         report
@@ -466,6 +515,7 @@ impl Report {
         write("telemetry_histograms.csv", self.dataset.telemetry.histograms_csv())?;
         write("telemetry_toplists.csv", self.dataset.telemetry.toplists_csv())?;
         write("telemetry_ledger.csv", self.dataset.telemetry.ledger_csv())?;
+        write("telemetry.prom", self.dataset.telemetry.render_prometheus())?;
         write("measurement_health.csv", self.health.table().to_csv())?;
         if !self.analysis_failures.is_empty() {
             let mut t = crate::tables::TextTable::new(["stage", "message"]);
@@ -722,6 +772,12 @@ impl Report {
                     t.push_row([c.to_string(), total.to_string(), degraded.to_string()]);
                 }
                 let _ = write!(body, "flakiest countries:\n{}", t.to_text());
+            }
+            if !self.health.exemplars.is_empty() {
+                let _ = writeln!(body, "exemplar degraded-domain timelines (flight recorder):");
+                for exemplar in &self.health.exemplars {
+                    let _ = writeln!(body, "{exemplar}");
+                }
             }
             section("measurement health (§III-B re-probes, chaos)", body);
         }

@@ -22,12 +22,14 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
 use govdns_simnet::ChaosProfile;
 use govdns_telemetry::{ProgressEvent, Registry};
+use govdns_trace::{TraceSpec, Tracer};
 
 use crate::discovery::{self, DiscoveryConfig};
 use crate::journal::{fnv64, Checkpoint, JournalHeader, JournalReplay, JournalSpec, JournalWriter};
@@ -82,6 +84,11 @@ pub struct RunnerConfig {
     /// truncated dataset — the test/CI hook for simulating a campaign
     /// that dies mid-flight with its journal intact.
     pub stop_after: Option<usize>,
+    /// Flight recorder: where to write the per-query trace file (`None`
+    /// = tracing off). Tracing is strictly observational — the dataset
+    /// is identical with or without it — so it is excluded from the
+    /// journal's config echo like the other scheduling-only knobs.
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for RunnerConfig {
@@ -97,6 +104,7 @@ impl Default for RunnerConfig {
             journal: None,
             resume_from: None,
             stop_after: None,
+            trace: None,
         }
     }
 }
@@ -104,8 +112,9 @@ impl Default for RunnerConfig {
 impl RunnerConfig {
     /// A deterministic echo of every knob that shapes observations,
     /// stored in the journal header and byte-compared on resume.
-    /// Worker count, journaling, and `stop_after` are deliberately
-    /// excluded: they change scheduling, not observations.
+    /// Worker count, journaling, tracing, and `stop_after` are
+    /// deliberately excluded: they change scheduling (or pure
+    /// observation), not observations.
     fn config_echo(&self, collection_date: govdns_model::SimDate) -> String {
         format!(
             "qps={} cap={:?} second_round={} retry={:?} chaos={:?} breaker={:?} date={}",
@@ -127,6 +136,7 @@ pub struct CampaignTelemetry {
     progress_every: usize,
     progress: Option<Box<dyn Fn(ProgressEvent) + Send + Sync>>,
     limiter: Mutex<Option<RateLimiter>>,
+    tracer: Mutex<Option<Arc<Tracer>>>,
 }
 
 impl Default for CampaignTelemetry {
@@ -136,6 +146,7 @@ impl Default for CampaignTelemetry {
             progress_every: 0,
             progress: None,
             limiter: Mutex::new(None),
+            tracer: Mutex::new(None),
         }
     }
 }
@@ -183,6 +194,13 @@ impl CampaignTelemetry {
     /// started (useful for asserting ledger totals after the fact).
     pub fn limiter(&self) -> Option<RateLimiter> {
         self.limiter.lock().clone()
+    }
+
+    /// The flight recorder of the most recent run, when
+    /// [`RunnerConfig::trace`] was set — report generation uses it to
+    /// append analysis-panic dumps after the trace file is complete.
+    pub fn tracer(&self) -> Option<Arc<Tracer>> {
+        self.tracer.lock().clone()
     }
 
     fn emit(&self, stage: &str, done: usize, total: usize, queries_issued: u64) {
@@ -315,6 +333,15 @@ pub fn run_campaign_with(
     };
     let checkpoint_every = config.journal.as_ref().map_or(0, |s| s.checkpoint_every.max(1));
 
+    // The flight recorder. Created after resume replay so the trace file
+    // starts at the resume point; the sink's reorder buffer then writes
+    // domain blocks in campaign index order regardless of worker count.
+    let tracer: Option<Arc<Tracer>> = config
+        .trace
+        .as_ref()
+        .map(|spec| Tracer::create(spec, total as u64, resume_point as u64).expect("trace I/O"));
+    *ctl.tracer.lock() = tracer.clone();
+
     let probe_limit = config.stop_after.map_or(total, |s| s.clamp(resume_point, total));
 
     let mut prefill: Vec<Option<DomainProbe>> = replayed.into_iter().map(Some).collect();
@@ -332,17 +359,23 @@ pub fn run_campaign_with(
     let worker_busy: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(workers));
 
     let probing_span = registry.span("round1");
+    if let Some(t) = &tracer {
+        t.stage("round1", "begin");
+    }
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 // One client (and resolver cache) per worker, as the real
                 // pipeline sharded its query load. On resume every worker
                 // starts from the checkpointed cache warmth.
-                let client =
+                let mut client =
                     ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone())
                         .with_telemetry(&registry)
                         .with_retry(config.retry)
                         .with_breakers(bank.clone());
+                if let Some(t) = &tracer {
+                    client = client.with_tracer(t.worker());
+                }
                 if let Some(cache) = &initial_cache {
                     client.import_cache(cache.clone());
                 }
@@ -362,6 +395,7 @@ pub fn run_campaign_with(
                         break;
                     }
                     let Some(d) = discovered.get(i) else { break };
+                    client.trace_begin(i as u64, &d.name);
                     let mut probe = client.probe(&d.name);
                     // Second round: parent listed nameservers, but no
                     // authoritative answer materialized — maybe
@@ -376,6 +410,7 @@ pub fn run_campaign_with(
                         retried.fetch_add(1, Ordering::Relaxed);
                         retried_counter.inc();
                     }
+                    client.trace_end();
                     // Journal before reporting done: a kill after the
                     // progress callback fires can lose nothing that was
                     // already counted.
@@ -412,6 +447,10 @@ pub fn run_campaign_with(
     })
     .expect("probe workers do not panic");
     probing_span.finish();
+    if let Some(t) = &tracer {
+        t.stage("round1", "end");
+        t.finish();
+    }
 
     // Worker-balance gauges: busiest and idlest worker, and their ratio
     // as a percentage (100 = perfectly even). Healthy lock-free probing
@@ -423,8 +462,17 @@ pub fn run_campaign_with(
         if max > 0.0 && min.is_finite() {
             registry.gauge("runner.worker_busy_max_ms").set(max.round() as i64);
             registry.gauge("runner.worker_busy_min_ms").set(min.round() as i64);
-            let spread = if min > 0.0 { (max / min) * 100.0 } else { f64::from(u16::MAX) };
-            registry.gauge("runner.worker_busy_spread_pct").set(spread.round() as i64);
+            match worker_busy_spread_pct(max, min) {
+                Some(spread) => {
+                    registry.gauge("runner.worker_busy_spread_pct").set(spread.round() as i64);
+                }
+                None => {
+                    // The idlest worker finished in ~0 ms (a tiny
+                    // campaign, not a convoy): a ratio against zero is
+                    // noise, so flag it instead of faking a spread.
+                    registry.gauge("runner.worker_busy_spread_unreliable").set(1);
+                }
+            }
         }
     }
 
@@ -488,4 +536,31 @@ fn names_fingerprint(discovered: &[crate::discovery::DiscoveredDomain]) -> u64 {
         joined.push('\n');
     }
     fnv64(joined.as_bytes())
+}
+
+/// Worker-balance spread as a percentage of the idlest worker's busy
+/// time (100 = perfectly even), or `None` when the idlest worker's time
+/// is zero — dividing by ~0 yields an arbitrary huge number that would
+/// read as a catastrophic convoy, so the gauge is left unset and a
+/// `runner.worker_busy_spread_unreliable` marker is emitted instead.
+fn worker_busy_spread_pct(max: f64, min: f64) -> Option<f64> {
+    (min > 0.0).then_some((max / min) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::worker_busy_spread_pct;
+
+    #[test]
+    fn spread_is_ratio_of_busiest_to_idlest() {
+        assert_eq!(worker_busy_spread_pct(200.0, 100.0), Some(200.0));
+        assert_eq!(worker_busy_spread_pct(150.0, 150.0), Some(100.0));
+    }
+
+    #[test]
+    fn zero_min_is_unreliable_not_a_sentinel() {
+        // The old behaviour reported u16::MAX as if it were a measured
+        // spread; a zero-busy idlest worker must yield no spread at all.
+        assert_eq!(worker_busy_spread_pct(200.0, 0.0), None);
+    }
 }

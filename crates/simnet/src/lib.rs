@@ -48,6 +48,6 @@ pub use fault::{
     FaultStats,
 };
 pub use latency::LatencyModel;
-pub use network::{DeliveryOutcome, SimNetwork, TrafficStats};
+pub use network::{DeliveryOutcome, DeliveryTrace, SimNetwork, TrafficStats};
 pub use resolver::{ResolveError, ResolveResult, StubResolver};
 pub use server::{AuthoritativeServer, LameMode, ServerBehavior};

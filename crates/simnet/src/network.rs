@@ -10,7 +10,7 @@ use govdns_model::{wire, Message, Rcode};
 use govdns_telemetry::{Counter, Histogram, Registry};
 
 use crate::addr::{dst_shard, mix, DST_SHARDS};
-use crate::{AuthoritativeServer, FaultKind, FaultPlan, FaultStats, LatencyModel};
+use crate::{AuthoritativeServer, FaultDecision, FaultKind, FaultPlan, FaultStats, LatencyModel};
 
 /// Cached telemetry handles for the per-query hot path: interned once
 /// at attach time so `deliver` touches bare atomics only.
@@ -91,6 +91,48 @@ impl DeliveryOutcome {
             DeliveryOutcome::Reply { rtt_ms, .. } => *rtt_ms,
             DeliveryOutcome::Timeout { waited_ms } => *waited_ms,
         }
+    }
+}
+
+/// What the chaos and loss layers decided about one delivery attempt —
+/// the per-query verdict a flight recorder wants alongside the
+/// [`DeliveryOutcome`]. Returned by
+/// [`SimNetwork::deliver_attempt_traced`]; plain data, no accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeliveryTrace {
+    /// The fault plan's verdict (all-clean when no plan is installed).
+    pub fault: FaultDecision,
+    /// Whether baseline (world-level) packet loss swallowed the query.
+    pub lost: bool,
+}
+
+impl DeliveryTrace {
+    /// A stable label for the verdict that changed this delivery, if
+    /// any: the drop kind, `refused`, `truncated`, `delayed`, or
+    /// `baseline_loss`. Precedence mirrors the delivery path.
+    pub fn verdict(&self) -> Option<&'static str> {
+        if let Some(kind) = self.fault.drop {
+            return Some(match kind {
+                FaultKind::Flap => "flap",
+                FaultKind::Loss => "loss",
+                FaultKind::Refused => "refused",
+                FaultKind::Truncated => "truncated",
+                FaultKind::Delayed => "delayed",
+            });
+        }
+        if self.lost {
+            return Some("baseline_loss");
+        }
+        if self.fault.refuse {
+            return Some("refused");
+        }
+        if self.fault.truncate {
+            return Some("truncated");
+        }
+        if self.fault.extra_delay_ms > 0 {
+            return Some("delayed");
+        }
+        None
     }
 }
 
@@ -412,6 +454,22 @@ impl SimNetwork {
     ///
     /// [`deliver`]: SimNetwork::deliver
     pub fn deliver_attempt(&self, dst: Ipv4Addr, query: &Message, attempt: u32) -> DeliveryOutcome {
+        self.deliver_attempt_traced(dst, query, attempt).0
+    }
+
+    /// [`deliver_attempt`], additionally reporting what the fault and
+    /// loss layers decided — the flight recorder's view of the attempt.
+    /// This *is* the delivery path (`deliver_attempt` delegates here),
+    /// so tracing can never observe different accounting than an
+    /// untraced run.
+    ///
+    /// [`deliver_attempt`]: SimNetwork::deliver_attempt
+    pub fn deliver_attempt_traced(
+        &self,
+        dst: Ipv4Addr,
+        query: &Message,
+        attempt: u32,
+    ) -> (DeliveryOutcome, DeliveryTrace) {
         let qbytes = wire::encoded_len(query) as u64;
         self.stats.queries_sent.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_sent.fetch_add(qbytes, Ordering::Relaxed);
@@ -462,7 +520,7 @@ impl SimNetwork {
                 sink.lost.inc();
             }
         }
-        match reply {
+        let outcome = match reply {
             Some(msg) => {
                 let rtt_ms = self.latency.rtt_ms(dst).saturating_add(fault.extra_delay_ms);
                 let rbytes = wire::encoded_len(&msg) as u64;
@@ -486,7 +544,8 @@ impl SimNetwork {
                 self.stats.total_wait_ms.fetch_add(u64::from(waited_ms), Ordering::Relaxed);
                 DeliveryOutcome::Timeout { waited_ms }
             }
-        }
+        };
+        (outcome, DeliveryTrace { fault, lost })
     }
 
     /// A snapshot of the traffic counters.

@@ -221,6 +221,102 @@ impl TelemetrySnapshot {
         out
     }
 
+    /// Renders the snapshot in the Prometheus text exposition format:
+    /// counters and gauges as `govdns_<name>` samples (dots become
+    /// underscores), histograms as `_count`/`_sum` plus `quantile`
+    /// labels, stage timings as labeled seconds totals, toplists and
+    /// the ledger as labeled gauges. Deterministic: everything iterates
+    /// in `BTreeMap` order.
+    pub fn render_prometheus(&self) -> String {
+        fn metric(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 7);
+            out.push_str("govdns_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+            }
+            out
+        }
+        fn label(value: &str) -> String {
+            value.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let m = metric(name);
+            let _ = writeln!(out, "# TYPE {m} counter\n{m} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let m = metric(name);
+            let _ = writeln!(out, "# TYPE {m} gauge\n{m} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let m = metric(name);
+            let _ = writeln!(out, "# TYPE {m} summary");
+            for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                let _ = writeln!(out, "{m}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{m}_sum {}\n{m}_count {}", h.sum, h.count);
+        }
+        if !self.stages.is_empty() {
+            out.push_str("# TYPE govdns_stage_seconds_total counter\n");
+            for (name, s) in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "govdns_stage_seconds_total{{stage=\"{}\"}} {}",
+                    label(name),
+                    s.total_secs
+                );
+            }
+            out.push_str("# TYPE govdns_stage_spans_total counter\n");
+            for (name, s) in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "govdns_stage_spans_total{{stage=\"{}\"}} {}",
+                    label(name),
+                    s.count
+                );
+            }
+        }
+        if !self.toplists.is_empty() {
+            out.push_str("# TYPE govdns_toplist gauge\n");
+            for (name, entries) in &self.toplists {
+                for (rank, (entry_label, n)) in entries.iter().enumerate() {
+                    let _ = writeln!(
+                        out,
+                        "govdns_toplist{{list=\"{}\",rank=\"{}\",label=\"{}\"}} {n}",
+                        label(name),
+                        rank + 1,
+                        label(entry_label),
+                    );
+                }
+            }
+        }
+        if let Some(ledger) = &self.ledger {
+            let _ = writeln!(
+                out,
+                "# TYPE govdns_ledger_queries_total counter\ngovdns_ledger_queries_total {}",
+                ledger.total
+            );
+            out.push_str("# TYPE govdns_ledger_round_queries_total counter\n");
+            for (round, n) in &ledger.per_round {
+                let _ = writeln!(
+                    out,
+                    "govdns_ledger_round_queries_total{{round=\"{}\"}} {n}",
+                    label(round)
+                );
+            }
+            for (name, v) in [
+                ("govdns_ledger_max_qps", u64::from(ledger.max_qps)),
+                ("govdns_ledger_destination_cap", ledger.destination_cap),
+                ("govdns_ledger_distinct_destinations", ledger.distinct_destinations),
+                ("govdns_ledger_busiest_destination_queries", ledger.busiest_destination_queries),
+                ("govdns_ledger_destinations_at_cap", ledger.destinations_at_cap),
+            ] {
+                let _ = writeln!(out, "# TYPE {name} gauge\n{name} {v}");
+            }
+        }
+        out
+    }
+
     /// Serializes the snapshot as a JSON object (hand-rolled: the
     /// vendored `serde` is derive-only).
     pub fn to_json(&self) -> String {
@@ -513,6 +609,30 @@ mod tests {
         assert_eq!(a.toplists["busiest destinations"][0], ("10.0.0.1".to_owned(), 14));
         assert_eq!(a.ledger.as_ref().unwrap().total, 14);
         assert_eq!(a.ledger.as_ref().unwrap().per_round["round1"], 14);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = sample().render_prometheus();
+        for needle in [
+            "# TYPE govdns_probe_class_authoritative counter",
+            "govdns_probe_class_authoritative 5",
+            "# TYPE govdns_runner_workers gauge",
+            "govdns_runner_workers 4",
+            "govdns_net_rtt_ms{quantile=\"0.5\"}",
+            "govdns_net_rtt_ms_count 10",
+            "govdns_stage_seconds_total{stage=\"round1\"}",
+            "govdns_toplist{list=\"busiest destinations\",rank=\"1\",label=\"10.0.0.1\"} 7",
+            "govdns_ledger_queries_total 7",
+            "govdns_ledger_round_queries_total{round=\"round1\"} 7",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // Sample lines never carry a dot in the metric name.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let name = line.split(['{', ' ']).next().unwrap();
+            assert!(!name.contains('.'), "unsanitized metric name in {line:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,683 @@
+//! Deterministic JSON encoding for trace records.
+//!
+//! Same discipline as the journal's codec: a tiny hand-rolled JSON
+//! subset (`u64` numbers, strings, arrays, insertion-ordered objects)
+//! so the encoding is byte-stable across platforms and runs — the trace
+//! determinism CI gate literally `cmp`s two trace files. Decoding a
+//! record that passed its frame checksum but does not match the schema
+//! panics: that is a format bug, not data corruption.
+
+use std::net::Ipv4Addr;
+
+use crate::event::{DomainBlock, FlightDump, Step, TraceData, TraceEvent};
+
+/// The JSON subset trace records are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Num(u64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn encode(&self, out: &mut String) {
+        match self {
+            Value::Num(n) => out.push_str(&n.to_string()),
+            Value::Str(s) => encode_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.encode(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_string(k, out);
+                    out.push(':');
+                    v.encode(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    // Fast path: nothing to escape (UTF-8 continuation bytes are ≥ 0x80,
+    // so a byte scan is sound).
+    if s.bytes().all(|b| b >= 0x20 && b != b'"' && b != b'\\') {
+        out.push_str(s);
+    } else {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+    }
+    out.push('"');
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+// ---------------------------------------------------------------- parse
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser { bytes: s.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) {
+        self.skip_ws();
+        assert_eq!(self.bytes.get(self.pos), Some(&b), "trace record: expected {:?}", b as char);
+        self.pos += 1;
+    }
+
+    fn peek(&mut self) -> u8 {
+        self.skip_ws();
+        *self.bytes.get(self.pos).expect("trace record: truncated")
+    }
+
+    fn value(&mut self) -> Value {
+        match self.peek() {
+            b'"' => Value::Str(self.string()),
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == b']' {
+                    self.pos += 1;
+                    return Value::Arr(items);
+                }
+                loop {
+                    items.push(self.value());
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Value::Arr(items);
+                        }
+                        other => panic!("trace record: bad array separator {:?}", other as char),
+                    }
+                }
+            }
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek() == b'}' {
+                    self.pos += 1;
+                    return Value::Obj(fields);
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string();
+                    self.expect(b':');
+                    fields.push((key, self.value()));
+                    match self.peek() {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Value::Obj(fields);
+                        }
+                        other => panic!("trace record: bad object separator {:?}", other as char),
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                let start = self.pos;
+                while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                Value::Num(text.parse().expect("trace record: number overflow"))
+            }
+            other => panic!("trace record: unexpected byte {:?}", other as char),
+        }
+    }
+
+    fn string(&mut self) -> String {
+        self.expect(b'"');
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied().expect("trace record: unterminated string") {
+                b'"' => {
+                    self.pos += 1;
+                    return out;
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc =
+                        self.bytes.get(self.pos).copied().expect("trace record: truncated escape");
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .expect("trace record: bad \\u escape");
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(hex, 16).expect("trace record: bad \\u escape");
+                            out.push(char::from_u32(code).expect("trace record: bad \\u escape"));
+                        }
+                        other => panic!("trace record: bad escape {:?}", other as char),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the payload came from a
+                    // &str, so boundaries are sound).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn parse_json(s: &str) -> Value {
+    let mut p = Parser::new(s);
+    let v = p.value();
+    p.skip_ws();
+    assert_eq!(p.pos, p.bytes.len(), "trace record: trailing bytes");
+    v
+}
+
+// -------------------------------------------------------- field helpers
+
+fn need<'v>(fields: &'v [(String, Value)], key: &str) -> &'v Value {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or_else(|| panic!("trace record: missing field `{key}`"))
+}
+
+fn get<'v>(fields: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn need_num(fields: &[(String, Value)], key: &str) -> u64 {
+    match need(fields, key) {
+        Value::Num(n) => *n,
+        _ => panic!("trace record: field `{key}` is not a number"),
+    }
+}
+
+fn need_str(fields: &[(String, Value)], key: &str) -> String {
+    match need(fields, key) {
+        Value::Str(s) => s.clone(),
+        _ => panic!("trace record: field `{key}` is not a string"),
+    }
+}
+
+fn need_arr<'v>(fields: &'v [(String, Value)], key: &str) -> &'v [Value] {
+    match need(fields, key) {
+        Value::Arr(items) => items,
+        _ => panic!("trace record: field `{key}` is not an array"),
+    }
+}
+
+fn addr_from(v: &Value) -> Ipv4Addr {
+    match v {
+        Value::Str(s) => s.parse().expect("trace record: bad address"),
+        _ => panic!("trace record: address is not a string"),
+    }
+}
+
+// ---------------------------------------------------------- event codec
+
+/// Writes one event object straight into `out` — no intermediate value
+/// tree. Domain blocks dominate a trace file's bytes, and this runs on
+/// the worker thread for every sampled event, so it avoids the per-field
+/// key allocations of the generic [`Value`] path. Field order matches
+/// [`event_from_value`]'s expectations and must stay byte-stable.
+fn write_event(e: &TraceEvent, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"seq\":{},\"step\":\"{}\"", e.seq, e.step.as_str());
+    match &e.data {
+        TraceData::Send { dst, attempt } => {
+            let _ = write!(out, ",\"kind\":\"send\",\"dst\":\"{dst}\",\"attempt\":{attempt}");
+        }
+        TraceData::Fault { dst, attempt, verdict, extra_ms } => {
+            let _ = write!(out, ",\"kind\":\"fault\",\"dst\":\"{dst}\",\"attempt\":{attempt}");
+            out.push_str(",\"verdict\":");
+            encode_string(verdict, out);
+            let _ = write!(out, ",\"extra_ms\":{extra_ms}");
+        }
+        TraceData::Response { dst, attempt, class, ms } => {
+            let _ = write!(out, ",\"kind\":\"response\",\"dst\":\"{dst}\",\"attempt\":{attempt}");
+            out.push_str(",\"class\":");
+            encode_string(class, out);
+            let _ = write!(out, ",\"ms\":{ms}");
+        }
+        TraceData::Referral { cut, targets } => {
+            out.push_str(",\"kind\":\"referral\",\"cut\":");
+            encode_string(cut, out);
+            let _ = write!(out, ",\"targets\":{targets}");
+        }
+        TraceData::Resolve { host, addrs } => {
+            out.push_str(",\"kind\":\"resolve\",\"host\":");
+            encode_string(host, out);
+            out.push_str(",\"addrs\":[");
+            for (i, a) in addrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{a}\"");
+            }
+            out.push(']');
+        }
+        TraceData::Charge { round, dst } => {
+            out.push_str(",\"kind\":\"charge\",\"round\":");
+            encode_string(round, out);
+            if let Some(dst) = dst {
+                let _ = write!(out, ",\"dst\":\"{dst}\"");
+            }
+        }
+        TraceData::RetryDenied { dst } => {
+            let _ = write!(out, ",\"kind\":\"retry_denied\",\"dst\":\"{dst}\"");
+        }
+        TraceData::Backoff { dst, attempt, ms } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"backoff\",\"dst\":\"{dst}\",\"attempt\":{attempt},\"ms\":{ms}"
+            );
+        }
+        TraceData::BreakerDenied { dst } => {
+            let _ = write!(out, ",\"kind\":\"breaker_denied\",\"dst\":\"{dst}\"");
+        }
+        TraceData::BreakerTrial { dst } => {
+            let _ = write!(out, ",\"kind\":\"breaker_trial\",\"dst\":\"{dst}\"");
+        }
+        TraceData::Breaker { dst, transition } => {
+            let _ = write!(out, ",\"kind\":\"breaker\",\"dst\":\"{dst}\"");
+            out.push_str(",\"transition\":");
+            encode_string(transition, out);
+        }
+        TraceData::Note { text } => {
+            out.push_str(",\"kind\":\"note\",\"text\":");
+            encode_string(text, out);
+        }
+    }
+    out.push('}');
+}
+
+fn write_events(events: &[TraceEvent], out: &mut String) {
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_event(e, out);
+    }
+    out.push(']');
+}
+
+/// Encodes a `domain` record from a borrowed block — the per-domain hot
+/// path [`Tracer::submit`](crate::Tracer::submit) runs on the worker
+/// thread, outside the sink lock.
+pub(crate) fn encode_domain(block: &DomainBlock) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + block.events.len() * 96);
+    let _ = write!(out, "{{\"kind\":\"domain\",\"index\":{},\"domain\":", block.index);
+    encode_string(&block.domain, &mut out);
+    if block.dropped > 0 {
+        let _ = write!(out, ",\"dropped\":{}", block.dropped);
+    }
+    out.push_str(",\"events\":");
+    write_events(&block.events, &mut out);
+    out.push('}');
+    out
+}
+
+/// Encodes a `dump` record from a borrowed flight dump (worker-side,
+/// at trigger time).
+pub(crate) fn encode_dump(dump: &FlightDump) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + dump.events.len() * 96);
+    out.push_str("{\"kind\":\"dump\",\"trigger\":");
+    encode_string(&dump.trigger, &mut out);
+    if let Some(index) = dump.index {
+        let _ = write!(out, ",\"index\":{index}");
+    }
+    if let Some(domain) = &dump.domain {
+        out.push_str(",\"domain\":");
+        encode_string(domain, &mut out);
+    }
+    let _ = write!(out, ",\"ord\":{}", dump.ord);
+    out.push_str(",\"events\":");
+    write_events(&dump.events, &mut out);
+    out.push('}');
+    out
+}
+
+fn event_from_value(v: &Value) -> TraceEvent {
+    let Value::Obj(fields) = v else { panic!("trace record: event is not an object") };
+    let seq = u32::try_from(need_num(fields, "seq")).expect("trace record: seq overflow");
+    let step_label = need_str(fields, "step");
+    let step = Step::parse(&step_label)
+        .unwrap_or_else(|| panic!("trace record: unknown step `{step_label}`"));
+    let kind = need_str(fields, "kind");
+    let attempt = |key: &str| u32::try_from(need_num(fields, key)).expect("attempt overflow");
+    let data = match kind.as_str() {
+        "send" => {
+            TraceData::Send { dst: addr_from(need(fields, "dst")), attempt: attempt("attempt") }
+        }
+        "fault" => TraceData::Fault {
+            dst: addr_from(need(fields, "dst")),
+            attempt: attempt("attempt"),
+            verdict: need_str(fields, "verdict"),
+            extra_ms: need_num(fields, "extra_ms"),
+        },
+        "response" => TraceData::Response {
+            dst: addr_from(need(fields, "dst")),
+            attempt: attempt("attempt"),
+            class: need_str(fields, "class"),
+            ms: need_num(fields, "ms"),
+        },
+        "referral" => TraceData::Referral {
+            cut: need_str(fields, "cut"),
+            targets: need_num(fields, "targets"),
+        },
+        "resolve" => TraceData::Resolve {
+            host: need_str(fields, "host"),
+            addrs: need_arr(fields, "addrs").iter().map(addr_from).collect(),
+        },
+        "charge" => TraceData::Charge {
+            round: need_str(fields, "round"),
+            dst: get(fields, "dst").map(addr_from),
+        },
+        "retry_denied" => TraceData::RetryDenied { dst: addr_from(need(fields, "dst")) },
+        "backoff" => TraceData::Backoff {
+            dst: addr_from(need(fields, "dst")),
+            attempt: attempt("attempt"),
+            ms: need_num(fields, "ms"),
+        },
+        "breaker_denied" => TraceData::BreakerDenied { dst: addr_from(need(fields, "dst")) },
+        "breaker_trial" => TraceData::BreakerTrial { dst: addr_from(need(fields, "dst")) },
+        "breaker" => TraceData::Breaker {
+            dst: addr_from(need(fields, "dst")),
+            transition: need_str(fields, "transition"),
+        },
+        "note" => TraceData::Note { text: need_str(fields, "text") },
+        other => panic!("trace record: unknown event kind `{other}`"),
+    };
+    TraceEvent { seq, step, data }
+}
+
+// --------------------------------------------------------- record codec
+
+/// One framed record in a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// File header: always the first frame.
+    Header {
+        /// Format version (currently 1).
+        version: u64,
+        /// Sampling seed.
+        seed: u64,
+        /// Sampling rate in parts per million.
+        sample_ppm: u64,
+        /// Flight-recorder ring capacity (events per domain).
+        flight_capacity: u64,
+        /// Campaign domain count.
+        domains: u64,
+    },
+    /// A runner stage boundary (`begin`/`end`), written single-threaded.
+    Stage {
+        /// Stage name (`round1`, ...).
+        name: String,
+        /// `begin` or `end`.
+        mark: String,
+    },
+    /// The campaign resumed from a journal at this domain index.
+    Resume {
+        /// First freshly probed domain index.
+        from: u64,
+    },
+    /// All events of one sampled domain.
+    Domain(DomainBlock),
+    /// A flight-recorder snapshot.
+    Dump(FlightDump),
+    /// Trailer: probing finished and the sink was flushed.
+    Complete {
+        /// Sampled domain blocks written.
+        domains: u64,
+        /// Events written across all blocks.
+        events: u64,
+        /// Flight dumps written.
+        dumps: u64,
+    },
+}
+
+impl TraceRecord {
+    /// Byte-stable JSON encoding (one line, no whitespace).
+    pub fn encode(&self) -> String {
+        let value = match self {
+            TraceRecord::Header { version, seed, sample_ppm, flight_capacity, domains } => {
+                obj(vec![
+                    ("kind", Value::Str("header".into())),
+                    ("version", Value::Num(*version)),
+                    ("seed", Value::Num(*seed)),
+                    ("sample_ppm", Value::Num(*sample_ppm)),
+                    ("flight_capacity", Value::Num(*flight_capacity)),
+                    ("domains", Value::Num(*domains)),
+                ])
+            }
+            TraceRecord::Stage { name, mark } => obj(vec![
+                ("kind", Value::Str("stage".into())),
+                ("name", Value::Str(name.clone())),
+                ("mark", Value::Str(mark.clone())),
+            ]),
+            TraceRecord::Resume { from } => {
+                obj(vec![("kind", Value::Str("resume".into())), ("from", Value::Num(*from))])
+            }
+            TraceRecord::Domain(block) => return encode_domain(block),
+            TraceRecord::Dump(dump) => return encode_dump(dump),
+            TraceRecord::Complete { domains, events, dumps } => obj(vec![
+                ("kind", Value::Str("complete".into())),
+                ("domains", Value::Num(*domains)),
+                ("events", Value::Num(*events)),
+                ("dumps", Value::Num(*dumps)),
+            ]),
+        };
+        let mut out = String::new();
+        value.encode(&mut out);
+        out
+    }
+
+    /// Decodes a record that already passed its frame checksum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any schema mismatch — a checksummed-but-undecodable
+    /// record means a format bug, not torn bytes.
+    pub fn decode(json: &str) -> TraceRecord {
+        let Value::Obj(fields) = parse_json(json) else { panic!("trace record: not an object") };
+        let kind = need_str(&fields, "kind");
+        match kind.as_str() {
+            "header" => TraceRecord::Header {
+                version: need_num(&fields, "version"),
+                seed: need_num(&fields, "seed"),
+                sample_ppm: need_num(&fields, "sample_ppm"),
+                flight_capacity: need_num(&fields, "flight_capacity"),
+                domains: need_num(&fields, "domains"),
+            },
+            "stage" => TraceRecord::Stage {
+                name: need_str(&fields, "name"),
+                mark: need_str(&fields, "mark"),
+            },
+            "resume" => TraceRecord::Resume { from: need_num(&fields, "from") },
+            "domain" => TraceRecord::Domain(DomainBlock {
+                index: need_num(&fields, "index"),
+                domain: need_str(&fields, "domain"),
+                dropped: get(&fields, "dropped")
+                    .map(|v| match v {
+                        Value::Num(n) => u32::try_from(*n).expect("dropped overflow"),
+                        _ => panic!("trace record: `dropped` is not a number"),
+                    })
+                    .unwrap_or(0),
+                events: need_arr(&fields, "events").iter().map(event_from_value).collect(),
+            }),
+            "dump" => TraceRecord::Dump(FlightDump {
+                trigger: need_str(&fields, "trigger"),
+                index: get(&fields, "index").map(|v| match v {
+                    Value::Num(n) => *n,
+                    _ => panic!("trace record: `index` is not a number"),
+                }),
+                domain: get(&fields, "domain").map(|v| match v {
+                    Value::Str(s) => s.clone(),
+                    _ => panic!("trace record: `domain` is not a string"),
+                }),
+                ord: u32::try_from(need_num(&fields, "ord")).expect("ord overflow"),
+                events: need_arr(&fields, "events").iter().map(event_from_value).collect(),
+            }),
+            "complete" => TraceRecord::Complete {
+                domains: need_num(&fields, "domains"),
+                events: need_num(&fields, "events"),
+                dumps: need_num(&fields, "dumps"),
+            },
+            other => panic!("trace record: unknown kind `{other}`"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Step;
+
+    fn sample_block() -> DomainBlock {
+        DomainBlock {
+            index: 7,
+            domain: "portal.gov.zz".into(),
+            dropped: 0,
+            events: vec![
+                TraceEvent {
+                    seq: 0,
+                    step: Step::ParentNs,
+                    data: TraceData::Charge { round: "round1".into(), dst: None },
+                },
+                TraceEvent {
+                    seq: 1,
+                    step: Step::ParentNs,
+                    data: TraceData::Send { dst: "198.41.0.4".parse().unwrap(), attempt: 0 },
+                },
+                TraceEvent {
+                    seq: 2,
+                    step: Step::Referral,
+                    data: TraceData::Referral { cut: "gov.zz".into(), targets: 2 },
+                },
+                TraceEvent {
+                    seq: 3,
+                    step: Step::AddrResolve,
+                    data: TraceData::Resolve {
+                        host: "ns1.gov.zz".into(),
+                        addrs: vec!["192.0.2.1".parse().unwrap()],
+                    },
+                },
+                TraceEvent {
+                    seq: 4,
+                    step: Step::ChildNs,
+                    data: TraceData::Fault {
+                        dst: "192.0.2.1".parse().unwrap(),
+                        attempt: 0,
+                        verdict: "flap".into(),
+                        extra_ms: 0,
+                    },
+                },
+                TraceEvent {
+                    seq: 5,
+                    step: Step::ChildNs,
+                    data: TraceData::Response {
+                        dst: "192.0.2.1".parse().unwrap(),
+                        attempt: 0,
+                        class: "timeout".into(),
+                        ms: 900,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_byte_identically() {
+        let records = vec![
+            TraceRecord::Header {
+                version: 1,
+                seed: 7,
+                sample_ppm: 1_000_000,
+                flight_capacity: 512,
+                domains: 600,
+            },
+            TraceRecord::Stage { name: "round1".into(), mark: "begin".into() },
+            TraceRecord::Resume { from: 150 },
+            TraceRecord::Domain(sample_block()),
+            TraceRecord::Dump(FlightDump {
+                trigger: "retry_exhausted".into(),
+                index: Some(7),
+                domain: Some("portal.gov.zz".into()),
+                ord: 0,
+                events: sample_block().events,
+            }),
+            TraceRecord::Dump(FlightDump {
+                trigger: "analysis_panic:providers".into(),
+                index: None,
+                domain: None,
+                ord: 0,
+                events: vec![],
+            }),
+            TraceRecord::Complete { domains: 600, events: 40_000, dumps: 3 },
+        ];
+        for r in records {
+            let json = r.encode();
+            let back = TraceRecord::decode(&json);
+            assert_eq!(back, r);
+            assert_eq!(back.encode(), json, "re-encode not byte-identical");
+        }
+    }
+
+    #[test]
+    fn strings_with_escapes_survive() {
+        let r = TraceRecord::Stage { name: "a\"b\\c\nd\te\u{1}".into(), mark: "begin".into() };
+        assert_eq!(TraceRecord::decode(&r.encode()), r);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kind")]
+    fn unknown_kind_panics() {
+        TraceRecord::decode("{\"kind\":\"mystery\"}");
+    }
+}

@@ -1,0 +1,122 @@
+//! The per-worker event ring — the flight recorder's bounded memory.
+//!
+//! One ring holds the events of the domain its worker is currently
+//! probing. Below capacity it is a plain append-only log (no reorder,
+//! no drop — the proptest invariant); at capacity it discards the
+//! oldest event, so a trigger always dumps the *last* N events and a
+//! pathological domain cannot grow memory without bound. Sequence
+//! numbers are assigned at push time and never reused, so an overflow
+//! is visible as a gap at the front of the block.
+
+use std::collections::VecDeque;
+
+use crate::event::{Step, TraceData, TraceEvent};
+
+/// Bounded, ordered store for one domain's trace events.
+#[derive(Debug)]
+pub struct EventRing {
+    cap: usize,
+    next_seq: u32,
+    buf: VecDeque<TraceEvent>,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        EventRing { cap, next_seq: 0, buf: VecDeque::with_capacity(cap.min(64)) }
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events discarded since the last reset (pushes minus held).
+    pub fn dropped(&self) -> u32 {
+        self.next_seq - self.buf.len() as u32
+    }
+
+    /// Appends an event, assigning the next sequence number; discards
+    /// the oldest event if the ring is full.
+    pub fn push(&mut self, step: Step, data: TraceData) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(TraceEvent { seq: self.next_seq, step, data });
+        self.next_seq += 1;
+    }
+
+    /// A copy of the held events, oldest first (what a flight dump
+    /// records).
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.buf.iter().cloned().collect()
+    }
+
+    /// Drains the held events, oldest first, leaving the ring empty but
+    /// keeping the sequence counter (callers reset per domain).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Clears the ring and restarts sequence numbering for a new
+    /// domain.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.next_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(ring: &mut EventRing, text: &str) {
+        ring.push(Step::ParentNs, TraceData::Note { text: text.into() });
+    }
+
+    #[test]
+    fn below_capacity_nothing_drops_or_reorders() {
+        let mut ring = EventRing::new(4);
+        for i in 0..4 {
+            note(&mut ring, &format!("e{i}"));
+        }
+        assert_eq!(ring.dropped(), 0);
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 4);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq as usize, i);
+        }
+    }
+
+    #[test]
+    fn overflow_discards_oldest_and_keeps_order() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5 {
+            note(&mut ring, &format!("e{i}"));
+        }
+        assert_eq!(ring.dropped(), 2);
+        let seqs: Vec<u32> = ring.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn reset_restarts_numbering() {
+        let mut ring = EventRing::new(2);
+        note(&mut ring, "a");
+        ring.reset();
+        note(&mut ring, "b");
+        assert_eq!(ring.snapshot()[0].seq, 0);
+        assert_eq!(ring.dropped(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic whole-domain sampling.
+//!
+//! The sampling verdict is a pure function of `(trace seed,
+//! domain-fnv64)`: no counters, no RNG state, no thread identity. A
+//! domain is either fully traced or fully skipped, and the verdict is
+//! the same whether one worker or eight evaluate it — which is the
+//! whole determinism argument for byte-identical trace files across
+//! worker counts.
+
+/// SplitMix64 finalizer — the same stateless mixer the simulated
+/// network uses for fault and loss verdicts.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Parts-per-million denominator for sampling rates.
+pub const SAMPLE_FULL: u32 = 1_000_000;
+
+/// Pure `(seed, domain-fnv64) → keep/skip` sampler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSampler {
+    seed: u64,
+    sample_ppm: u32,
+}
+
+impl TraceSampler {
+    /// A sampler keeping `sample_ppm` parts per million of domains
+    /// under `seed` (values ≥ [`SAMPLE_FULL`] keep everything).
+    pub fn new(seed: u64, sample_ppm: u32) -> Self {
+        TraceSampler { seed, sample_ppm }
+    }
+
+    /// The sampling verdict for a domain, given its
+    /// [`DomainName::fnv64`](govdns_model::DomainName::fnv64) hash.
+    pub fn keep(&self, domain_fnv64: u64) -> bool {
+        if self.sample_ppm >= SAMPLE_FULL {
+            return true;
+        }
+        if self.sample_ppm == 0 {
+            return false;
+        }
+        mix(self.seed ^ domain_fnv64) % u64::from(SAMPLE_FULL) < u64::from(self.sample_ppm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_are_total() {
+        let all = TraceSampler::new(1, SAMPLE_FULL);
+        let none = TraceSampler::new(1, 0);
+        for h in 0..100u64 {
+            assert!(all.keep(h));
+            assert!(!none.keep(h));
+        }
+    }
+
+    #[test]
+    fn rate_lands_in_the_ballpark() {
+        let half = TraceSampler::new(9, SAMPLE_FULL / 2);
+        let kept = (0..10_000u64).filter(|&h| half.keep(mix(h))).count();
+        assert!((4_000..6_000).contains(&kept), "50% sampler kept {kept}/10000");
+    }
+
+    #[test]
+    fn verdicts_are_pure() {
+        let s = TraceSampler::new(42, 123_456);
+        for h in 0..500u64 {
+            assert_eq!(s.keep(h), s.keep(h));
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The trace sink: per-worker recorders feeding one ordered file.
+//!
+//! **Hot-path discipline.** Probing workers only ever touch their own
+//! [`WorkerTracer`] — a plain ring buffer, no locks, no atomics. The
+//! shared [`Tracer`] is locked exactly once per *domain* (when a worker
+//! submits its finished block) and once per flight dump, never per
+//! query — and the JSON encoding + framing of blocks and dumps happens
+//! on the worker thread *before* the lock is taken, so the sink lock
+//! only ever covers a buffered byte append. That keeps the traced hot
+//! path within the campaign bench's overhead gate.
+//!
+//! **Determinism.** The file must be byte-identical at any worker
+//! count, so blocks cannot be written in completion order. The sink
+//! keeps a reorder buffer keyed by campaign domain index and drains it
+//! in index order; unsampled domains submit an empty placeholder so the
+//! drain never stalls. Campaign-level frames (header, stage marks,
+//! resume marker, completion trailer, analysis-panic dumps) are written
+//! only from single-threaded runner sections, so their placement is
+//! fixed too. Flight dumps are collected during the run and written at
+//! [`Tracer::finish`] sorted by `(domain index, ordinal)`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use govdns_model::DomainName;
+
+use crate::codec::TraceRecord;
+use crate::event::{DomainBlock, FlightDump, Step, TraceData};
+use crate::frame::write_frame;
+use crate::ring::EventRing;
+use crate::sample::{TraceSampler, SAMPLE_FULL};
+
+/// Default flight-recorder ring capacity (events per domain).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
+
+/// Where and how to trace a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSpec {
+    /// Trace file path (created or truncated).
+    pub path: PathBuf,
+    /// Sampling seed — independent of the world and chaos seeds.
+    pub seed: u64,
+    /// Sampling rate in parts per million of domains (1_000_000 traces
+    /// everything).
+    pub sample_ppm: u32,
+    /// Flight-recorder ring capacity, events per domain.
+    pub flight_capacity: usize,
+}
+
+impl TraceSpec {
+    /// Full-fidelity tracing to `path` (sample everything, seed 0,
+    /// default ring capacity).
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        TraceSpec {
+            path: path.into(),
+            seed: 0,
+            sample_ppm: SAMPLE_FULL,
+            flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+        }
+    }
+
+    /// Sets the sampling seed (builder style).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the sampling rate in parts per million (builder style).
+    #[must_use]
+    pub fn with_sample_ppm(mut self, ppm: u32) -> Self {
+        self.sample_ppm = ppm;
+        self
+    }
+}
+
+struct Sink {
+    writer: io::BufWriter<fs::File>,
+    /// Next domain index the file is waiting for.
+    next: u64,
+    /// Blocks that finished ahead of `next` (`None` = unsampled), each
+    /// paired with its frame bytes, encoded worker-side.
+    pending: BTreeMap<u64, Option<(DomainBlock, Vec<u8>)>>,
+    domains_written: u64,
+    events_written: u64,
+    /// The highest-index sampled block written so far — the context an
+    /// analysis-panic dump records.
+    last_block: Option<DomainBlock>,
+    finished: bool,
+}
+
+impl Sink {
+    fn frame(&mut self, record: &TraceRecord) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &record.encode());
+        self.writer.write_all(&buf).expect("trace sink write failed");
+    }
+
+    fn drain(&mut self) {
+        while let Some(slot) = self.pending.remove(&self.next) {
+            if let Some((block, bytes)) = slot {
+                self.domains_written += 1;
+                self.events_written += block.events.len() as u64;
+                self.writer.write_all(&bytes).expect("trace sink write failed");
+                self.last_block = Some(block);
+            }
+            self.next += 1;
+        }
+    }
+}
+
+/// Frames a pre-encoded record payload (worker-side; no lock held).
+fn framed(payload: &str) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(payload.len() + 32);
+    write_frame(&mut buf, payload);
+    buf
+}
+
+/// The shared trace sink for one campaign. Create with
+/// [`Tracer::create`], hand each worker a [`WorkerTracer`] via
+/// [`Tracer::worker`], and close with [`Tracer::finish`].
+pub struct Tracer {
+    spec: TraceSpec,
+    sampler: TraceSampler,
+    sink: Mutex<Sink>,
+    /// Flight dumps with their frame bytes (encoded at record time, on
+    /// the triggering worker's thread).
+    dumps: Mutex<Vec<(FlightDump, Vec<u8>)>>,
+    analysis_dumps: Mutex<u32>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer").field("spec", &self.spec).finish_non_exhaustive()
+    }
+}
+
+impl Tracer {
+    /// Opens the trace file, writes the header frame (and a resume
+    /// marker when `resume_from > 0`), and returns the shared sink.
+    pub fn create(spec: &TraceSpec, domains: u64, resume_from: u64) -> io::Result<Arc<Tracer>> {
+        let file = fs::File::create(&spec.path)?;
+        let tracer = Tracer {
+            spec: spec.clone(),
+            sampler: TraceSampler::new(spec.seed, spec.sample_ppm),
+            sink: Mutex::new(Sink {
+                writer: io::BufWriter::new(file),
+                next: resume_from,
+                pending: BTreeMap::new(),
+                domains_written: 0,
+                events_written: 0,
+                last_block: None,
+                finished: false,
+            }),
+            dumps: Mutex::new(Vec::new()),
+            analysis_dumps: Mutex::new(0),
+        };
+        {
+            let mut sink = tracer.sink.lock();
+            sink.frame(&TraceRecord::Header {
+                version: 1,
+                seed: spec.seed,
+                sample_ppm: u64::from(spec.sample_ppm),
+                flight_capacity: spec.flight_capacity as u64,
+                domains,
+            });
+            if resume_from > 0 {
+                sink.frame(&TraceRecord::Resume { from: resume_from });
+            }
+        }
+        Ok(Arc::new(tracer))
+    }
+
+    /// The spec the tracer was created with.
+    pub fn spec(&self) -> &TraceSpec {
+        &self.spec
+    }
+
+    /// The sampling verdict for a domain hash (pure; thread-safe).
+    pub fn keep(&self, domain_fnv64: u64) -> bool {
+        self.sampler.keep(domain_fnv64)
+    }
+
+    /// A per-worker recorder bound to this sink.
+    pub fn worker(self: &Arc<Self>) -> WorkerTracer {
+        WorkerTracer {
+            tracer: Arc::clone(self),
+            ring: EventRing::new(self.spec.flight_capacity),
+            index: 0,
+            domain: String::new(),
+            sampled: false,
+            active: false,
+            step: Step::ParentNs,
+            dump_ord: 0,
+            dumped_triggers: Vec::new(),
+        }
+    }
+
+    /// Writes a stage boundary frame. Call only from single-threaded
+    /// runner sections, where its file position is deterministic.
+    pub fn stage(&self, name: &str, mark: &str) {
+        self.sink
+            .lock()
+            .frame(&TraceRecord::Stage { name: name.to_string(), mark: mark.to_string() });
+    }
+
+    /// Submits one domain's finished block (`None` for an unsampled
+    /// domain — the placeholder keeps the in-order drain moving). The
+    /// block is encoded and framed on the calling thread; the sink lock
+    /// only covers the buffered append.
+    pub fn submit(&self, index: u64, block: Option<DomainBlock>) {
+        let slot = block.map(|b| {
+            let bytes = framed(&crate::codec::encode_domain(&b));
+            (b, bytes)
+        });
+        let mut sink = self.sink.lock();
+        sink.pending.insert(index, slot);
+        sink.drain();
+    }
+
+    /// Records a flight dump (written to the file at [`finish`], sorted
+    /// by `(domain index, ordinal)`). Encoded on the calling thread.
+    ///
+    /// [`finish`]: Tracer::finish
+    pub fn record_dump(&self, dump: FlightDump) {
+        let bytes = framed(&crate::codec::encode_dump(&dump));
+        self.dumps.lock().push((dump, bytes));
+    }
+
+    /// The flight dumps recorded so far, in trigger order.
+    pub fn dumps(&self) -> Vec<FlightDump> {
+        self.dumps.lock().iter().map(|(dump, _)| dump.clone()).collect()
+    }
+
+    /// Writes the sorted flight dumps and the completion trailer, then
+    /// flushes. Idempotent.
+    pub fn finish(&self) {
+        let mut sink = self.sink.lock();
+        if sink.finished {
+            return;
+        }
+        sink.drain();
+        let mut dumps = self.dumps.lock();
+        dumps.sort_by(|a, b| {
+            let ka = (a.0.index.unwrap_or(u64::MAX), a.0.ord);
+            let kb = (b.0.index.unwrap_or(u64::MAX), b.0.ord);
+            ka.cmp(&kb)
+        });
+        let n = dumps.len() as u64;
+        for (_, bytes) in dumps.iter() {
+            sink.writer.write_all(bytes).expect("trace sink write failed");
+        }
+        drop(dumps);
+        let (domains, events) = (sink.domains_written, sink.events_written);
+        sink.frame(&TraceRecord::Complete { domains, events, dumps: n });
+        sink.writer.flush().expect("trace sink flush failed");
+        sink.finished = true;
+    }
+
+    /// Records and appends an analysis-panic dump: the flight
+    /// recorder's view at the time probing ended (the last sampled
+    /// block), tagged with the dead stage. May be called after
+    /// [`finish`] — the frame is appended and flushed immediately.
+    ///
+    /// [`finish`]: Tracer::finish
+    pub fn analysis_dump(&self, stage: &str) {
+        let mut ord = self.analysis_dumps.lock();
+        let mut sink = self.sink.lock();
+        let events = sink.last_block.as_ref().map(|b| b.events.clone()).unwrap_or_default();
+        let dump = FlightDump {
+            trigger: format!("analysis_panic:{stage}"),
+            index: None,
+            domain: None,
+            ord: *ord,
+            events,
+        };
+        *ord += 1;
+        let bytes = framed(&crate::codec::encode_dump(&dump));
+        sink.writer.write_all(&bytes).expect("trace sink write failed");
+        sink.writer.flush().expect("trace sink flush failed");
+        drop(sink);
+        self.dumps.lock().push((dump, bytes));
+    }
+}
+
+/// One worker's private recorder: a ring for the domain being probed,
+/// plus the bookkeeping to submit finished blocks in campaign order.
+///
+/// Not `Sync` by design — each worker owns exactly one.
+#[derive(Debug)]
+pub struct WorkerTracer {
+    tracer: Arc<Tracer>,
+    ring: EventRing,
+    index: u64,
+    domain: String,
+    sampled: bool,
+    active: bool,
+    step: Step,
+    dump_ord: u32,
+    /// Triggers already dumped for the current domain, for
+    /// [`dump_once`](WorkerTracer::dump_once).
+    dumped_triggers: Vec<String>,
+}
+
+impl WorkerTracer {
+    /// Starts recording domain `index`. Decides sampling from the
+    /// domain's stable hash; an unsampled domain records nothing but
+    /// still submits its placeholder at [`end`](WorkerTracer::end).
+    pub fn begin(&mut self, index: u64, domain: &DomainName) {
+        if self.active {
+            self.end();
+        }
+        self.sampled = self.tracer.keep(domain.fnv64());
+        self.domain = if self.sampled { domain.to_string() } else { String::new() };
+        self.index = index;
+        self.ring.reset();
+        self.step = Step::ParentNs;
+        self.dump_ord = 0;
+        self.dumped_triggers.clear();
+        self.active = true;
+    }
+
+    /// Whether events are currently being recorded (active + sampled) —
+    /// callers use this to skip building event payloads entirely.
+    pub fn recording(&self) -> bool {
+        self.active && self.sampled
+    }
+
+    /// The protocol step subsequent events are tagged with.
+    pub fn step(&self) -> Step {
+        self.step
+    }
+
+    /// Moves to a new protocol step.
+    pub fn set_step(&mut self, step: Step) {
+        self.step = step;
+    }
+
+    /// Records one event at the current step.
+    pub fn emit(&mut self, data: TraceData) {
+        if self.recording() {
+            let step = self.step;
+            self.ring.push(step, data);
+        }
+    }
+
+    /// Records one event at an explicit step without moving the cursor.
+    pub fn emit_at(&mut self, step: Step, data: TraceData) {
+        if self.recording() {
+            self.ring.push(step, data);
+        }
+    }
+
+    /// Snapshots the ring into a flight dump (breaker trip, retry
+    /// exhaustion, REFUSED burst). No-op for unsampled domains, so dump
+    /// contents stay deterministic under sampling.
+    pub fn dump(&mut self, trigger: &str) {
+        if !self.recording() {
+            return;
+        }
+        let dump = FlightDump {
+            trigger: trigger.to_string(),
+            index: Some(self.index),
+            domain: Some(self.domain.clone()),
+            ord: self.dump_ord,
+            events: self.ring.snapshot(),
+        };
+        self.dump_ord += 1;
+        self.dumped_triggers.push(trigger.to_string());
+        self.tracer.record_dump(dump);
+    }
+
+    /// Like [`dump`](WorkerTracer::dump), but at most once per trigger
+    /// per domain — for high-frequency triggers (retry exhaustion,
+    /// REFUSED bursts) where the first occurrence carries the incident
+    /// context and repeats would only duplicate ring contents into the
+    /// file.
+    pub fn dump_once(&mut self, trigger: &str) {
+        if self.dumped_triggers.iter().any(|t| t == trigger) {
+            return;
+        }
+        self.dump(trigger);
+    }
+
+    /// Closes the current domain and submits its block (or placeholder)
+    /// to the ordered sink.
+    pub fn end(&mut self) {
+        if !self.active {
+            return;
+        }
+        let block = if self.sampled {
+            Some(DomainBlock {
+                index: self.index,
+                domain: std::mem::take(&mut self.domain),
+                dropped: self.ring.dropped(),
+                events: self.ring.take(),
+            })
+        } else {
+            None
+        };
+        self.tracer.submit(self.index, block);
+        self.active = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::read::read_trace;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("govdns-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn name(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn out_of_order_submission_lands_in_index_order() {
+        let path = tmp("reorder.trace");
+        let tracer = Tracer::create(&TraceSpec::new(&path), 3, 0).unwrap();
+        let mut w1 = tracer.worker();
+        let mut w2 = tracer.worker();
+        // Worker 2 finishes domain 2 before worker 1 finishes 0 and 1.
+        w2.begin(2, &name("c.gov.zz"));
+        w2.emit(TraceData::Note { text: "late".into() });
+        w2.end();
+        w1.begin(0, &name("a.gov.zz"));
+        w1.emit(TraceData::Note { text: "first".into() });
+        w1.end();
+        w1.begin(1, &name("b.gov.zz"));
+        w1.end();
+        tracer.stage("round1", "end");
+        tracer.finish();
+
+        let log = read_trace(&path).unwrap();
+        assert!(log.completed);
+        assert_eq!(log.dropped_bytes, 0);
+        let indices: Vec<u64> = log.domains.iter().map(|b| b.index).collect();
+        assert_eq!(indices, vec![0, 1, 2]);
+        assert_eq!(log.domains[0].domain, "a.gov.zz");
+    }
+
+    #[test]
+    fn dumps_are_sorted_and_counted() {
+        let path = tmp("dumps.trace");
+        let tracer = Tracer::create(&TraceSpec::new(&path), 2, 0).unwrap();
+        let mut w = tracer.worker();
+        w.begin(1, &name("b.gov.zz"));
+        w.emit(TraceData::Note { text: "x".into() });
+        w.dump("retry_exhausted");
+        w.end();
+        w.begin(0, &name("a.gov.zz"));
+        w.dump("breaker_trip");
+        w.end();
+        tracer.finish();
+        tracer.analysis_dump("providers");
+
+        let log = read_trace(&path).unwrap();
+        assert_eq!(log.dumps.len(), 3);
+        assert_eq!(log.dumps[0].trigger, "breaker_trip");
+        assert_eq!(log.dumps[0].index, Some(0));
+        assert_eq!(log.dumps[1].trigger, "retry_exhausted");
+        assert_eq!(log.dumps[1].events.len(), 1);
+        assert_eq!(log.dumps[2].trigger, "analysis_panic:providers");
+    }
+
+    #[test]
+    fn unsampled_domains_leave_no_blocks_but_do_not_stall() {
+        let path = tmp("sampled.trace");
+        let spec = TraceSpec::new(&path).with_seed(5).with_sample_ppm(0);
+        let tracer = Tracer::create(&spec, 2, 0).unwrap();
+        let mut w = tracer.worker();
+        for i in 0..2 {
+            w.begin(i, &name("a.gov.zz"));
+            w.emit(TraceData::Note { text: "ignored".into() });
+            w.end();
+        }
+        tracer.finish();
+        let log = read_trace(&path).unwrap();
+        assert!(log.completed);
+        assert!(log.domains.is_empty());
+    }
+}

@@ -14,7 +14,9 @@
 //! * [`world`] — the calibrated synthetic e-government world generator,
 //! * [`core`] — the measurement pipeline and the §IV analyses,
 //! * [`telemetry`] — pipeline observability: metrics, span timing, and
-//!   the §III-D query ledger.
+//!   the §III-D query ledger,
+//! * [`trace`] — the flight recorder: per-query trace events, causal
+//!   domain timelines, and last-N dumps on breaker trips and panics.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use govdns_model as model;
 pub use govdns_pdns as pdns;
 pub use govdns_simnet as simnet;
 pub use govdns_telemetry as telemetry;
+pub use govdns_trace as trace;
 pub use govdns_world as world;
 
 /// The types most programs need.
@@ -52,5 +55,6 @@ pub mod prelude {
     pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
     pub use govdns_simnet::ChaosProfile;
     pub use govdns_telemetry::{ProgressEvent, Registry, TelemetrySnapshot};
+    pub use govdns_trace::{read_trace, TraceLog, TraceSpec};
     pub use govdns_world::{World, WorldConfig, WorldGenerator};
 }

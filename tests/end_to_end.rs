@@ -650,6 +650,136 @@ mod crash_safety {
     }
 }
 
+mod trace {
+    use super::*;
+    use govdns::core::BreakerPolicy;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("govdns-e2e-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// A chaos configuration whose trace is worker-count invariant:
+    /// the shared retry budget, REFUSED-burst ordinals, and breaker
+    /// races are the only interleaving-sensitive inputs, so all are off.
+    fn invariant_config(workers: usize, trace: Option<TraceSpec>) -> RunnerConfig {
+        RunnerConfig {
+            workers,
+            retry: RetryPolicy { per_destination_budget: None, ..RetryPolicy::adaptive() },
+            chaos: Some(ChaosSpec { profile: ChaosProfile::Flaky, seed: 7 }),
+            breaker: BreakerPolicy::none(),
+            trace,
+            ..RunnerConfig::default()
+        }
+    }
+
+    fn run(config: RunnerConfig) -> govdns::core::MeasurementDataset {
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        govdns::core::run_campaign(&campaign, config)
+    }
+
+    /// The tentpole determinism contract: identically seeded campaigns
+    /// write byte-identical trace files at any worker count.
+    #[test]
+    fn trace_files_are_byte_identical_across_worker_counts() {
+        let path_1 = tmp("w1.trace");
+        let path_4 = tmp("w4.trace");
+        run(invariant_config(1, Some(TraceSpec::new(&path_1).with_seed(7))));
+        run(invariant_config(4, Some(TraceSpec::new(&path_4).with_seed(7))));
+        let bytes_1 = std::fs::read(&path_1).unwrap();
+        let bytes_4 = std::fs::read(&path_4).unwrap();
+        assert!(!bytes_1.is_empty(), "empty trace file");
+        assert_eq!(bytes_1, bytes_4, "trace files differ between 1 and 4 workers");
+
+        let log = read_trace(&path_1).unwrap();
+        assert!(log.completed, "no completion trailer");
+        assert_eq!(log.dropped_bytes, 0, "torn tail in a clean run");
+        let header = log.header.as_ref().unwrap();
+        assert_eq!(log.domains.len() as u64, header.domains, "full sampling missed domains");
+        assert!(log.events_total() > 0);
+    }
+
+    /// The flight recorder is an observer: enabling it must not change
+    /// a single byte of the measurement dataset.
+    #[test]
+    fn tracing_does_not_change_the_dataset() {
+        let untraced = run(invariant_config(1, None)).canonical_json();
+        let path = tmp("observer.trace");
+        let traced = run(invariant_config(1, Some(TraceSpec::new(&path).with_seed(7))));
+        assert_eq!(untraced, traced.canonical_json(), "tracing perturbed the dataset");
+    }
+
+    /// A degraded domain's block must reconstruct the causal story —
+    /// injected fault, backoff, eventual recovery — and the report must
+    /// surface exemplar timelines from the trace.
+    #[test]
+    fn degraded_domain_timeline_reconstructs_the_causal_story() {
+        let path = tmp("timeline.trace");
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let ctl = CampaignTelemetry::new();
+        let config = invariant_config(1, Some(TraceSpec::new(&path).with_seed(7)));
+        let report = Report::generate_with(&campaign, config, &ctl);
+        assert!(report.health.degraded_domains > 0, "need a degraded domain to trace");
+        assert!(
+            !report.health.exemplars.is_empty(),
+            "report did not surface exemplar timelines from the trace"
+        );
+        assert!(report.render().contains("exemplar degraded-domain timelines"));
+
+        let log = read_trace(&path).unwrap();
+        let block = report
+            .dataset
+            .probes
+            .iter()
+            .enumerate()
+            .find(|(_, p)| p.degraded())
+            .and_then(|(i, _)| log.domain(&report.dataset.discovered[i].name.to_string()))
+            .expect("degraded domain missing from a fully sampled trace");
+        let timeline = block.timeline().join("\n");
+        assert!(timeline.contains("fault verdict="), "no injected fault in:\n{timeline}");
+        assert!(timeline.contains("backoff"), "no retry backoff in:\n{timeline}");
+        assert!(
+            timeline.contains("class=authoritative") || timeline.contains("class=timeout"),
+            "no terminal response class in:\n{timeline}"
+        );
+    }
+
+    /// Tripping a circuit breaker dumps the flight recorder, capturing
+    /// the events that led to quarantine.
+    #[test]
+    fn breaker_trip_dumps_the_flight_recorder() {
+        let path = tmp("breaker.trace");
+        let config = RunnerConfig {
+            workers: 1,
+            retry: RetryPolicy::adaptive(),
+            chaos: Some(ChaosSpec { profile: ChaosProfile::Hostile, seed: 3 }),
+            breaker: BreakerPolicy::guarded(),
+            trace: Some(TraceSpec::new(&path).with_seed(3)),
+            ..RunnerConfig::default()
+        };
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let dataset = govdns::core::run_campaign(&campaign, config);
+        assert!(
+            dataset.telemetry.counters["probe.breaker.tripped"] > 0,
+            "hostile run tripped no breakers"
+        );
+        let log = read_trace(&path).unwrap();
+        let trips: Vec<_> = log.dumps.iter().filter(|d| d.trigger == "breaker_trip").collect();
+        assert!(!trips.is_empty(), "no breaker_trip flight dump");
+        for dump in trips {
+            assert!(dump.domain.is_some(), "breaker dump lost its domain context");
+            assert!(!dump.events.is_empty(), "breaker dump captured no events");
+        }
+    }
+}
+
 /// Robustness: the headline rates hold across independent seeds (run
 /// explicitly with `cargo test -- --ignored`; three worlds take a while).
 #[test]
