@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, release build, full test suite (incl. doc
 # tests), warning-free clippy, the chaos determinism smoke, the
-# crash/resume smoke, the trace determinism smoke, and the bench
-# guards (telemetry, campaign scaling, flight-recorder overhead).
+# crash/resume smoke, the trace determinism smoke, the cross-run diff
+# smoke (self-diff empty, cross-seed divergence deterministic, corpus
+# replay byte-identical), and the bench guards (telemetry, campaign
+# scaling, flight-recorder overhead).
 # Mirrored by .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -76,6 +78,39 @@ cmp "$trace_dir/w1.trace" "$trace_dir/w8.trace" || {
 diff -u "$trace_dir/w1.out" "$trace_dir/w8.out"
 grep -q "trace fingerprint" "$trace_dir/w1.out"
 
+echo "== diff smoke: self-diff empty, cross-seed diff deterministic, corpus replays =="
+diff_dir="$(mktemp -d)"
+trap 'rm -f "$chaos_a" "$chaos_b" "$breaker_a" "$breaker_b"; rm -rf "$resume_dir" "$trace_dir" "$diff_dir"' EXIT
+cargo run -q --release --example diff -- run --seed 7 --workers 1 --scale 0.01 --out "$diff_dir/a"
+cargo run -q --release --example diff -- run --seed 7 --workers 8 --scale 0.01 --out "$diff_dir/a8"
+cargo run -q --release --example diff -- run --seed 8 --workers 4 --scale 0.01 --out "$diff_dir/b"
+# Same seed at different worker counts: the gate must pass with zero differences.
+cargo run -q --release --example diff -- diff "$diff_dir/a" "$diff_dir/a8" --gate > "$diff_dir/self.out"
+grep -q "runs are identical" "$diff_dir/self.out"
+# Different seeds: nonzero divergence with a first-divergence timeline,
+# deterministic (the same comparison twice is byte-identical), and the
+# gate exits nonzero.
+cargo run -q --release --example diff -- diff "$diff_dir/a" "$diff_dir/b" > "$diff_dir/x1.out"
+cargo run -q --release --example diff -- diff "$diff_dir/a" "$diff_dir/b" > "$diff_dir/x2.out"
+cmp "$diff_dir/x1.out" "$diff_dir/x2.out"
+grep -q "first divergence in" "$diff_dir/x1.out"
+grep -q "total differences:" "$diff_dir/x1.out"
+! cargo run -q --release --example diff -- diff "$diff_dir/a" "$diff_dir/b" --gate > /dev/null
+# The JSON diff is worker-count invariant: seed 7 vs seed 8 reads the
+# same whichever worker count produced the seed-7 archive.
+cargo run -q --release --example diff -- diff "$diff_dir/a" "$diff_dir/b" --json > "$diff_dir/j1.json"
+cargo run -q --release --example diff -- diff "$diff_dir/a8" "$diff_dir/b" --json > "$diff_dir/j2.json"
+cmp "$diff_dir/j1.json" "$diff_dir/j2.json"
+# A forced analysis failure captures a corpus case that replays
+# byte-identically against a fresh simnet.
+GOVDNS_FAIL_ANALYSIS=providers cargo run -q --release --example diff -- run --seed 7 --scale 0.004 \
+    --out "$diff_dir/fail" --corpus-dir "$diff_dir/corpus" --case smoke > "$diff_dir/fail.out" 2>/dev/null
+grep -q "corpus case captured" "$diff_dir/fail.out"
+cargo run -q --release --example diff -- replay "$diff_dir/corpus/smoke.json" > "$diff_dir/replay.out"
+grep -q "byte-identical" "$diff_dir/replay.out"
+# The checked-in regression corpus still replays byte-identically.
+cargo run -q --release --example diff -- replay corpus/*.json
+
 echo "== bench guard: telemetry hot path =="
 # The vendored criterion stand-in prints one "ns/iter" line per bench;
 # keep the numbers as a machine-readable artifact for trend-watching.
@@ -117,6 +152,12 @@ assert one > 0 and eight > 0, f"degenerate timings: {d}"
 ratio = one / eight
 cores = os.cpu_count() or 1
 floor = 2.0 if cores >= 4 else 0.5
+# Stamp the measurement conditions into the artifact: numbers taken on
+# a starved runner (< 4 cores) say nothing about parallel scaling and
+# must not be trend-compared against multi-core measurements.
+d["cores"] = cores
+d["starved_runner"] = cores < 4
+json.dump(d, open("BENCH_campaign.json", "w"), indent=2)
 print(f"campaign bench: 8-worker/1-worker throughput ratio {ratio:.2f} "
       f"(floor {floor}, {cores} cores)")
 assert ratio >= floor, (
@@ -146,7 +187,8 @@ floor = 0.90 if cores >= 4 else 0.5
 print(f"trace bench: traced/untraced throughput ratio {ratio:.2f} "
       f"(floor {floor}, {cores} cores)")
 json.dump({"campaign/workers_8": untraced, "campaign/traced_8": traced,
-           "traced_over_untraced_throughput": round(ratio, 4)},
+           "traced_over_untraced_throughput": round(ratio, 4),
+           "cores": cores, "starved_runner": cores < 4},
           open("BENCH_trace.json", "w"), indent=2)
 assert ratio >= floor, (
     f"tracing costs too much: traced throughput is {ratio:.2f}x untraced "

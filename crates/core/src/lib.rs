@@ -48,7 +48,8 @@ pub use dataset::{Funnel, MeasurementDataset};
 pub use journal::{Checkpoint, JournalHeader, JournalReplay, JournalSpec, JournalWriter};
 pub use probe::{
     BreakerAdmission, BreakerBank, BreakerPhase, BreakerPolicy, BreakerSnapshot, BreakerTransition,
-    DomainProbe, ProbeClient, ResponseClass, RetryPolicy, ServerObservation, ServerProbe,
+    DomainClass, DomainProbe, ProbeClient, ResponseClass, RetryPolicy, ServerObservation,
+    ServerProbe,
 };
 pub use ratelimit::{LimiterState, QueryRound, RateLimiter};
 pub use runner::{run_campaign, run_campaign_with, CampaignTelemetry, ChaosSpec, RunnerConfig};

@@ -649,6 +649,94 @@ impl DomainProbe {
         let defective = self.servers.iter().filter(|s| s.is_defective()).count();
         (defective > 0, defective == self.servers.len())
     }
+
+    /// The probe's outcome class — the cross-run diffing vocabulary.
+    ///
+    /// The classes are ordered worst-to-best along the §III-B funnel;
+    /// `govdns-diff` reports transitions between them (e.g.
+    /// `Authoritative → Degraded`) when comparing two campaigns.
+    pub fn class(&self) -> DomainClass {
+        if !self.parent_responsive() {
+            DomainClass::Unreachable
+        } else if !self.parent_nonempty() {
+            DomainClass::Removed
+        } else if !self.has_authoritative_answer() {
+            DomainClass::Stale
+        } else if self.degraded() {
+            DomainClass::Degraded
+        } else {
+            DomainClass::Authoritative
+        }
+    }
+
+    /// Total delivery attempts across every observation of this probe
+    /// (parent-side and per-nameserver) — the per-domain effort figure
+    /// cross-run diffs report shifts in.
+    pub fn attempts_total(&self) -> u64 {
+        let parent: u64 = self.parent_observations.iter().map(|o| u64::from(o.attempts)).sum();
+        let servers: u64 =
+            self.servers.iter().flat_map(|s| &s.observations).map(|o| u64::from(o.attempts)).sum();
+        parent + servers
+    }
+}
+
+/// The per-domain outcome classes a cross-run diff reports transitions
+/// between, ordered worst-to-best along the §III-B funnel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DomainClass {
+    /// No parent-zone nameserver responded at all.
+    Unreachable,
+    /// The parent responded but listed no NS records (delegation gone).
+    Removed,
+    /// The parent lists nameservers, but none authoritatively answered.
+    Stale,
+    /// Authoritative answers arrived, but only after retries or the
+    /// second probing round.
+    Degraded,
+    /// Clean first-shot authoritative service.
+    Authoritative,
+}
+
+impl DomainClass {
+    /// Stable wire/report label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DomainClass::Unreachable => "unreachable",
+            DomainClass::Removed => "removed",
+            DomainClass::Stale => "stale",
+            DomainClass::Degraded => "degraded",
+            DomainClass::Authoritative => "authoritative",
+        }
+    }
+
+    /// Parses a wire label back into a class.
+    pub fn parse(s: &str) -> Option<DomainClass> {
+        Some(match s {
+            "unreachable" => DomainClass::Unreachable,
+            "removed" => DomainClass::Removed,
+            "stale" => DomainClass::Stale,
+            "degraded" => DomainClass::Degraded,
+            "authoritative" => DomainClass::Authoritative,
+            _ => return None,
+        })
+    }
+
+    /// Every class, funnel order — for per-class tally tables.
+    pub fn all() -> [DomainClass; 5] {
+        [
+            DomainClass::Unreachable,
+            DomainClass::Removed,
+            DomainClass::Stale,
+            DomainClass::Degraded,
+            DomainClass::Authoritative,
+        ]
+    }
+}
+
+impl std::fmt::Display for DomainClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 /// Cached telemetry handles for probing: one counter per

@@ -373,6 +373,33 @@ impl Report {
         Report::from_dataset_guarded(campaign, dataset, None)
     }
 
+    /// The domains worth archiving when this run failed — the corpus
+    /// capture hook. Domains cited by flight-recorder dumps come first
+    /// (they are where an incident actually fired), then sampled
+    /// degraded domains, deduplicated, at most `cap` names. Only
+    /// domains with a block in `log` are returned: a corpus case must
+    /// carry the recorded event stream it will later be replayed
+    /// against.
+    pub fn offending_domains(&self, log: &govdns_trace::TraceLog, cap: usize) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut push = |name: &str| {
+            if out.len() < cap && log.domain(name).is_some() && !out.iter().any(|n| n == name) {
+                out.push(name.to_owned());
+            }
+        };
+        for dump in &log.dumps {
+            if let Some(domain) = &dump.domain {
+                push(domain);
+            }
+        }
+        for (i, probe) in self.dataset.probes.iter().enumerate() {
+            if probe.degraded() {
+                push(&self.dataset.discovered[i].name.to_string());
+            }
+        }
+        out
+    }
+
     /// The panic-isolated analysis pass: every stage runs under its own
     /// guard, so a panicking analysis degrades its section to `Default`
     /// and records an [`AnalysisFailure`] instead of tearing down the

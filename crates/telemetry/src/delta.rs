@@ -1,0 +1,197 @@
+//! Cross-run snapshot deltas: what changed between two frozen
+//! [`TelemetrySnapshot`]s.
+//!
+//! The delta is *selective by design*: counters, gauges, histogram
+//! observation counts, and ledger totals compare meaningfully across
+//! runs, but stage spans measure real wall-clock time — which never
+//! reproduces — so they are excluded. A missing entry on either side
+//! compares as zero, so adding an instrument between code versions
+//! shows up as a delta rather than being silently skipped.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::snapshot::TelemetrySnapshot;
+
+/// One changed scalar: name, run-A value, run-B value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScalarDelta<T> {
+    /// Instrument name.
+    pub name: String,
+    /// Run A's value (0 when absent).
+    pub a: T,
+    /// Run B's value (0 when absent).
+    pub b: T,
+}
+
+/// Everything that differs between two telemetry snapshots, name-sorted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryDelta {
+    /// Counters with different totals.
+    pub counters: Vec<ScalarDelta<u64>>,
+    /// Gauges with different final levels.
+    pub gauges: Vec<ScalarDelta<i64>>,
+    /// Histograms with different observation counts (the count is the
+    /// only field that compares exactly across runs).
+    pub histogram_counts: Vec<ScalarDelta<u64>>,
+    /// Ledger query totals, when both runs published one and the
+    /// totals differ.
+    pub ledger_total: Option<(u64, u64)>,
+}
+
+impl TelemetryDelta {
+    /// Whether the two snapshots agreed on everything compared.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histogram_counts.is_empty()
+            && self.ledger_total.is_none()
+    }
+
+    /// Number of differing entries.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+            + self.gauges.len()
+            + self.histogram_counts.len()
+            + usize::from(self.ledger_total.is_some())
+    }
+
+    /// A deterministic text rendering, one line per changed entry.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("telemetry: no differences\n");
+            return out;
+        }
+        let signed = |a: i128, b: i128| -> String {
+            let d = b - a;
+            if d >= 0 {
+                format!("+{d}")
+            } else {
+                format!("{d}")
+            }
+        };
+        for c in &self.counters {
+            let _ = writeln!(
+                out,
+                "counter   {:<40} {} -> {} ({})",
+                c.name,
+                c.a,
+                c.b,
+                signed(c.a as i128, c.b as i128)
+            );
+        }
+        for g in &self.gauges {
+            let _ = writeln!(
+                out,
+                "gauge     {:<40} {} -> {} ({})",
+                g.name,
+                g.a,
+                g.b,
+                signed(i128::from(g.a), i128::from(g.b))
+            );
+        }
+        for h in &self.histogram_counts {
+            let _ = writeln!(
+                out,
+                "histogram {:<40} {} -> {} observations ({})",
+                h.name,
+                h.a,
+                h.b,
+                signed(h.a as i128, h.b as i128)
+            );
+        }
+        if let Some((a, b)) = self.ledger_total {
+            let _ = writeln!(
+                out,
+                "ledger    {:<40} {} -> {} ({})",
+                "total queries admitted",
+                a,
+                b,
+                signed(a as i128, b as i128)
+            );
+        }
+        out
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Compares `self` (run A) against `other` (run B) and returns
+    /// every counter, gauge, histogram count, and ledger total that
+    /// differs. Stage spans are excluded: wall-clock never reproduces.
+    pub fn delta(&self, other: &TelemetrySnapshot) -> TelemetryDelta {
+        let mut delta = TelemetryDelta::default();
+        let names: BTreeSet<&String> = self.counters.keys().chain(other.counters.keys()).collect();
+        for name in names {
+            let a = self.counters.get(name).copied().unwrap_or(0);
+            let b = other.counters.get(name).copied().unwrap_or(0);
+            if a != b {
+                delta.counters.push(ScalarDelta { name: name.clone(), a, b });
+            }
+        }
+        let names: BTreeSet<&String> = self.gauges.keys().chain(other.gauges.keys()).collect();
+        for name in names {
+            let a = self.gauges.get(name).copied().unwrap_or(0);
+            let b = other.gauges.get(name).copied().unwrap_or(0);
+            if a != b {
+                delta.gauges.push(ScalarDelta { name: name.clone(), a, b });
+            }
+        }
+        let names: BTreeSet<&String> =
+            self.histograms.keys().chain(other.histograms.keys()).collect();
+        for name in names {
+            let a = self.histograms.get(name).map_or(0, |h| h.count);
+            let b = other.histograms.get(name).map_or(0, |h| h.count);
+            if a != b {
+                delta.histogram_counts.push(ScalarDelta { name: name.clone(), a, b });
+            }
+        }
+        if let (Some(a), Some(b)) = (&self.ledger, &other.ledger) {
+            if a.total != b.total {
+                delta.ledger_total = Some((a.total, b.total));
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_snapshots_delta_empty() {
+        let mut a = TelemetrySnapshot::default();
+        a.counters.insert("net.queries".into(), 10);
+        a.gauges.insert("runner.workers".into(), 4);
+        let d = a.delta(&a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.render_text().contains("no differences"));
+    }
+
+    #[test]
+    fn missing_entries_compare_as_zero() {
+        let mut a = TelemetrySnapshot::default();
+        a.counters.insert("net.queries".into(), 10);
+        let mut b = TelemetrySnapshot::default();
+        b.counters.insert("fault.losses".into(), 3);
+        let d = a.delta(&b);
+        assert_eq!(d.counters.len(), 2);
+        assert_eq!(d.counters[0].name, "fault.losses");
+        assert_eq!((d.counters[0].a, d.counters[0].b), (0, 3));
+        assert_eq!((d.counters[1].a, d.counters[1].b), (10, 0));
+        let text = d.render_text();
+        assert!(text.contains("net.queries"), "{text}");
+        assert!(text.contains("(-10)"), "{text}");
+        assert!(text.contains("(+3)"), "{text}");
+    }
+
+    #[test]
+    fn stage_spans_are_excluded() {
+        let mut a = TelemetrySnapshot::default();
+        a.stages.insert("round1".into(), crate::StageSnapshot { total_secs: 1.0, count: 1 });
+        let b = TelemetrySnapshot::default();
+        assert!(a.delta(&b).is_empty(), "wall-clock stages must not diff");
+    }
+}

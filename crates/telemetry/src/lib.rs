@@ -45,12 +45,14 @@
 
 #![warn(missing_docs)]
 
+mod delta;
 mod histogram;
 mod metrics;
 mod registry;
 mod snapshot;
 mod span;
 
+pub use delta::{ScalarDelta, TelemetryDelta};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge};
 pub use registry::Registry;

@@ -1,0 +1,182 @@
+//! Cross-run trace comparison primitives: aligning two [`TraceLog`]s
+//! block-by-block and finding the first event where two recordings of
+//! the same domain disagree.
+//!
+//! These are the building blocks `govdns-diff` composes into a full
+//! `RunDiff`; they live here because they are pure functions of trace
+//! data and belong next to the reader. Alignment is by *domain name*
+//! (not campaign index): two runs of different seeds or worlds probe
+//! different domain lists, and the name is the stable join key the
+//! longitudinal story needs.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use crate::event::{DomainBlock, TraceEvent};
+use crate::read::{read_trace, TraceLog};
+
+/// One aligned row of two trace logs: a domain name and the block each
+/// run recorded for it (`None` = not sampled / not probed in that run).
+#[derive(Debug, Clone, Copy)]
+pub struct AlignedBlock<'l> {
+    /// The join key.
+    pub domain: &'l str,
+    /// Run A's block, if any.
+    pub a: Option<&'l DomainBlock>,
+    /// Run B's block, if any.
+    pub b: Option<&'l DomainBlock>,
+}
+
+/// Aligns two trace logs by domain name, in lexicographic name order
+/// (deterministic regardless of either run's probing order).
+pub fn align_blocks<'l>(a: &'l TraceLog, b: &'l TraceLog) -> Vec<AlignedBlock<'l>> {
+    let mut rows: BTreeMap<&'l str, (Option<&'l DomainBlock>, Option<&'l DomainBlock>)> =
+        BTreeMap::new();
+    for block in &a.domains {
+        rows.entry(&block.domain).or_default().0 = Some(block);
+    }
+    for block in &b.domains {
+        rows.entry(&block.domain).or_default().1 = Some(block);
+    }
+    rows.into_iter().map(|(domain, (a, b))| AlignedBlock { domain, a, b }).collect()
+}
+
+/// The first probe step at which two recordings of one domain disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventDivergence {
+    /// Position in the event streams (both blocks agree on everything
+    /// before it).
+    pub pos: usize,
+    /// Run A's event at `pos` (`None` = A's stream ended first).
+    pub a: Option<TraceEvent>,
+    /// Run B's event at `pos` (`None` = B's stream ended first).
+    pub b: Option<TraceEvent>,
+}
+
+/// Walks two blocks' event streams in lockstep and returns the first
+/// position where they disagree (different step or payload, or one
+/// stream ending early). `None` means the recordings are identical.
+///
+/// Sequence numbers are compared too — they are part of the recorded
+/// bytes — but for ring-overflow-free blocks they are positional and
+/// never diverge on their own.
+pub fn first_divergence(a: &DomainBlock, b: &DomainBlock) -> Option<EventDivergence> {
+    let n = a.events.len().max(b.events.len());
+    for pos in 0..n {
+        let ea = a.events.get(pos);
+        let eb = b.events.get(pos);
+        if ea != eb {
+            return Some(EventDivergence { pos, a: ea.cloned(), b: eb.cloned() });
+        }
+    }
+    None
+}
+
+/// A rendered window of one block's timeline around a divergence: the
+/// `--explain`-style context a human reads to see *how* the runs got to
+/// the point of disagreement. Lines are [`TraceEvent::render`] output;
+/// the divergent line (when the stream reaches `pos`) is prefixed with
+/// `> `, the agreeing context with two spaces.
+pub fn divergence_context(block: &DomainBlock, pos: usize, radius: usize) -> Vec<String> {
+    let start = pos.saturating_sub(radius);
+    let end = (pos + radius + 1).min(block.events.len());
+    let mut lines = Vec::with_capacity(end.saturating_sub(start) + 1);
+    if start > 0 {
+        lines.push(format!("  ... {start} earlier events"));
+    }
+    for (i, event) in block.events.iter().enumerate().take(end).skip(start) {
+        let marker = if i == pos { "> " } else { "  " };
+        lines.push(format!("{marker}{}", event.render()));
+    }
+    if pos >= block.events.len() {
+        lines.push("> (stream ends here)".to_string());
+    }
+    lines
+}
+
+/// Reads two trace files side-by-side (the cross-run entry point).
+///
+/// # Errors
+///
+/// Returns the first I/O error; each file's torn tail is tolerated
+/// exactly as in [`read_trace`].
+pub fn read_trace_pair(
+    a: impl AsRef<Path>,
+    b: impl AsRef<Path>,
+) -> io::Result<(TraceLog, TraceLog)> {
+    Ok((read_trace(a)?, read_trace(b)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Step, TraceData};
+
+    fn event(seq: u32, text: &str) -> TraceEvent {
+        TraceEvent { seq, step: Step::ParentNs, data: TraceData::Note { text: text.to_string() } }
+    }
+
+    fn block(domain: &str, texts: &[&str]) -> DomainBlock {
+        DomainBlock {
+            index: 0,
+            domain: domain.to_string(),
+            dropped: 0,
+            events: texts.iter().enumerate().map(|(i, t)| event(i as u32, t)).collect(),
+        }
+    }
+
+    #[test]
+    fn identical_blocks_have_no_divergence() {
+        let a = block("a.gov.zz", &["one", "two"]);
+        assert_eq!(first_divergence(&a, &a.clone()), None);
+    }
+
+    #[test]
+    fn first_differing_event_is_reported() {
+        let a = block("a.gov.zz", &["one", "two", "three"]);
+        let b = block("a.gov.zz", &["one", "2", "three"]);
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.pos, 1);
+        assert_eq!(d.a, Some(event(1, "two")));
+        assert_eq!(d.b, Some(event(1, "2")));
+    }
+
+    #[test]
+    fn shorter_stream_diverges_at_its_end() {
+        let a = block("a.gov.zz", &["one"]);
+        let b = block("a.gov.zz", &["one", "two"]);
+        let d = first_divergence(&a, &b).unwrap();
+        assert_eq!(d.pos, 1);
+        assert_eq!(d.a, None);
+        assert_eq!(d.b, Some(event(1, "two")));
+    }
+
+    #[test]
+    fn alignment_joins_by_name_in_order() {
+        let mut log_a = TraceLog::default();
+        log_a.domains.push(block("b.gov.zz", &[]));
+        log_a.domains.push(block("a.gov.zz", &[]));
+        let mut log_b = TraceLog::default();
+        log_b.domains.push(block("b.gov.zz", &[]));
+        log_b.domains.push(block("c.gov.zz", &[]));
+        let rows = align_blocks(&log_a, &log_b);
+        let names: Vec<&str> = rows.iter().map(|r| r.domain).collect();
+        assert_eq!(names, vec!["a.gov.zz", "b.gov.zz", "c.gov.zz"]);
+        assert!(rows[0].a.is_some() && rows[0].b.is_none());
+        assert!(rows[1].a.is_some() && rows[1].b.is_some());
+        assert!(rows[2].a.is_none() && rows[2].b.is_some());
+    }
+
+    #[test]
+    fn context_marks_the_divergent_line() {
+        let b = block("a.gov.zz", &["one", "two", "three", "four"]);
+        let lines = divergence_context(&b, 2, 1);
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert!(lines[0].starts_with("  ... 1 earlier events"));
+        assert!(lines[2].starts_with("> "));
+        // Past-the-end divergence (stream exhausted).
+        let lines = divergence_context(&b, 4, 1);
+        assert!(lines.last().unwrap().contains("stream ends here"));
+    }
+}

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod codec;
+mod diff;
 mod event;
 mod frame;
 mod read;
@@ -50,6 +51,10 @@ mod sample;
 mod tracer;
 
 pub use codec::TraceRecord;
+pub use diff::{
+    align_blocks, divergence_context, first_divergence, read_trace_pair, AlignedBlock,
+    EventDivergence,
+};
 pub use event::{DomainBlock, FlightDump, Step, TraceData, TraceEvent};
 pub use frame::{fnv64, read_frame, write_frame, FRAME_HEADER_LEN};
 pub use read::{read_trace, TraceHeader, TraceLog};

@@ -1,0 +1,337 @@
+//! Cross-run diffing CLI: record runs, compare them, replay the corpus.
+//!
+//! **Run mode**: run a replay-safe traced chaos campaign and archive its
+//! comparable artifacts into a directory:
+//!
+//! ```sh
+//! cargo run --release --example diff -- run --seed 7 [--workers 8] [--scale 0.02] \
+//!     --out runs/a [--corpus-dir corpus] [--case NAME]
+//! ```
+//!
+//! The directory gets `dataset.json` (canonical dataset), `run.trace`
+//! (flight-recorder file), `telemetry.json`, and `remedies.json`. The
+//! campaign uses the worker-count-invariant configuration (flaky chaos,
+//! no breakers, unlimited retry budget), so two runs with the same seed
+//! archive byte-identical artifacts at any worker count. If an analysis
+//! stage fails (e.g. under `GOVDNS_FAIL_ANALYSIS=providers`), the
+//! offending domains are captured into `corpus/<case>.json`.
+//!
+//! **Diff mode**: compare two archived runs:
+//!
+//! ```sh
+//! cargo run --release --example diff -- diff runs/a runs/b \
+//!     [--domain NAME] [--only-changed] [--telemetry] [--json] [--gate]
+//! ```
+//!
+//! Output (text or `--json`) is a deterministic function of the two
+//! directories — CI runs the same comparison twice and byte-compares.
+//! `--gate` exits nonzero when the runs differ.
+//!
+//! **Replay mode**: re-execute a regression-corpus case against a fresh
+//! simnet and byte-compare the replayed trace blocks to the recording:
+//!
+//! ```sh
+//! cargo run --release --example diff -- replay corpus/case.json
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use govdns::core::BreakerPolicy;
+use govdns::diff::{
+    counts_from_json, remedies_delta, telemetry_from_json, CorpusCase, DatasetView, RenderOptions,
+    ReplaySetup, RunDiff, TraceDiff,
+};
+use govdns::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run_mode(&args[1..]),
+        Some("diff") => diff_mode(&args[1..]),
+        Some("replay") => replay_mode(&args[1..]),
+        _ => {
+            eprintln!("usage: diff <run|diff|replay> [options]  (see the module docs)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| panic!("{flag} needs a value")).clone()
+}
+
+// ---------------------------------------------------------------- run
+
+struct RunArgs {
+    seed: u64,
+    workers: usize,
+    scale_ppm: u64,
+    out: PathBuf,
+    corpus_dir: Option<PathBuf>,
+    case: Option<String>,
+}
+
+fn run_mode(args: &[String]) -> ExitCode {
+    let mut parsed = RunArgs {
+        seed: 7,
+        workers: 1,
+        scale_ppm: 20_000,
+        out: PathBuf::from("run-archive"),
+        corpus_dir: None,
+        case: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => parsed.seed = take_value(args, &mut i, "--seed").parse().expect("--seed N"),
+            "--workers" => {
+                parsed.workers =
+                    take_value(args, &mut i, "--workers").parse().expect("--workers N");
+            }
+            "--scale" => {
+                let scale: f64 = take_value(args, &mut i, "--scale").parse().expect("--scale F");
+                parsed.scale_ppm = (scale * 1_000_000.0).round() as u64;
+            }
+            "--out" => parsed.out = PathBuf::from(take_value(args, &mut i, "--out")),
+            "--corpus-dir" => {
+                parsed.corpus_dir = Some(PathBuf::from(take_value(args, &mut i, "--corpus-dir")));
+            }
+            "--case" => parsed.case = Some(take_value(args, &mut i, "--case")),
+            other => panic!("unknown run argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    let scale = parsed.scale_ppm as f64 / 1_000_000.0;
+    let world = WorldGenerator::new(WorldConfig::small(parsed.seed).with_scale(scale)).generate();
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+
+    std::fs::create_dir_all(&parsed.out).expect("create output directory");
+    let trace_path = parsed.out.join("run.trace");
+
+    // The worker-count-invariant configuration (see examples/trace.rs):
+    // flaky chaos, no breakers, unlimited retry budget. Both the trace
+    // file and the canonical dataset are byte-identical at any worker
+    // count, which is what makes archived runs comparable at all.
+    let retry = RetryPolicy { per_destination_budget: None, ..RetryPolicy::adaptive() };
+    let config = RunnerConfig {
+        workers: parsed.workers,
+        retry,
+        chaos: Some(ChaosSpec { profile: ChaosProfile::Flaky, seed: parsed.seed }),
+        breaker: BreakerPolicy::none(),
+        trace: Some(TraceSpec::new(&trace_path).with_seed(parsed.seed)),
+        ..RunnerConfig::default()
+    };
+    let max_qps = config.max_qps;
+    let second_round = config.second_round;
+    let flight_capacity =
+        config.trace.as_ref().map_or(govdns::trace::DEFAULT_FLIGHT_CAPACITY, |t| t.flight_capacity);
+    let ctl = CampaignTelemetry::new();
+    let report = Report::generate_with(&campaign, config, &ctl);
+
+    std::fs::write(parsed.out.join("dataset.json"), report.dataset.canonical_json())
+        .expect("write dataset.json");
+    std::fs::write(parsed.out.join("telemetry.json"), report.dataset.telemetry.to_json())
+        .expect("write telemetry.json");
+    std::fs::write(parsed.out.join("remedies.json"), remedies_json(&report))
+        .expect("write remedies.json");
+
+    println!("archived run: seed {}, scale_ppm {}", parsed.seed, parsed.scale_ppm);
+    println!("domains measured:  {}", report.funnel.queried);
+    println!("degraded domains:  {}", report.health.degraded_domains);
+    println!("analysis failures: {}", report.analysis_failures.len());
+
+    if !report.analysis_failures.is_empty() {
+        if let Some(dir) = &parsed.corpus_dir {
+            let trigger: Vec<String> = report
+                .analysis_failures
+                .iter()
+                .map(|f| format!("analysis_panic:{}", f.stage))
+                .collect();
+            let name = parsed.case.unwrap_or_else(|| format!("seed{}-fail", parsed.seed));
+            let setup = ReplaySetup {
+                world_seed: parsed.seed,
+                scale_ppm: parsed.scale_ppm,
+                chaos: Some((ChaosProfile::Flaky, parsed.seed)),
+                max_qps,
+                retry,
+                second_round,
+                flight_capacity,
+            };
+            let log = read_trace(&trace_path).expect("trace file written by the campaign");
+            match CorpusCase::capture(&name, &trigger.join(","), &setup, &report, &log) {
+                Ok(case) => {
+                    let path = case.save(dir).expect("write corpus case");
+                    println!(
+                        "corpus case captured: {} ({} domains)",
+                        path.display(),
+                        case.domains.len()
+                    );
+                }
+                Err(reason) => println!("corpus capture skipped: {reason}"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// `remedies.json`: the report's remediation tallies as a flat,
+/// fixed-order count map.
+fn remedies_json(report: &Report) -> String {
+    let r = &report.remedies;
+    format!(
+        "{{\"needing_action\":{},\"domains\":{},\"removals\":{},\"ns_fixes\":{},\
+         \"synchronizations\":{},\"hijack_exposures\":{},\"placement_advice\":{},\
+         \"flakiness_followups\":{},\"quarantine_followups\":{}}}",
+        r.needing_action,
+        r.domains,
+        r.removals,
+        r.ns_fixes,
+        r.synchronizations,
+        r.hijack_exposures,
+        r.placement_advice,
+        r.flakiness_followups,
+        r.quarantine_followups,
+    )
+}
+
+// --------------------------------------------------------------- diff
+
+fn diff_mode(args: &[String]) -> ExitCode {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut opts = RenderOptions::default();
+    let mut json = false;
+    let mut telemetry = false;
+    let mut gate = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--domain" => opts.domain = Some(take_value(args, &mut i, "--domain")),
+            "--only-changed" => opts.only_changed = true,
+            "--json" => json = true,
+            "--telemetry" => telemetry = true,
+            "--gate" => gate = true,
+            dir if !dir.starts_with("--") => dirs.push(PathBuf::from(dir)),
+            other => panic!("unknown diff argument {other:?}"),
+        }
+        i += 1;
+    }
+    let [a, b] = dirs.as_slice() else {
+        eprintln!(
+            "usage: diff A_DIR B_DIR [--domain D] [--only-changed] [--telemetry] [--json] [--gate]"
+        );
+        return ExitCode::from(2);
+    };
+
+    let diff = match build_diff(a, b, telemetry) {
+        Ok(diff) => diff,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", diff.to_json());
+    } else {
+        print!("{}", diff.render_text(&opts));
+    }
+    if gate && !diff.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+fn build_diff(a: &Path, b: &Path, telemetry: bool) -> Result<RunDiff, String> {
+    let read = |path: PathBuf| -> Result<String, String> {
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let view_a = DatasetView::from_canonical_json(&read(a.join("dataset.json"))?)?;
+    let view_b = DatasetView::from_canonical_json(&read(b.join("dataset.json"))?)?;
+    let mut diff = RunDiff { dataset: view_a.diff(&view_b), ..RunDiff::default() };
+
+    let remedies_a = a.join("remedies.json");
+    let remedies_b = b.join("remedies.json");
+    if remedies_a.exists() && remedies_b.exists() {
+        diff.remedies = remedies_delta(
+            &counts_from_json(&read(remedies_a)?)?,
+            &counts_from_json(&read(remedies_b)?)?,
+        );
+    }
+
+    let trace_a = a.join("run.trace");
+    let trace_b = b.join("run.trace");
+    if trace_a.exists() && trace_b.exists() {
+        let (log_a, log_b) = govdns::trace::read_trace_pair(&trace_a, &trace_b)
+            .map_err(|e| format!("trace files: {e}"))?;
+        diff.trace = Some(TraceDiff::compare(&log_a, &log_b));
+    }
+
+    if telemetry {
+        diff.telemetry = Some(
+            telemetry_from_json(&read(a.join("telemetry.json"))?)?
+                .delta(&telemetry_from_json(&read(b.join("telemetry.json"))?)?),
+        );
+    }
+    Ok(diff)
+}
+
+// ------------------------------------------------------------- replay
+
+fn replay_mode(args: &[String]) -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            other if !other.starts_with("--") => paths.push(PathBuf::from(other)),
+            other => panic!("unknown replay argument {other:?}"),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: replay CASE.json [CASE.json ...]");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let case = match CorpusCase::load(path) {
+            Ok(case) => case,
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        };
+        println!(
+            "replaying {}: trigger {}, {} domains, world seed {}",
+            case.name,
+            case.trigger,
+            case.domains.len(),
+            case.setup.world_seed
+        );
+        match case.replay() {
+            Ok(outcome) if outcome.is_clean() => {
+                println!("  byte-identical: {} of {} domains", outcome.matched, outcome.domains);
+            }
+            Ok(outcome) => {
+                failed = true;
+                println!(
+                    "  MISMATCH: {} of {} domains diverged",
+                    outcome.mismatches.len(),
+                    outcome.domains
+                );
+                for m in &outcome.mismatches {
+                    println!("  {}: {}", m.domain, m.detail);
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

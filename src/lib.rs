@@ -16,7 +16,9 @@
 //! * [`telemetry`] — pipeline observability: metrics, span timing, and
 //!   the §III-D query ledger,
 //! * [`trace`] — the flight recorder: per-query trace events, causal
-//!   domain timelines, and last-N dumps on breaker trips and panics.
+//!   domain timelines, and last-N dumps on breaker trips and panics,
+//! * [`diff`] — cross-run comparison: class transitions, trace
+//!   first-divergence forensics, and the replayable regression corpus.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub use govdns_core as core;
+pub use govdns_diff as diff;
 pub use govdns_model as model;
 pub use govdns_pdns as pdns;
 pub use govdns_simnet as simnet;
@@ -51,6 +54,9 @@ pub mod prelude {
     pub use govdns_core::{
         BreakerPolicy, Campaign, CampaignTelemetry, ChaosSpec, JournalReplay, JournalSpec,
         MeasurementDataset, RetryPolicy, RunnerConfig,
+    };
+    pub use govdns_diff::{
+        CorpusCase, DatasetView, RenderOptions, ReplaySetup, RunDiff, TraceDiff,
     };
     pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
     pub use govdns_simnet::ChaosProfile;
