@@ -3,8 +3,10 @@
 # tests), warning-free clippy, the chaos determinism smoke, the
 # crash/resume smoke, the trace determinism smoke, the cross-run diff
 # smoke (self-diff empty, cross-seed divergence deterministic, corpus
-# replay byte-identical), and the bench guards (telemetry, campaign
-# scaling, flight-recorder overhead).
+# replay byte-identical), the counterfactual SPOF smoke (seeded sweeps
+# byte-identical across runs and worker counts, and matching the
+# checked-in corpus artifact), and the bench guards (telemetry,
+# campaign scaling, flight-recorder overhead).
 # Mirrored by .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -108,8 +110,49 @@ GOVDNS_FAIL_ANALYSIS=providers cargo run -q --release --example diff -- run --se
 grep -q "corpus case captured" "$diff_dir/fail.out"
 cargo run -q --release --example diff -- replay "$diff_dir/corpus/smoke.json" > "$diff_dir/replay.out"
 grep -q "byte-identical" "$diff_dir/replay.out"
-# The checked-in regression corpus still replays byte-identically.
-cargo run -q --release --example diff -- replay corpus/*.json
+# The checked-in regression corpus still replays byte-identically —
+# every case, and loudly empty-checked so a bad glob can never turn
+# the replay gate into a no-op.
+shopt -s nullglob
+corpus_cases=(corpus/*.json)
+shopt -u nullglob
+[ "${#corpus_cases[@]}" -gt 0 ] || {
+    echo "diff smoke: regression corpus glob corpus/*.json matched nothing" >&2
+    exit 1
+}
+echo "replaying ${#corpus_cases[@]} corpus case(s)"
+cargo run -q --release --example diff -- replay "${corpus_cases[@]}"
+
+echo "== counterfactual smoke: seeded SPOF sweep is byte-stable =="
+cf_dir="$(mktemp -d)"
+trap 'rm -f "$chaos_a" "$chaos_b" "$breaker_a" "$breaker_b"; rm -rf "$resume_dir" "$trace_dir" "$diff_dir" "$cf_dir"' EXIT
+cf_args=(--seed 7 --scale 0.002 --max-per-kind 3)
+# Same seed twice at 8 workers, once at 1 worker: the canonical JSON
+# must be byte-identical across all three, and stdout must carry the
+# ranked table.
+cargo run -q --release --example counterfactual -- rank "${cf_args[@]}" --workers 8 \
+    --out "$cf_dir/a.json" > "$cf_dir/a.out"
+cargo run -q --release --example counterfactual -- rank "${cf_args[@]}" --workers 8 \
+    --out "$cf_dir/b.json" > "$cf_dir/b.out"
+cargo run -q --release --example counterfactual -- rank "${cf_args[@]}" --workers 1 \
+    --out "$cf_dir/w1.json" > "$cf_dir/w1.out"
+cmp "$cf_dir/a.json" "$cf_dir/b.json" || {
+    echo "counterfactual smoke: identical seeds produced different SPOF JSON" >&2
+    exit 1
+}
+cmp "$cf_dir/a.json" "$cf_dir/w1.json" || {
+    echo "counterfactual smoke: SPOF JSON differs between 1 and 8 workers" >&2
+    exit 1
+}
+diff -u "$cf_dir/a.out" "$cf_dir/w1.out"
+grep -q "single points of failure" "$cf_dir/a.out"
+# The checked-in SPOF artifact pins this sweep's exact bytes.
+cmp corpus/spof/rank-seed7.json "$cf_dir/a.json" || {
+    echo "counterfactual smoke: sweep no longer matches corpus/spof/rank-seed7.json" >&2
+    echo "(if the change is intentional, regenerate the artifact with:" >&2
+    echo "  cargo run --release --example counterfactual -- rank ${cf_args[*]} --workers 8 --out corpus/spof/rank-seed7.json)" >&2
+    exit 1
+}
 
 echo "== bench guard: telemetry hot path =="
 # The vendored criterion stand-in prints one "ns/iter" line per bench;

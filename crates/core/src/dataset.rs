@@ -180,8 +180,8 @@ impl MeasurementDataset {
         let _ = write!(
             out,
             ",\"faults\":{{\"flap_timeouts\":{},\"losses\":{},\"refused\":{},\"truncated\":{},\
-             \"delayed\":{}}}",
-            f.flap_timeouts, f.losses, f.refused, f.truncated, f.delayed
+             \"delayed\":{},\"outages\":{}}}",
+            f.flap_timeouts, f.losses, f.refused, f.truncated, f.delayed, f.outages
         );
         out.push_str(",\"seeds\":[");
         for (i, s) in self.seeds.iter().enumerate() {

@@ -997,6 +997,7 @@ fn checkpoint_to_value(cp: &Checkpoint) -> Value {
                 ("refused", Value::Num(cp.faults.refused)),
                 ("truncated", Value::Num(cp.faults.truncated)),
                 ("delayed", Value::Num(cp.faults.delayed)),
+                ("outages", Value::Num(cp.faults.outages)),
             ]),
         ),
         ("net_per_destination", addr_counts_to_value(&cp.net_per_destination)),
@@ -1040,6 +1041,7 @@ fn checkpoint_from_value(value: &Value) -> Checkpoint {
             refused: need_num(faults, "refused"),
             truncated: need_num(faults, "truncated"),
             delayed: need_num(faults, "delayed"),
+            outages: need_num(faults, "outages"),
         },
         net_per_destination: addr_counts_from_value(need(value, "net_per_destination")),
         cache: need_arr(value, "cache")
@@ -1143,6 +1145,7 @@ mod tests {
                 refused: 2,
                 truncated: 0,
                 delayed: 3,
+                outages: 4,
             },
             net_per_destination: vec![(Ipv4Addr::new(10, 0, 0, 1), 11)],
             cache: vec![(

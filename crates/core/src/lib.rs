@@ -52,4 +52,6 @@ pub use probe::{
     ServerProbe,
 };
 pub use ratelimit::{LimiterState, QueryRound, RateLimiter};
-pub use runner::{run_campaign, run_campaign_with, CampaignTelemetry, ChaosSpec, RunnerConfig};
+pub use runner::{
+    run_campaign, run_campaign_with, CampaignTelemetry, ChaosSpec, RunnerConfig, ScenarioSpec,
+};

@@ -178,6 +178,7 @@ impl MeasurementHealth {
         row("fault_refused", self.faults.refused.to_string());
         row("fault_truncated", self.faults.truncated.to_string());
         row("fault_delayed", self.faults.delayed.to_string());
+        row("fault_outages", self.faults.outages.to_string());
         row("breaker_tripped", self.breaker_tripped.to_string());
         row("breaker_denied", self.breaker_denied.to_string());
         row("breaker_reclosed", self.breaker_reclosed.to_string());

@@ -20,6 +20,7 @@
 //! `canonical_json()` — the same determinism contract the chaos
 //! machinery already guarantees.
 
+use std::net::Ipv4Addr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -27,7 +28,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use govdns_simnet::ChaosProfile;
+use govdns_simnet::{ChaosProfile, FaultPlan, Prefix24};
 use govdns_telemetry::{ProgressEvent, Registry};
 use govdns_trace::{TraceSpec, Tracer};
 
@@ -47,6 +48,30 @@ pub struct ChaosSpec {
     /// Seed for the plan's deterministic fault decisions (independent of
     /// the world seed so the same internet can be stressed differently).
     pub seed: u64,
+}
+
+/// A counterfactual outage scenario layered on top of the (optional)
+/// chaos plan for one campaign run: every query to the scenario's
+/// destination set is hard-failed with `FaultKind::Outage`, while
+/// decisions outside the set are untouched (the blackhole layer is
+/// checked before — and independently of — the probabilistic rules).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ScenarioSpec {
+    /// Stable scenario label (e.g. `provider:dnsmadefast`), echoed into
+    /// the journal header and the trace's stage markers.
+    pub label: String,
+    /// Individual addresses taken out by the scenario.
+    pub blackhole_addrs: Vec<Ipv4Addr>,
+    /// Whole /24s taken out — the anycast model: killing a prefix takes
+    /// out every sibling site announced from it.
+    pub blackhole_prefixes: Vec<Prefix24>,
+}
+
+impl ScenarioSpec {
+    /// Whether the scenario takes out nothing.
+    pub fn is_empty(&self) -> bool {
+        self.blackhole_addrs.is_empty() && self.blackhole_prefixes.is_empty()
+    }
 }
 
 /// Runner parameters.
@@ -69,6 +94,11 @@ pub struct RunnerConfig {
     /// Fault injection to install on the network for this run (`None` =
     /// clean delivery).
     pub chaos: Option<ChaosSpec>,
+    /// Counterfactual outage to layer on top of the chaos plan (`None` =
+    /// the measured world as-is). Shapes observations, so it is part of
+    /// the journal's config echo: a scenario journal only resumes under
+    /// the same scenario.
+    pub scenario: Option<ScenarioSpec>,
     /// Per-destination circuit breakers: when enabled, destinations
     /// whose exchanges keep failing are quarantined — further exchanges
     /// are skipped (not sent, not charged) until a cooldown round
@@ -100,6 +130,7 @@ impl Default for RunnerConfig {
             destination_cap: None,
             retry: RetryPolicy::none(),
             chaos: None,
+            scenario: None,
             breaker: BreakerPolicy::none(),
             journal: None,
             resume_from: None,
@@ -117,12 +148,14 @@ impl RunnerConfig {
     /// observation), not observations.
     fn config_echo(&self, collection_date: govdns_model::SimDate) -> String {
         format!(
-            "qps={} cap={:?} second_round={} retry={:?} chaos={:?} breaker={:?} date={}",
+            "qps={} cap={:?} second_round={} retry={:?} chaos={:?} scenario={:?} breaker={:?} \
+             date={}",
             self.max_qps,
             self.destination_cap,
             self.second_round,
             self.retry,
             self.chaos,
+            self.scenario,
             self.breaker,
             collection_date
         )
@@ -244,8 +277,22 @@ pub fn run_campaign_with(
 
     // Chaos starts at the probing stage: discovery models registry /
     // zone-file inputs, which the injected network faults do not touch.
-    if let Some(chaos) = config.chaos {
-        campaign.network.install_faults(Some(chaos.profile.plan(chaos.seed)));
+    // A counterfactual scenario layers its blackhole sets on top of the
+    // chaos plan; the layering leaves every rule decision outside the
+    // destination set bit-for-bit unchanged.
+    let scenario = config.scenario.as_ref().filter(|s| !s.is_empty());
+    if config.chaos.is_some() || scenario.is_some() {
+        let base = match config.chaos {
+            Some(chaos) => chaos.profile.plan(chaos.seed),
+            None => FaultPlan::new(0),
+        };
+        let plan = match scenario {
+            Some(s) => base
+                .with_blackholed_addrs(s.blackhole_addrs.iter().copied())
+                .with_blackholed_prefixes(s.blackhole_prefixes.iter().copied()),
+            None => base,
+        };
+        campaign.network.install_faults(Some(plan));
     }
 
     let limiter = RateLimiter::with_telemetry(config.max_qps, config.destination_cap, &registry);
@@ -360,6 +407,9 @@ pub fn run_campaign_with(
 
     let probing_span = registry.span("round1");
     if let Some(t) = &tracer {
+        if let Some(s) = scenario {
+            t.stage("scenario", &s.label);
+        }
         t.stage("round1", "begin");
     }
     crossbeam::scope(|scope| {

@@ -1,0 +1,39 @@
+//! # govdns-counterfactual
+//!
+//! The counterfactual resilience engine: *what-if* analysis over a
+//! measured government-DNS baseline. The paper measures deployments
+//! as-is; this crate asks which governments go dark when shared
+//! infrastructure fails — a third-party DNS provider, an autonomous
+//! system, a /24 prefix (with its anycast siblings), or a ccTLD
+//! registry.
+//!
+//! The flow:
+//!
+//! 1. run the normal measurement campaign to get a baseline
+//!    [`MeasurementDataset`](govdns_core::MeasurementDataset),
+//! 2. [`enumerate_scenarios`] from the observed nameserver topology
+//!    (provider matchers, prefix→ASN database, delegation paths),
+//! 3. lower each [`Scenario`] into a
+//!    [`ScenarioSpec`](govdns_core::ScenarioSpec) — a fault-plan layer
+//!    that hard-fails the scenario's destination set while leaving
+//!    every other fault decision untouched,
+//! 4. re-run the probe walk per scenario ([`run_sweep`], parallel
+//!    across scenarios, journaled/resumable per scenario),
+//! 5. recompute per-country reachability with the diff engine's class
+//!    transitions and rank scenarios into a [`SpofReport`]: providers /
+//!    ASNs / prefixes / ccTLDs ordered by governments darkened.
+//!
+//! Every report rendering (text table, CSV, canonical JSON) is a
+//! deterministic, worker-count-invariant function of the sweep seed —
+//! CI byte-compares two sweeps the way it byte-compares two campaigns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod scenario;
+mod spof;
+
+pub use engine::{run_sweep, SweepConfig};
+pub use scenario::{enumerate_scenarios, EnumerationConfig, Scenario, ScenarioKind};
+pub use spof::{is_dark, Darkened, SpofEntry, SpofReport};

@@ -1,0 +1,307 @@
+//! Failure-scenario enumeration: from a measured baseline dataset to
+//! the set of counterfactual outages worth re-running the campaign
+//! under.
+//!
+//! Four scenario families, mirroring the shared-infrastructure axes of
+//! the paper's Table I:
+//!
+//! * [`ScenarioKind::Provider`] — a third-party DNS provider fails:
+//!   every nameserver address whose hostname classifies to the provider
+//!   goes dark.
+//! * [`ScenarioKind::Asn`] — an autonomous system fails: every observed
+//!   nameserver address inside the AS's allocations goes dark.
+//! * [`ScenarioKind::Prefix`] — a /24 is withdrawn. The anycast model:
+//!   a nameserver *hostname*'s addresses form one anycast service, so a
+//!   prefix kill also takes out the sibling sites of any host with at
+//!   least one address in the prefix (the origin behind them is gone).
+//! * [`ScenarioKind::Cctld`] — a ccTLD registry fails: the parent-zone
+//!   nameservers that delegate the country's government domains go
+//!   dark, so *every* domain under the ccTLD loses its delegation path.
+//!
+//! Enumeration is a pure function of the baseline dataset plus public
+//! classification knowledge (provider matchers, the prefix→ASN
+//! database), so a seeded sweep always enumerates the same scenarios in
+//! the same order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+
+use govdns_core::{MeasurementDataset, ScenarioSpec};
+use govdns_simnet::{prefix24, AsnDb, Prefix24};
+use govdns_world::ProviderMatcher;
+
+/// The scenario families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ScenarioKind {
+    /// All nameservers operated by one third-party DNS provider fail.
+    Provider,
+    /// One autonomous system fails.
+    Asn,
+    /// One /24 prefix is withdrawn (plus anycast siblings).
+    Prefix,
+    /// One ccTLD registry fails.
+    Cctld,
+}
+
+impl ScenarioKind {
+    /// Stable wire/report label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ScenarioKind::Provider => "provider",
+            ScenarioKind::Asn => "asn",
+            ScenarioKind::Prefix => "prefix",
+            ScenarioKind::Cctld => "cctld",
+        }
+    }
+
+    /// Parses [`as_str`](Self::as_str) output.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "provider" => ScenarioKind::Provider,
+            "asn" => ScenarioKind::Asn,
+            "prefix" => ScenarioKind::Prefix,
+            "cctld" => ScenarioKind::Cctld,
+            _ => return None,
+        })
+    }
+
+    /// Every kind, enumeration order.
+    pub fn all() -> [ScenarioKind; 4] {
+        [ScenarioKind::Provider, ScenarioKind::Asn, ScenarioKind::Prefix, ScenarioKind::Cctld]
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad`, not `write_str`: the report table relies on `{:<8}`.
+        f.pad(self.as_str())
+    }
+}
+
+/// One enumerated failure scenario: a destination set to hard-fail,
+/// plus the bookkeeping the ranked report needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scenario {
+    /// The family.
+    pub kind: ScenarioKind,
+    /// The failing subject: a provider label, `AS64500`, a /24 in CIDR
+    /// notation, or a ccTLD label.
+    pub subject: String,
+    /// Individual addresses taken out.
+    pub blackhole_addrs: BTreeSet<Ipv4Addr>,
+    /// Whole /24s taken out.
+    pub blackhole_prefixes: BTreeSet<Prefix24>,
+    /// Baseline domains with at least one nameserver (or, for ccTLD
+    /// scenarios, their delegation path) inside the blast set.
+    pub candidate_domains: usize,
+}
+
+impl Scenario {
+    /// Stable scenario identifier, `kind:subject`.
+    pub fn id(&self) -> String {
+        format!("{}:{}", self.kind, self.subject)
+    }
+
+    /// Lowers the scenario into the runner's fault-layer spec.
+    pub fn spec(&self) -> ScenarioSpec {
+        ScenarioSpec {
+            label: self.id(),
+            blackhole_addrs: self.blackhole_addrs.iter().copied().collect(),
+            blackhole_prefixes: self.blackhole_prefixes.iter().copied().collect(),
+        }
+    }
+}
+
+/// Enumeration knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumerationConfig {
+    /// Keep at most this many scenarios per kind, ranked by candidate
+    /// domains (descending), subject as the tiebreak. `0` keeps all.
+    pub max_per_kind: usize,
+}
+
+impl Default for EnumerationConfig {
+    fn default() -> Self {
+        EnumerationConfig { max_per_kind: 6 }
+    }
+}
+
+/// Enumerates every failure scenario implied by a measured baseline,
+/// capped per [`EnumerationConfig`], in a deterministic order
+/// (provider, ASN, prefix, ccTLD; within a kind by blast size).
+pub fn enumerate_scenarios(
+    dataset: &MeasurementDataset,
+    matchers: &[ProviderMatcher],
+    asn_db: &AsnDb,
+    config: EnumerationConfig,
+) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    out.extend(cap(provider_scenarios(dataset, matchers), config.max_per_kind));
+    out.extend(cap(asn_scenarios(dataset, asn_db), config.max_per_kind));
+    out.extend(cap(prefix_scenarios(dataset), config.max_per_kind));
+    out.extend(cap(cctld_scenarios(dataset), config.max_per_kind));
+    out
+}
+
+/// Keeps the `n` largest scenarios of one kind (all of them when `n` is
+/// zero), ordered by candidate-domain count descending, then subject.
+fn cap(mut scenarios: Vec<Scenario>, n: usize) -> Vec<Scenario> {
+    scenarios.sort_by(|a, b| {
+        b.candidate_domains.cmp(&a.candidate_domains).then_with(|| a.subject.cmp(&b.subject))
+    });
+    if n > 0 {
+        scenarios.truncate(n);
+    }
+    scenarios
+}
+
+fn provider_scenarios(dataset: &MeasurementDataset, matchers: &[ProviderMatcher]) -> Vec<Scenario> {
+    // label → (addrs, candidate domains)
+    let mut groups: BTreeMap<String, (BTreeSet<Ipv4Addr>, BTreeSet<String>)> = BTreeMap::new();
+    for probe in &dataset.probes {
+        for server in &probe.servers {
+            let Some(m) = matchers.iter().find(|m| m.matches(&server.host)) else { continue };
+            let entry = groups.entry(m.label.clone()).or_default();
+            entry.0.extend(server.addrs.iter().copied());
+            entry.1.insert(probe.domain.to_string());
+        }
+    }
+    groups
+        .into_iter()
+        .filter(|(_, (addrs, _))| !addrs.is_empty())
+        .map(|(label, (addrs, domains))| Scenario {
+            kind: ScenarioKind::Provider,
+            subject: label,
+            blackhole_addrs: addrs,
+            blackhole_prefixes: BTreeSet::new(),
+            candidate_domains: domains.len(),
+        })
+        .collect()
+}
+
+fn asn_scenarios(dataset: &MeasurementDataset, asn_db: &AsnDb) -> Vec<Scenario> {
+    let mut groups: BTreeMap<u32, (BTreeSet<Ipv4Addr>, BTreeSet<String>)> = BTreeMap::new();
+    for probe in &dataset.probes {
+        for addr in probe.ns_addrs() {
+            let Some(asn) = asn_db.lookup(addr) else { continue };
+            let entry = groups.entry(asn).or_default();
+            entry.0.insert(addr);
+            entry.1.insert(probe.domain.to_string());
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(asn, (addrs, domains))| Scenario {
+            kind: ScenarioKind::Asn,
+            subject: format!("AS{asn}"),
+            blackhole_addrs: addrs,
+            blackhole_prefixes: BTreeSet::new(),
+            candidate_domains: domains.len(),
+        })
+        .collect()
+}
+
+fn prefix_scenarios(dataset: &MeasurementDataset) -> Vec<Scenario> {
+    // prefix → (anycast-sibling addrs outside the prefix, candidates)
+    let mut groups: BTreeMap<Prefix24, (BTreeSet<Ipv4Addr>, BTreeSet<String>)> = BTreeMap::new();
+    for probe in &dataset.probes {
+        for server in &probe.servers {
+            for &addr in &server.addrs {
+                let p = prefix24(addr);
+                let entry = groups.entry(p).or_default();
+                // The host is one anycast service: a site in this
+                // prefix dying means the origin behind every sibling
+                // address of the same host is gone too.
+                entry.0.extend(server.addrs.iter().copied().filter(|&a| prefix24(a) != p));
+                entry.1.insert(probe.domain.to_string());
+            }
+        }
+    }
+    groups
+        .into_iter()
+        .map(|(p, (siblings, domains))| Scenario {
+            kind: ScenarioKind::Prefix,
+            subject: p.to_string(),
+            blackhole_addrs: siblings,
+            blackhole_prefixes: BTreeSet::from([p]),
+            candidate_domains: domains.len(),
+        })
+        .collect()
+}
+
+fn cctld_scenarios(dataset: &MeasurementDataset) -> Vec<Scenario> {
+    let mut groups: BTreeMap<String, (BTreeSet<Ipv4Addr>, BTreeSet<String>)> = BTreeMap::new();
+    for probe in &dataset.probes {
+        let labels = probe.domain.labels();
+        let Some(tld) = labels.last() else { continue };
+        let entry = groups.entry(tld.as_str().to_owned()).or_default();
+        entry.0.extend(probe.parent_addrs.iter().copied());
+        entry.1.insert(probe.domain.to_string());
+    }
+    groups
+        .into_iter()
+        .filter(|(_, (addrs, _))| !addrs.is_empty())
+        .map(|(tld, (addrs, domains))| Scenario {
+            kind: ScenarioKind::Cctld,
+            subject: tld,
+            blackhole_addrs: addrs,
+            blackhole_prefixes: BTreeSet::new(),
+            candidate_domains: domains.len(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scenario(kind: ScenarioKind, subject: &str, candidates: usize) -> Scenario {
+        Scenario {
+            kind,
+            subject: subject.to_owned(),
+            blackhole_addrs: BTreeSet::new(),
+            blackhole_prefixes: BTreeSet::new(),
+            candidate_domains: candidates,
+        }
+    }
+
+    #[test]
+    fn ids_are_kind_prefixed() {
+        assert_eq!(
+            scenario(ScenarioKind::Provider, "cloudflare.com", 1).id(),
+            "provider:cloudflare.com"
+        );
+        assert_eq!(scenario(ScenarioKind::Asn, "AS64500", 1).id(), "asn:AS64500");
+    }
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for k in ScenarioKind::all() {
+            assert_eq!(ScenarioKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(ScenarioKind::parse("meteor"), None);
+    }
+
+    #[test]
+    fn cap_orders_by_blast_then_subject() {
+        let capped = cap(
+            vec![
+                scenario(ScenarioKind::Asn, "AS3", 1),
+                scenario(ScenarioKind::Asn, "AS2", 5),
+                scenario(ScenarioKind::Asn, "AS1", 5),
+            ],
+            2,
+        );
+        let subjects: Vec<&str> = capped.iter().map(|s| s.subject.as_str()).collect();
+        assert_eq!(subjects, ["AS1", "AS2"]);
+    }
+
+    #[test]
+    fn cap_zero_keeps_all() {
+        assert_eq!(
+            cap((0..9).map(|i| scenario(ScenarioKind::Cctld, &format!("t{i}"), i)).collect(), 0)
+                .len(),
+            9
+        );
+    }
+}

@@ -1,0 +1,337 @@
+//! The ranked single-points-of-failure report: which shared
+//! infrastructure, when it fails, darkens the most governments.
+//!
+//! Every rendering (text table, CSV, canonical JSON) is a deterministic
+//! function of the sweep inputs: entries are ranked by governments
+//! darkened with fixed tiebreaks, collections are sorted, and the JSON
+//! is hand-written with a fixed field order so CI can byte-compare two
+//! identically-seeded sweeps.
+
+use std::fmt::Write as _;
+
+use govdns_core::DomainClass;
+
+use crate::scenario::ScenarioKind;
+
+/// One darkened domain's class transition under a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Darkened {
+    /// The domain.
+    pub domain: String,
+    /// The country whose government it belongs to.
+    pub country: String,
+    /// Baseline class (resolvable: degraded or authoritative).
+    pub from: DomainClass,
+    /// Scenario class (dark: stale, removed, or unreachable).
+    pub to: DomainClass,
+}
+
+/// One scenario's ranked outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpofEntry {
+    /// Scenario identifier, `kind:subject`.
+    pub id: String,
+    /// Scenario family.
+    pub kind: ScenarioKind,
+    /// The failing subject.
+    pub subject: String,
+    /// Individual addresses in the blast set.
+    pub blast_addrs: usize,
+    /// Whole /24s in the blast set.
+    pub blast_prefixes: usize,
+    /// Baseline domains touching the blast set.
+    pub candidate_domains: usize,
+    /// Domains that went from resolvable to dark.
+    pub domains_darkened: usize,
+    /// Countries with at least one darkened domain.
+    pub countries_darkened: usize,
+    /// The darkened countries, sorted.
+    pub countries: Vec<String>,
+    /// Every darkened domain's transition, sorted by domain.
+    pub darkened: Vec<Darkened>,
+}
+
+/// The ranked report over a full scenario sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpofReport {
+    /// World seed of the sweep.
+    pub seed: u64,
+    /// World scale in parts-per-million.
+    pub scale_ppm: u64,
+    /// Baseline domains measured.
+    pub baseline_domains: usize,
+    /// Baseline domains already dark before any scenario.
+    pub baseline_dark: usize,
+    /// Scenario outcomes, ranked: countries darkened desc, then domains
+    /// darkened desc, then id.
+    pub entries: Vec<SpofEntry>,
+}
+
+/// Whether a class counts as dark: no authoritative answer reached the
+/// vantage point (unreachable, removed, or stale).
+pub fn is_dark(class: DomainClass) -> bool {
+    class <= DomainClass::Stale
+}
+
+impl SpofReport {
+    /// Sorts `entries` into rank order (in place, then returns self) —
+    /// the one ordering every rendering shares.
+    #[must_use]
+    pub fn ranked(mut self) -> Self {
+        self.entries.sort_by(|a, b| {
+            b.countries_darkened
+                .cmp(&a.countries_darkened)
+                .then_with(|| b.domains_darkened.cmp(&a.domains_darkened))
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        self
+    }
+
+    /// A copy restricted to one country: darkened lists are filtered to
+    /// `cc`, counts recomputed, scenarios that no longer darken anything
+    /// dropped, and the remainder re-ranked.
+    #[must_use]
+    pub fn filtered_by_country(&self, cc: &str) -> SpofReport {
+        let entries = self
+            .entries
+            .iter()
+            .filter_map(|e| {
+                let darkened: Vec<Darkened> =
+                    e.darkened.iter().filter(|d| d.country == cc).cloned().collect();
+                if darkened.is_empty() {
+                    return None;
+                }
+                Some(SpofEntry {
+                    domains_darkened: darkened.len(),
+                    countries_darkened: 1,
+                    countries: vec![cc.to_owned()],
+                    darkened,
+                    ..e.clone()
+                })
+            })
+            .collect();
+        SpofReport { entries, ..self.clone() }.ranked()
+    }
+
+    /// The ranked table, fixed-width text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "single points of failure (seed {}, scale_ppm {}, {} scenarios, baseline {} domains, \
+             {} already dark)",
+            self.seed,
+            self.scale_ppm,
+            self.entries.len(),
+            self.baseline_domains,
+            self.baseline_dark
+        );
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<40} {:<8} {:>9} {:>8} {:>10} {:>6}",
+            "rank", "scenario", "kind", "countries", "domains", "candidates", "blast"
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:>4}  {:<40} {:<8} {:>9} {:>8} {:>10} {:>6}",
+                i + 1,
+                e.id,
+                e.kind,
+                e.countries_darkened,
+                e.domains_darkened,
+                e.candidate_domains,
+                format!("{}a/{}p", e.blast_addrs, e.blast_prefixes),
+            );
+        }
+        out
+    }
+
+    /// CSV: one row per scenario, rank order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "rank,id,kind,subject,blast_addrs,blast_prefixes,candidate_domains,\
+             domains_darkened,countries_darkened,countries\n",
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                i + 1,
+                e.id,
+                e.kind,
+                e.subject,
+                e.blast_addrs,
+                e.blast_prefixes,
+                e.candidate_domains,
+                e.domains_darkened,
+                e.countries_darkened,
+                e.countries.join(";"),
+            );
+        }
+        out
+    }
+
+    /// Canonical JSON: hand-written, fixed field order, sorted
+    /// collections — byte-stable across identically-seeded sweeps at
+    /// any worker count.
+    pub fn canonical_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"seed\":{},\"scale_ppm\":{},\"baseline\":{{\"domains\":{},\"dark\":{}}},\
+             \"entries\":[",
+            self.seed, self.scale_ppm, self.baseline_domains, self.baseline_dark
+        );
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":\"{}\",\"kind\":\"{}\",\"subject\":\"{}\",\"blast_addrs\":{},\
+                 \"blast_prefixes\":{},\"candidate_domains\":{},\"domains_darkened\":{},\
+                 \"countries_darkened\":{},\"countries\":[",
+                escape(&e.id),
+                e.kind,
+                escape(&e.subject),
+                e.blast_addrs,
+                e.blast_prefixes,
+                e.candidate_domains,
+                e.domains_darkened,
+                e.countries_darkened,
+            );
+            for (j, c) in e.countries.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\"", escape(c));
+            }
+            out.push_str("],\"darkened\":[");
+            for (j, d) in e.darkened.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"domain\":\"{}\",\"country\":\"{}\",\"from\":\"{}\",\"to\":\"{}\"}}",
+                    escape(&d.domain),
+                    escape(&d.country),
+                    d.from,
+                    d.to,
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Minimal JSON string escaping for the identifiers this report embeds
+/// (domain names, provider labels, country codes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, countries: &[&str], domains: usize) -> SpofEntry {
+        SpofEntry {
+            id: id.to_owned(),
+            kind: ScenarioKind::Provider,
+            subject: id.split_once(':').map_or(id, |(_, s)| s).to_owned(),
+            blast_addrs: 2,
+            blast_prefixes: 0,
+            candidate_domains: domains + 1,
+            domains_darkened: domains,
+            countries_darkened: countries.len(),
+            countries: countries.iter().map(|&c| c.to_owned()).collect(),
+            darkened: countries
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| Darkened {
+                    domain: format!("d{i}.gov.{c}"),
+                    country: c.to_owned(),
+                    from: DomainClass::Authoritative,
+                    to: DomainClass::Stale,
+                })
+                .collect(),
+        }
+    }
+
+    fn report(entries: Vec<SpofEntry>) -> SpofReport {
+        SpofReport { seed: 7, scale_ppm: 10_000, baseline_domains: 50, baseline_dark: 3, entries }
+    }
+
+    #[test]
+    fn ranking_orders_by_countries_then_domains_then_id() {
+        let r = report(vec![
+            entry("provider:b", &["aa"], 4),
+            entry("provider:a", &["aa", "bb"], 2),
+            entry("provider:c", &["aa"], 4),
+        ])
+        .ranked();
+        let ids: Vec<&str> = r.entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["provider:a", "provider:b", "provider:c"]);
+    }
+
+    #[test]
+    fn text_table_leads_with_rank() {
+        let r = report(vec![entry("provider:a", &["aa", "bb"], 2)]).ranked();
+        let text = r.render_text();
+        assert!(text.contains("single points of failure"));
+        assert!(text.lines().any(|l| l.trim_start().starts_with("1  provider:a")), "{text}");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_entry() {
+        let r = report(vec![entry("provider:a", &["aa"], 1), entry("provider:b", &["bb"], 1)]);
+        assert_eq!(r.to_csv().lines().count(), 3);
+    }
+
+    #[test]
+    fn json_is_stable_and_escapes() {
+        let mut e = entry("provider:a", &["aa"], 1);
+        e.subject = "we\"ird\\label".to_owned();
+        let r = report(vec![e]);
+        let json = r.canonical_json();
+        assert_eq!(json, r.clone().canonical_json(), "pure function of the report");
+        assert!(json.contains("we\\\"ird\\\\label"));
+        assert!(json.starts_with("{\"seed\":7,\"scale_ppm\":10000,"));
+    }
+
+    #[test]
+    fn country_filter_recounts_and_drops_empties() {
+        let r =
+            report(vec![entry("provider:a", &["aa", "bb"], 2), entry("provider:b", &["bb"], 1)])
+                .ranked();
+        let f = r.filtered_by_country("aa");
+        assert_eq!(f.entries.len(), 1);
+        assert_eq!(f.entries[0].id, "provider:a");
+        assert_eq!(f.entries[0].domains_darkened, 1);
+        assert_eq!(f.entries[0].countries, vec!["aa".to_owned()]);
+    }
+
+    #[test]
+    fn dark_classes_are_the_bottom_three() {
+        assert!(is_dark(DomainClass::Unreachable));
+        assert!(is_dark(DomainClass::Removed));
+        assert!(is_dark(DomainClass::Stale));
+        assert!(!is_dark(DomainClass::Degraded));
+        assert!(!is_dark(DomainClass::Authoritative));
+    }
+}

@@ -21,6 +21,7 @@
 //!
 //! [`SimNetwork`]: crate::SimNetwork
 
+use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
 
 use serde::{Deserialize, Serialize};
@@ -43,6 +44,10 @@ pub enum FaultKind {
     Truncated,
     /// The exchange was delayed by a latency spike.
     Delayed,
+    /// The destination is blackholed by a counterfactual outage
+    /// scenario: every query to it is swallowed, unconditionally and
+    /// forever (no recovery across attempts or rounds).
+    Outage,
 }
 
 /// What the fault layer decided for one delivery attempt.
@@ -161,12 +166,15 @@ pub struct FaultStats {
     pub truncated: u64,
     /// Deliveries delayed by a latency spike.
     pub delayed: u64,
+    /// Queries swallowed by a blackholed (counterfactual-outage)
+    /// destination.
+    pub outages: u64,
 }
 
 impl FaultStats {
     /// Total outcome-changing faults (delays excluded).
     pub fn injected(&self) -> u64 {
-        self.flap_timeouts + self.losses + self.refused + self.truncated
+        self.flap_timeouts + self.losses + self.refused + self.truncated + self.outages
     }
 }
 
@@ -189,12 +197,25 @@ impl FaultStats {
 pub struct FaultPlan {
     seed: u64,
     rules: Vec<FaultRule>,
+    /// Counterfactual-outage layer: addresses that are hard-failed.
+    ///
+    /// Checked *before* the probabilistic rules, and independent of
+    /// them: adding a blackhole set never changes the rule indices,
+    /// salts, or decisions for destinations outside the set.
+    blackhole_addrs: BTreeSet<Ipv4Addr>,
+    /// Counterfactual-outage layer: whole /24s that are hard-failed.
+    blackhole_prefixes: BTreeSet<Prefix24>,
 }
 
 impl FaultPlan {
     /// An empty plan (no faults) under `seed`.
     pub fn new(seed: u64) -> Self {
-        FaultPlan { seed, rules: Vec::new() }
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            blackhole_addrs: BTreeSet::new(),
+            blackhole_prefixes: BTreeSet::new(),
+        }
     }
 
     /// Adds a rule (builder style).
@@ -235,9 +256,44 @@ impl FaultPlan {
         &self.rules
     }
 
+    /// Blackholes additional addresses (builder style). Queries to a
+    /// blackholed destination are unconditionally swallowed with
+    /// [`FaultKind::Outage`], bypassing every probabilistic rule.
+    #[must_use]
+    pub fn with_blackholed_addrs<I: IntoIterator<Item = Ipv4Addr>>(mut self, addrs: I) -> Self {
+        self.blackhole_addrs.extend(addrs);
+        self
+    }
+
+    /// Blackholes additional /24 prefixes (builder style) — the anycast
+    /// model: killing a prefix takes out every address announced from
+    /// it, including sibling anycast sites.
+    #[must_use]
+    pub fn with_blackholed_prefixes<I: IntoIterator<Item = Prefix24>>(mut self, ps: I) -> Self {
+        self.blackhole_prefixes.extend(ps);
+        self
+    }
+
+    /// The blackholed addresses, sorted.
+    pub fn blackholed_addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.blackhole_addrs.iter().copied()
+    }
+
+    /// The blackholed /24s, sorted.
+    pub fn blackholed_prefixes(&self) -> impl Iterator<Item = Prefix24> + '_ {
+        self.blackhole_prefixes.iter().copied()
+    }
+
+    /// Whether the outage layer swallows queries to `dst`.
+    pub fn is_blackholed(&self, dst: Ipv4Addr) -> bool {
+        self.blackhole_addrs.contains(&dst) || self.blackhole_prefixes.contains(&prefix24(dst))
+    }
+
     /// Whether the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.rules.is_empty()
+            && self.blackhole_addrs.is_empty()
+            && self.blackhole_prefixes.is_empty()
     }
 
     /// Decides the fate of one delivery attempt.
@@ -269,6 +325,10 @@ impl FaultPlan {
         dst_queries_so_far: u64,
     ) -> FaultDecision {
         let mut decision = FaultDecision::default();
+        if self.is_blackholed(dst) {
+            decision.drop = Some(FaultKind::Outage);
+            return decision;
+        }
         if self.rules.is_empty() {
             return decision;
         }
@@ -532,6 +592,57 @@ mod tests {
     fn rejects_bad_rate() {
         let _ =
             FaultPlan::new(1).with_rule(FaultScope::All, FaultProfile::PacketLoss { rate: 1.5 });
+    }
+
+    #[test]
+    fn blackholed_addr_always_times_out() {
+        let plan = FaultPlan::new(1).with_blackholed_addrs([dst(9)]);
+        assert!(!plan.is_empty(), "a blackhole set alone makes the plan non-empty");
+        let name = n("a.gov.zz");
+        for attempt in 0..5 {
+            assert_eq!(plan.decide(dst(9), &name, attempt, 1_000).drop, Some(FaultKind::Outage));
+        }
+        assert!(plan.decide(dst(10), &name, 0, 0).is_clean(), "other server untouched");
+    }
+
+    #[test]
+    fn blackholed_prefix_takes_out_siblings() {
+        let p = prefix24(Ipv4Addr::new(198, 51, 100, 0));
+        let plan = FaultPlan::new(1).with_blackholed_prefixes([p]);
+        let name = n("a.gov.zz");
+        for host in [1u8, 7, 254] {
+            let addr = Ipv4Addr::new(198, 51, 100, host);
+            assert!(plan.is_blackholed(addr));
+            assert_eq!(plan.decide(addr, &name, 0, 0).drop, Some(FaultKind::Outage));
+        }
+        assert!(plan.decide(Ipv4Addr::new(198, 51, 101, 1), &name, 0, 0).is_clean());
+    }
+
+    #[test]
+    fn blackhole_layer_does_not_perturb_rule_decisions() {
+        let base = ChaosProfile::Hostile.plan(13);
+        let layered = base.clone().with_blackholed_addrs([dst(200)]);
+        for i in 0..100u8 {
+            if dst(i) == dst(200) {
+                continue;
+            }
+            let name = n(&format!("d{i}.gov.zz"));
+            assert_eq!(
+                base.decide(dst(i), &name, u32::from(i % 4), 60),
+                layered.decide(dst(i), &name, u32::from(i % 4), 60),
+                "decision changed outside the blackhole set"
+            );
+        }
+    }
+
+    #[test]
+    fn outage_wins_over_rules() {
+        let plan = FaultPlan::new(3)
+            .with_rule(FaultScope::All, FaultProfile::Truncation { rate: 1.0, recover_after: 9 })
+            .with_blackholed_addrs([dst(4)]);
+        let d = plan.decide(dst(4), &n("a.gov.zz"), 0, 0);
+        assert_eq!(d.drop, Some(FaultKind::Outage));
+        assert!(!d.truncate, "blackhole preempts rule evaluation");
     }
 
     #[test]

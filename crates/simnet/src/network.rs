@@ -28,6 +28,7 @@ struct NetSink {
     fault_refused: Counter,
     fault_truncated: Counter,
     fault_delayed: Counter,
+    fault_outages: Counter,
 }
 
 impl NetSink {
@@ -45,6 +46,7 @@ impl NetSink {
             fault_refused: registry.counter("fault.refused"),
             fault_truncated: registry.counter("fault.truncated"),
             fault_delayed: registry.counter("fault.delayed"),
+            fault_outages: registry.counter("fault.outages"),
         }
     }
 
@@ -55,6 +57,7 @@ impl NetSink {
             FaultKind::Refused => self.fault_refused.inc(),
             FaultKind::Truncated => self.fault_truncated.inc(),
             FaultKind::Delayed => self.fault_delayed.inc(),
+            FaultKind::Outage => self.fault_outages.inc(),
         }
     }
 }
@@ -118,6 +121,7 @@ impl DeliveryTrace {
                 FaultKind::Refused => "refused",
                 FaultKind::Truncated => "truncated",
                 FaultKind::Delayed => "delayed",
+                FaultKind::Outage => "outage",
             });
         }
         if self.lost {
@@ -200,6 +204,7 @@ struct AtomicFaults {
     refused: AtomicU64,
     truncated: AtomicU64,
     delayed: AtomicU64,
+    outages: AtomicU64,
 }
 
 impl AtomicFaults {
@@ -210,6 +215,7 @@ impl AtomicFaults {
             FaultKind::Refused => &self.refused,
             FaultKind::Truncated => &self.truncated,
             FaultKind::Delayed => &self.delayed,
+            FaultKind::Outage => &self.outages,
         }
         .fetch_add(1, Ordering::Relaxed);
     }
@@ -221,6 +227,7 @@ impl AtomicFaults {
             refused: self.refused.load(Ordering::Relaxed),
             truncated: self.truncated.load(Ordering::Relaxed),
             delayed: self.delayed.load(Ordering::Relaxed),
+            outages: self.outages.load(Ordering::Relaxed),
         }
     }
 
@@ -230,6 +237,7 @@ impl AtomicFaults {
         self.refused.store(stats.refused, Ordering::Relaxed);
         self.truncated.store(stats.truncated, Ordering::Relaxed);
         self.delayed.store(stats.delayed, Ordering::Relaxed);
+        self.outages.store(stats.outages, Ordering::Relaxed);
     }
 }
 
@@ -598,7 +606,7 @@ impl SimNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{FaultProfile, FaultScope, ServerBehavior};
+    use crate::{prefix24, FaultProfile, FaultScope, ServerBehavior};
     use govdns_model::{DomainName, RecordType, Zone};
 
     fn n(s: &str) -> DomainName {
@@ -828,6 +836,36 @@ mod tests {
         assert_eq!(snap.counters["fault.delayed"], 1);
         assert_eq!(snap.counters["fault.refused"], 0);
         assert_eq!(net.fault_stats().flap_timeouts, 1);
+    }
+
+    #[test]
+    fn blackholed_destination_times_out_and_counts_outages() {
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        let net =
+            network_with_one_zone().with_faults(FaultPlan::new(1).with_blackholed_addrs([dst]));
+        let registry = Registry::new();
+        net.attach_telemetry(&registry);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        for attempt in 0..3 {
+            let (out, trace) = net.deliver_attempt_traced(dst, &q, attempt);
+            assert!(out.reply().is_none(), "outage never recovers");
+            assert_eq!(trace.verdict(), Some("outage"));
+        }
+        assert_eq!(net.fault_stats().outages, 3);
+        assert_eq!(registry.snapshot().counters["fault.outages"], 3);
+    }
+
+    #[test]
+    fn blackhole_only_plan_survives_install_filter() {
+        let net = network_with_one_zone();
+        let dst = Ipv4Addr::new(192, 0, 2, 1);
+        let q = Message::query(1, n("gov.zz"), RecordType::Ns);
+        // A plan with no rules but a blackhole set is not "empty": the
+        // install filter must keep it.
+        net.install_faults(Some(FaultPlan::new(1).with_blackholed_prefixes([prefix24(dst)])));
+        assert!(net.deliver(dst, &q).reply().is_none());
+        net.install_faults(None);
+        assert!(net.deliver(dst, &q).reply().is_some());
     }
 
     #[test]

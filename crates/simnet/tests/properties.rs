@@ -228,3 +228,105 @@ proptest! {
         prop_assert_eq!(threaded, sequential);
     }
 }
+
+mod scenario_layering {
+    use super::*;
+    use govdns_simnet::{prefix24, ChaosProfile, FaultKind, FaultPlan};
+
+    fn profile_strategy() -> impl Strategy<Value = ChaosProfile> {
+        prop::sample::select(vec![
+            ChaosProfile::Flaky,
+            ChaosProfile::Congested,
+            ChaosProfile::Hostile,
+        ])
+    }
+
+    proptest! {
+        /// The counterfactual blackhole layer composes with every chaos
+        /// profile without perturbing a single decision outside its
+        /// destination set: rule indices, salts, and hash draws are
+        /// untouched by the layering.
+        #[test]
+        fn blackhole_layer_composes_without_side_effects(
+            profile in profile_strategy(),
+            plan_seed in 0u64..1_000,
+            blackholed in prop::collection::vec(any::<u32>(), 1..8),
+            probes in prop::collection::vec((any::<u32>(), 0u32..4, 0u64..200), 1..40),
+            qname in name_strategy(),
+        ) {
+            let base = profile.plan(plan_seed);
+            let blackholed: Vec<Ipv4Addr> =
+                blackholed.into_iter().map(Ipv4Addr::from).collect();
+            let layered = base.clone().with_blackholed_addrs(blackholed.iter().copied());
+            for &(dst, attempt, ordinal) in &probes {
+                let dst = Ipv4Addr::from(dst);
+                if layered.is_blackholed(dst) {
+                    let d = layered.decide(dst, &qname, attempt, ordinal);
+                    prop_assert_eq!(d.drop, Some(FaultKind::Outage));
+                    prop_assert!(!d.refuse && !d.truncate && d.extra_delay_ms == 0);
+                } else {
+                    prop_assert_eq!(
+                        base.decide(dst, &qname, attempt, ordinal),
+                        layered.decide(dst, &qname, attempt, ordinal)
+                    );
+                }
+            }
+        }
+
+        /// Prefix blackholes swallow every host in the /24 and nothing
+        /// outside it, independent of the rule set underneath.
+        #[test]
+        fn prefix_blackhole_covers_exactly_the_prefix(
+            profile in profile_strategy(),
+            plan_seed in 0u64..1_000,
+            prefix_of in any::<u32>(),
+            others in prop::collection::vec(any::<u32>(), 1..20),
+            qname in name_strategy(),
+        ) {
+            let p = prefix24(Ipv4Addr::from(prefix_of));
+            let plan = profile.plan(plan_seed).with_blackholed_prefixes([p]);
+            for host in [0u32, 1, 99, 255] {
+                let addr = Ipv4Addr::from((u32::from(p.network())) | host);
+                prop_assert_eq!(
+                    plan.decide(addr, &qname, 0, 0).drop,
+                    Some(FaultKind::Outage)
+                );
+            }
+            let base = profile.plan(plan_seed);
+            for &o in &others {
+                let addr = Ipv4Addr::from(o);
+                if prefix24(addr) != p {
+                    prop_assert_eq!(
+                        base.decide(addr, &qname, 0, 0),
+                        plan.decide(addr, &qname, 0, 0)
+                    );
+                }
+            }
+        }
+
+        /// An empty scenario layer is exactly the base plan: adding no
+        /// blackholes never flips `is_empty` or any verdict.
+        #[test]
+        fn empty_layer_is_identity(
+            profile in profile_strategy(),
+            plan_seed in 0u64..1_000,
+            dst in any::<u32>(),
+            attempt in 0u32..4,
+            qname in name_strategy(),
+        ) {
+            let base = profile.plan(plan_seed);
+            let layered = base
+                .clone()
+                .with_blackholed_addrs(std::iter::empty())
+                .with_blackholed_prefixes(std::iter::empty());
+            prop_assert_eq!(base.is_empty(), layered.is_empty());
+            let dst = Ipv4Addr::from(dst);
+            prop_assert_eq!(
+                base.decide(dst, &qname, attempt, 50),
+                layered.decide(dst, &qname, attempt, 50)
+            );
+            let empty = FaultPlan::new(plan_seed);
+            prop_assert!(empty.is_empty());
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! What-if analysis CLI: sweep counterfactual outage scenarios over a
+//! measured baseline and rank the single points of failure.
+//!
+//! **Rank mode**: run the full sweep and print the ranked SPOF table:
+//!
+//! ```sh
+//! cargo run --release --example counterfactual -- rank --seed 7 \
+//!     [--scale 0.01] [--workers 8] [--country CC] [--json] [--out spof.json] [--csv FILE]
+//! ```
+//!
+//! Stdout carries the ranked table (or, with `--json`, the canonical
+//! JSON); `--out` additionally writes the canonical JSON to a file and
+//! `--csv` the CSV bundle. The JSON is byte-identical across
+//! identically-seeded runs at any `--workers` value — the CI
+//! determinism gate `cmp`s exactly this.
+//!
+//! **Run mode**: sweep only matching scenarios and show, per scenario,
+//! every domain that went dark:
+//!
+//! ```sh
+//! cargo run --release --example counterfactual -- run --seed 7 \
+//!     --scenario provider [--country CC] [--journal-dir DIR] [--json]
+//! ```
+//!
+//! `--scenario` substring-matches scenario ids (`provider:`,
+//! `asn:AS64500`, `cctld:zz`, ...); `--journal-dir` write-ahead-journals
+//! each scenario campaign and resumes from existing journals.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use govdns::counterfactual::{run_sweep, EnumerationConfig, SweepConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rank") => sweep_mode(&args[1..], false),
+        Some("run") => sweep_mode(&args[1..], true),
+        _ => {
+            eprintln!("usage: counterfactual <rank|run> [options]  (see the module docs)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| panic!("{flag} needs a value")).clone()
+}
+
+fn sweep_mode(args: &[String], detail: bool) -> ExitCode {
+    let mut config = SweepConfig::default();
+    let mut country: Option<String> = None;
+    let mut json = false;
+    let mut out: Option<PathBuf> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => config.seed = take_value(args, &mut i, "--seed").parse().expect("--seed N"),
+            "--scale" => {
+                let scale: f64 = take_value(args, &mut i, "--scale").parse().expect("--scale F");
+                config.scale_ppm = (scale * 1_000_000.0).round() as u64;
+            }
+            "--workers" => {
+                config.workers =
+                    take_value(args, &mut i, "--workers").parse().expect("--workers N");
+            }
+            "--max-per-kind" => {
+                config.enumeration = EnumerationConfig {
+                    max_per_kind: take_value(args, &mut i, "--max-per-kind")
+                        .parse()
+                        .expect("--max-per-kind N"),
+                };
+            }
+            "--scenario" => config.scenario_filter = Some(take_value(args, &mut i, "--scenario")),
+            "--journal-dir" => {
+                config.journal_dir = Some(PathBuf::from(take_value(args, &mut i, "--journal-dir")));
+            }
+            "--country" => country = Some(take_value(args, &mut i, "--country")),
+            "--json" => json = true,
+            "--out" => out = Some(PathBuf::from(take_value(args, &mut i, "--out"))),
+            "--csv" => csv = Some(PathBuf::from(take_value(args, &mut i, "--csv"))),
+            other => panic!("unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    let mut report = run_sweep(&config);
+    if let Some(cc) = &country {
+        report = report.filtered_by_country(cc);
+    }
+
+    if json {
+        println!("{}", report.canonical_json());
+    } else {
+        print!("{}", report.render_text());
+        if detail {
+            for entry in &report.entries {
+                if entry.darkened.is_empty() {
+                    continue;
+                }
+                println!("\n{} darkens {} domains:", entry.id, entry.domains_darkened);
+                for d in &entry.darkened {
+                    println!("  {} ({}) {} -> {}", d.domain, d.country, d.from, d.to);
+                }
+            }
+        }
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, report.canonical_json()).expect("write --out file");
+    }
+    if let Some(path) = csv {
+        std::fs::write(&path, report.to_csv()).expect("write --csv file");
+    }
+    ExitCode::SUCCESS
+}

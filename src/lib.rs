@@ -18,7 +18,10 @@
 //! * [`trace`] — the flight recorder: per-query trace events, causal
 //!   domain timelines, and last-N dumps on breaker trips and panics,
 //! * [`diff`] — cross-run comparison: class transitions, trace
-//!   first-divergence forensics, and the replayable regression corpus.
+//!   first-divergence forensics, and the replayable regression corpus,
+//! * [`counterfactual`] — what-if resilience analysis: provider / ASN /
+//!   prefix / ccTLD outage scenarios replayed over the pipeline and
+//!   ranked into a single-points-of-failure report.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub use govdns_core as core;
+pub use govdns_counterfactual as counterfactual;
 pub use govdns_diff as diff;
 pub use govdns_model as model;
 pub use govdns_pdns as pdns;
@@ -53,8 +57,9 @@ pub mod prelude {
     pub use govdns_core::report::Report;
     pub use govdns_core::{
         BreakerPolicy, Campaign, CampaignTelemetry, ChaosSpec, JournalReplay, JournalSpec,
-        MeasurementDataset, RetryPolicy, RunnerConfig,
+        MeasurementDataset, RetryPolicy, RunnerConfig, ScenarioSpec,
     };
+    pub use govdns_counterfactual::{run_sweep, SpofReport, SweepConfig};
     pub use govdns_diff::{
         CorpusCase, DatasetView, RenderOptions, ReplaySetup, RunDiff, TraceDiff,
     };

@@ -780,6 +780,86 @@ mod trace {
     }
 }
 
+mod counterfactual {
+    use super::*;
+    use govdns::core::BreakerPolicy;
+    use govdns::counterfactual::{enumerate_scenarios, is_dark, EnumerationConfig, ScenarioKind};
+    use govdns::diff::DatasetView;
+    use std::collections::BTreeSet;
+
+    fn small(seed: u64) -> govdns::world::World {
+        WG::new(WorldConfig::small(seed).with_scale(0.004)).generate()
+    }
+
+    fn invariant_config(scenario: Option<ScenarioSpec>, trace: Option<TraceSpec>) -> RunnerConfig {
+        RunnerConfig {
+            workers: 1,
+            retry: RetryPolicy { per_destination_budget: None, ..RetryPolicy::adaptive() },
+            chaos: None,
+            scenario,
+            breaker: BreakerPolicy::none(),
+            trace,
+            ..RunnerConfig::default()
+        }
+    }
+
+    /// The headline counterfactual claim, end to end: killing the
+    /// largest third-party DNS provider darkens government domains in
+    /// *multiple countries* at once — and the run is fully observable
+    /// (scenario marker in the trace, outage faults in the dataset).
+    #[test]
+    fn provider_outage_darkens_a_multi_country_set() {
+        let world = small(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let baseline = govdns::core::run_campaign(&campaign, invariant_config(None, None));
+        assert_eq!(baseline.faults.outages, 0, "no blackholes without a scenario");
+
+        let scenarios = enumerate_scenarios(
+            &baseline,
+            &matchers,
+            &world.asn_db,
+            EnumerationConfig { max_per_kind: 1 },
+        );
+        let scenario = scenarios
+            .iter()
+            .find(|s| s.kind == ScenarioKind::Provider)
+            .expect("the world outsources to at least one provider");
+
+        let trace_path =
+            std::env::temp_dir().join(format!("govdns-e2e-cf-{}.trace", std::process::id()));
+        let spec = scenario.spec();
+        let under = govdns::core::run_campaign(
+            &campaign,
+            invariant_config(Some(spec.clone()), Some(TraceSpec::new(&trace_path).with_seed(7))),
+        );
+        assert!(under.faults.outages > 0, "blackholed nameservers must surface as outage faults");
+
+        let diff = DatasetView::from_dataset(&baseline).diff(&DatasetView::from_dataset(&under));
+        let country_of: std::collections::BTreeMap<String, &str> =
+            baseline.discovered.iter().map(|d| (d.name.to_string(), d.country.as_str())).collect();
+        let countries: BTreeSet<&str> = diff
+            .transitions
+            .iter()
+            .filter(|t| !is_dark(t.from) && is_dark(t.to))
+            .filter_map(|t| country_of.get(&t.domain).copied())
+            .collect();
+        assert!(
+            countries.len() >= 2,
+            "provider {} must darken governments in multiple countries, got {countries:?}",
+            scenario.subject
+        );
+
+        let log = read_trace(&trace_path).unwrap();
+        assert!(
+            log.stages.iter().any(|(k, v)| k == "scenario" && *v == spec.label),
+            "scenario marker missing from trace stages: {:?}",
+            log.stages
+        );
+        std::fs::remove_file(&trace_path).unwrap();
+    }
+}
+
 /// Robustness: the headline rates hold across independent seeds (run
 /// explicitly with `cargo test -- --ignored`; three worlds take a while).
 #[test]
