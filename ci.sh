@@ -154,6 +154,36 @@ cmp corpus/spof/rank-seed7.json "$cf_dir/a.json" || {
     exit 1
 }
 
+echo "== degraded-mode smoke: compound+partial+recovery sweep is byte-stable =="
+# Compound scenarios, the 1-of-2 partial dial, and TTL-driven recovery
+# timelines together: same seed at 8 workers and 1 worker must agree
+# byte-for-byte, and the checked-in artifact pins the exact bytes.
+rec_args=(--seed 7 --scale 0.002 --max-per-kind 2 --combo --partial 1/2
+    --recovery-window 7200 --recovery-step 600)
+cargo run -q --release --example counterfactual -- rank "${rec_args[@]}" --workers 8 \
+    --out "$cf_dir/r8.json" > "$cf_dir/r8.out"
+cargo run -q --release --example counterfactual -- rank "${rec_args[@]}" --workers 1 \
+    --out "$cf_dir/r1.json" > "$cf_dir/r1.out"
+cmp "$cf_dir/r8.json" "$cf_dir/r1.json" || {
+    echo "degraded-mode smoke: recovery JSON differs between 1 and 8 workers" >&2
+    exit 1
+}
+diff -u "$cf_dir/r8.out" "$cf_dir/r1.out"
+grep -q "recovery timelines" "$cf_dir/r8.out"
+cmp corpus/spof/recovery-seed7.json "$cf_dir/r8.json" || {
+    echo "degraded-mode smoke: sweep no longer matches corpus/spof/recovery-seed7.json" >&2
+    echo "(if the change is intentional, regenerate the artifact with:" >&2
+    echo "  cargo run --release --example counterfactual -- rank ${rec_args[*]} --workers 8 --out corpus/spof/recovery-seed7.json)" >&2
+    exit 1
+}
+# A sweep that enumerates nothing must fail loudly — an empty ranked
+# report upstream of the byte-gates above would pass them vacuously.
+if cargo run -q --release --example counterfactual -- rank --seed 7 --scale 0.002 \
+    --scenario no-such-scenario-xyzzy > /dev/null 2>&1; then
+    echo "degraded-mode smoke: empty scenario enumeration exited zero" >&2
+    exit 1
+fi
+
 echo "== bench guard: telemetry hot path =="
 # The vendored criterion stand-in prints one "ns/iter" line per bench;
 # keep the numbers as a machine-readable artifact for trend-watching.

@@ -33,7 +33,7 @@ use std::net::Ipv4Addr;
 use std::path::{Path, PathBuf};
 
 use govdns_model::{DomainName, RecordData, RecordType, ResourceRecord, Soa};
-use govdns_simnet::{FaultStats, TrafficStats};
+use govdns_simnet::{CacheEntry, FaultStats, TrafficStats};
 
 use crate::probe::{
     BreakerPhase, BreakerSnapshot, DomainProbe, ResponseClass, ServerObservation, ServerProbe,
@@ -87,8 +87,15 @@ pub struct Checkpoint {
     /// Per-destination query counts (feeds `RefusedBurst` decisions and
     /// the busiest-destinations toplist).
     pub net_per_destination: Vec<(Ipv4Addr, u64)>,
-    /// Stub-resolver cache entries, in export order.
-    pub cache: Vec<((DomainName, RecordType), Vec<ResourceRecord>)>,
+    /// Stub-resolver cache entries, in export order (each carries its
+    /// virtual-clock expiry).
+    pub cache: Vec<((DomainName, RecordType), CacheEntry)>,
+    /// The resolver's virtual clock at capture time, seconds. Campaigns
+    /// leave it at zero; recovery sweeps advance it, and resume must
+    /// restore it before re-importing the cache so expiry decisions
+    /// replay identically. Old journals without the field decode as
+    /// zero.
+    pub clock_s: u64,
     /// Circuit-breaker bank state.
     pub breakers: Vec<BreakerSnapshot>,
 }
@@ -1006,16 +1013,20 @@ fn checkpoint_to_value(cp: &Checkpoint) -> Value {
             Value::Arr(
                 cp.cache
                     .iter()
-                    .map(|((name, rtype), records)| {
+                    .map(|((name, rtype), entry)| {
                         Value::Arr(vec![
                             name_to_value(name),
                             Value::Num(u64::from(rtype.code())),
-                            Value::Arr(records.iter().map(resource_record_to_value).collect()),
+                            Value::Arr(
+                                entry.records.iter().map(resource_record_to_value).collect(),
+                            ),
+                            Value::Num(entry.expires_at_s),
                         ])
                     })
                     .collect(),
             ),
         ),
+        ("clock_s", Value::Num(cp.clock_s)),
         ("breakers", Value::Arr(cp.breakers.iter().map(breaker_to_value).collect())),
     ])
 }
@@ -1047,22 +1058,39 @@ fn checkpoint_from_value(value: &Value) -> Checkpoint {
         cache: need_arr(value, "cache")
             .iter()
             .map(|entry| {
-                let entry = entry.as_arr().expect("journal: cache entry is not a triple");
+                let entry = entry.as_arr().expect("journal: cache entry is not a tuple");
                 let code = entry[1].as_num().expect("journal: cache record type") as u16;
                 let rtype = RecordType::from_code(code)
                     .unwrap_or_else(|| panic!("journal: unknown record type code {code}"));
-                let records = entry[2]
+                let records: Vec<ResourceRecord> = entry[2]
                     .as_arr()
                     .expect("journal: cache records")
                     .iter()
                     .map(resource_record_from_value)
                     .collect();
-                ((name_from_value(&entry[0]), rtype), records)
+                // Current journals append the expiry as a fourth
+                // element; pre-expiry journals wrote triples, whose
+                // entries were captured at virtual time zero — their
+                // expiry is recomputed from the records' smallest TTL
+                // (the formula the resolver applied at insert time).
+                let expires_at_s = match entry.get(3) {
+                    Some(v) => v.as_num().expect("journal: cache entry expiry"),
+                    None => u64::from(
+                        records.iter().map(|r| r.ttl).min().unwrap_or(LEGACY_NEGATIVE_TTL_S),
+                    ),
+                };
+                ((name_from_value(&entry[0]), rtype), CacheEntry { expires_at_s, records })
             })
             .collect(),
+        clock_s: value.get("clock_s").and_then(Value::as_num).unwrap_or(0),
         breakers: need_arr(value, "breakers").iter().map(breaker_from_value).collect(),
     }
 }
+
+/// The negative-caching TTL the resolver assigns an empty (NODATA)
+/// answer when the reply carries no SOA — used to reconstruct expiry
+/// for legacy (pre-expiry) journal cache entries with no records.
+const LEGACY_NEGATIVE_TTL_S: u32 = 3600;
 
 #[cfg(test)]
 mod tests {
@@ -1150,12 +1178,16 @@ mod tests {
             net_per_destination: vec![(Ipv4Addr::new(10, 0, 0, 1), 11)],
             cache: vec![(
                 (n("ns1.gov.zz"), RecordType::A),
-                vec![ResourceRecord::new(
-                    n("ns1.gov.zz"),
-                    3600,
-                    RecordData::A(Ipv4Addr::new(10, 1, 0, 1)),
-                )],
+                CacheEntry {
+                    expires_at_s: 3600,
+                    records: vec![ResourceRecord::new(
+                        n("ns1.gov.zz"),
+                        3600,
+                        RecordData::A(Ipv4Addr::new(10, 1, 0, 1)),
+                    )],
+                },
             )],
+            clock_s: 120,
             breakers: vec![BreakerSnapshot {
                 addr: Ipv4Addr::new(10, 1, 0, 2),
                 phase: BreakerPhase::Open,
@@ -1299,6 +1331,43 @@ mod tests {
         let restored = RateLimiter::new(100);
         restored.restore_state(&decoded.limiter);
         assert_eq!(restored.export_state(), cp.limiter);
+    }
+
+    #[test]
+    fn legacy_checkpoints_without_expiry_or_clock_still_decode() {
+        // Pre-expiry journals wrote cache entries as triples and had no
+        // clock field. Synthesize that shape by stripping the modern
+        // encoding and check the decoder reconstructs: clock zero, and
+        // expiry = the entry's smallest record TTL (what the resolver
+        // would have computed at virtual time zero).
+        let modern = checkpoint_to_value(&sample_checkpoint(2));
+        let Value::Obj(fields) = modern else { panic!("checkpoint encodes as an object") };
+        let legacy = Value::Obj(
+            fields
+                .into_iter()
+                .filter(|(k, _)| k != "clock_s")
+                .map(|(k, v)| {
+                    if k != "cache" {
+                        return (k, v);
+                    }
+                    let Value::Arr(entries) = v else { panic!("cache encodes as an array") };
+                    let triples = entries
+                        .into_iter()
+                        .map(|e| {
+                            let Value::Arr(mut parts) = e else { panic!("cache entry tuple") };
+                            parts.truncate(3);
+                            Value::Arr(parts)
+                        })
+                        .collect();
+                    (k, Value::Arr(triples))
+                })
+                .collect(),
+        );
+        let decoded = checkpoint_from_value(&legacy);
+        assert_eq!(decoded.clock_s, 0);
+        assert_eq!(decoded.cache.len(), 1);
+        assert_eq!(decoded.cache[0].1.expires_at_s, 3600, "min record TTL from time zero");
+        assert_eq!(decoded.cache[0].1.records, sample_checkpoint(2).cache[0].1.records);
     }
 
     #[test]

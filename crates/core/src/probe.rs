@@ -16,8 +16,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use govdns_model::{DomainName, Message, Rcode, RecordType, ResourceRecord, Soa};
-use govdns_simnet::{SimNetwork, StubResolver};
+use govdns_model::{DomainName, Message, Rcode, RecordType, Soa};
+use govdns_simnet::{CacheEntry, SimNetwork, StubResolver};
 use govdns_telemetry::{Counter, Histogram, Registry};
 use govdns_trace::{Step, TraceData, WorkerTracer};
 
@@ -941,16 +941,30 @@ impl<'n> ProbeClient<'n> {
     }
 
     /// Imports resolver-cache entries (a journal checkpoint's warmth);
-    /// see [`StubResolver::import_cache`].
-    pub fn import_cache(&self, entries: Vec<((DomainName, RecordType), Vec<ResourceRecord>)>) {
+    /// entries already expired at the resolver's virtual time are
+    /// dropped — see [`StubResolver::import_cache`]. Set the clock
+    /// ([`set_clock_s`](Self::set_clock_s)) *before* importing.
+    pub fn import_cache(&self, entries: Vec<((DomainName, RecordType), CacheEntry)>) {
         self.resolver.import_cache(entries);
     }
 
     /// Exports the resolver cache in deterministic order; see
     /// [`StubResolver::export_cache`].
     #[must_use]
-    pub fn export_cache(&self) -> Vec<((DomainName, RecordType), Vec<ResourceRecord>)> {
+    pub fn export_cache(&self) -> Vec<((DomainName, RecordType), CacheEntry)> {
         self.resolver.export_cache()
+    }
+
+    /// The resolver's virtual clock, seconds (checkpointed alongside the
+    /// cache so expiry survives resume).
+    #[must_use]
+    pub fn clock_s(&self) -> u64 {
+        self.resolver.now_s()
+    }
+
+    /// Sets the resolver's virtual clock (absolute, seconds).
+    pub fn set_clock_s(&self, t: u64) {
+        self.resolver.set_clock_s(t);
     }
 
     /// Starts tallying per-class response counters

@@ -65,12 +65,23 @@ pub struct ScenarioSpec {
     /// Whole /24s taken out — the anycast model: killing a prefix takes
     /// out every sibling site announced from it.
     pub blackhole_prefixes: Vec<Prefix24>,
+    /// Individual addresses degraded (probabilistically dropped at
+    /// `degrade_ppm`) instead of hard-failed.
+    pub degraded_addrs: Vec<Ipv4Addr>,
+    /// Whole /24s degraded at `degrade_ppm`.
+    pub degraded_prefixes: Vec<Prefix24>,
+    /// Drop rate for the degraded sets, in parts per million (`0` turns
+    /// the degrade layer off even when the sets are non-empty).
+    pub degrade_ppm: u32,
 }
 
 impl ScenarioSpec {
     /// Whether the scenario takes out nothing.
     pub fn is_empty(&self) -> bool {
-        self.blackhole_addrs.is_empty() && self.blackhole_prefixes.is_empty()
+        self.blackhole_addrs.is_empty()
+            && self.blackhole_prefixes.is_empty()
+            && (self.degrade_ppm == 0
+                || (self.degraded_addrs.is_empty() && self.degraded_prefixes.is_empty()))
     }
 }
 
@@ -289,7 +300,10 @@ pub fn run_campaign_with(
         let plan = match scenario {
             Some(s) => base
                 .with_blackholed_addrs(s.blackhole_addrs.iter().copied())
-                .with_blackholed_prefixes(s.blackhole_prefixes.iter().copied()),
+                .with_blackholed_prefixes(s.blackhole_prefixes.iter().copied())
+                .with_degraded_addrs(s.degraded_addrs.iter().copied())
+                .with_degraded_prefixes(s.degraded_prefixes.iter().copied())
+                .with_degrade_ppm(s.degrade_ppm),
             None => base,
         };
         campaign.network.install_faults(Some(plan));
@@ -319,6 +333,7 @@ pub fn run_campaign_with(
     // checkpoint cadence).
     let mut replayed: Vec<DomainProbe> = Vec::new();
     let mut initial_cache = None;
+    let mut initial_clock = 0u64;
     if let Some(resume_path) = &config.resume_from {
         let replay = JournalReplay::load(resume_path);
         assert_eq!(
@@ -335,6 +350,7 @@ pub fn run_campaign_with(
             campaign.network.restore_accounting(cp.traffic, cp.faults, cp.net_per_destination);
             bank.restore(&cp.breakers);
             initial_cache = Some(cp.cache);
+            initial_clock = cp.clock_s;
         }
         registry.counter("journal.replayed_probes").add(replayed.len() as u64);
         registry.counter("journal.dropped_bytes").add(replay.dropped_bytes);
@@ -370,6 +386,7 @@ pub fn run_campaign_with(
                     faults: campaign.network.fault_stats(),
                     net_per_destination: campaign.network.per_destination_snapshot(),
                     cache: initial_cache.clone().unwrap_or_default(),
+                    clock_s: initial_clock,
                     breakers: bank.snapshot(),
                 });
                 w.resumed(resume_point as u64);
@@ -427,6 +444,7 @@ pub fn run_campaign_with(
                     client = client.with_tracer(t.worker());
                 }
                 if let Some(cache) = &initial_cache {
+                    client.set_clock_s(initial_clock);
                     client.import_cache(cache.clone());
                 }
                 let capture = |done: u64| Checkpoint {
@@ -436,6 +454,7 @@ pub fn run_campaign_with(
                     faults: campaign.network.fault_stats(),
                     net_per_destination: campaign.network.per_destination_snapshot(),
                     cache: client.export_cache(),
+                    clock_s: client.clock_s(),
                     breakers: bank.snapshot(),
                 };
                 let busy_start = Instant::now();

@@ -33,7 +33,8 @@ use govdns_core::{
 use govdns_diff::DatasetView;
 use govdns_world::{World, WorldConfig, WorldGenerator};
 
-use crate::scenario::{enumerate_scenarios, EnumerationConfig, Scenario};
+use crate::recovery::{simulate_recovery, RecoveryConfig, RecoveryEntry};
+use crate::scenario::{enumerate_scenarios, EnumerationConfig, PartialDial, Scenario};
 use crate::spof::{is_dark, Darkened, SpofEntry, SpofReport};
 
 /// Sweep parameters.
@@ -53,6 +54,16 @@ pub struct SweepConfig {
     /// Write-ahead journal directory: one `<scenario-id>.journal` per
     /// scenario, resumed from when present.
     pub journal_dir: Option<PathBuf>,
+    /// Partial-outage dial: fail only `k/n` of every scenario's
+    /// anycast sites instead of the whole blast set.
+    pub partial: Option<PartialDial>,
+    /// Degraded mode: convert every scenario's hard blackhole into a
+    /// probabilistic drop at this rate (parts per million).
+    pub degrade_ppm: Option<u32>,
+    /// TTL-driven recovery modeling: replay each scenario's outage
+    /// through a caching resolver and report per-domain time-to-dark /
+    /// time-to-recover.
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for SweepConfig {
@@ -64,6 +75,9 @@ impl Default for SweepConfig {
             enumeration: EnumerationConfig::default(),
             scenario_filter: None,
             journal_dir: None,
+            partial: None,
+            degrade_ppm: None,
+            recovery: None,
         }
     }
 }
@@ -126,14 +140,25 @@ pub fn run_sweep(config: &SweepConfig) -> SpofReport {
     if let Some(filter) = &config.scenario_filter {
         scenarios.retain(|s| s.id().contains(filter.as_str()));
     }
+    // Degraded-mode transforms, applied after the filter so the filter
+    // matches the undecorated ids: the partial dial shrinks each blast
+    // set to `k/n` of its sites, the degrade conversion swaps the hard
+    // blackhole for a probabilistic drop. Both rewrite the subject, so
+    // per-scenario journals never collide with the full-outage runs.
+    if let Some(dial) = config.partial {
+        scenarios = scenarios.iter().map(|s| s.dialed(dial)).collect();
+    }
+    if let Some(ppm) = config.degrade_ppm {
+        scenarios = scenarios.iter().map(|s| s.degraded(ppm)).collect();
+    }
 
     let countries = country_map(&baseline);
     if let Some(dir) = &config.journal_dir {
         std::fs::create_dir_all(dir).expect("create journal directory");
     }
 
-    let results: Vec<Mutex<Option<SpofEntry>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    type Outcome = (SpofEntry, Option<RecoveryEntry>);
+    let results: Vec<Mutex<Option<Outcome>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     let workers = config.workers.clamp(1, scenarios.len().max(1));
     crossbeam::scope(|scope| {
@@ -147,23 +172,39 @@ pub fn run_sweep(config: &SweepConfig) -> SpofReport {
                 let matchers = world.catalog.matchers();
                 let campaign = Campaign::new(&world, &matchers);
                 let dataset = run_campaign(&campaign, config.runner_config(Some(scenario)));
-                *results[i].lock() =
-                    Some(score_scenario(scenario, &baseline_view, &dataset, &countries));
+                let entry = score_scenario(scenario, &baseline_view, &dataset, &countries);
+                // Recovery replays the outage through a caching
+                // resolver over the domains this scenario darkened —
+                // a fresh world again (the campaign's network still
+                // has the fault plan installed and its accounting is
+                // not part of the timeline model).
+                let recovery = config.recovery.map(|cfg| {
+                    let world = config.generate_world();
+                    let track: Vec<(String, String)> = entry
+                        .darkened
+                        .iter()
+                        .map(|d| (d.domain.clone(), d.country.clone()))
+                        .collect();
+                    simulate_recovery(&world, scenario, cfg, &track)
+                });
+                *results[i].lock() = Some((entry, recovery));
             });
         }
     })
     .expect("sweep workers do not panic");
 
-    let entries: Vec<SpofEntry> = results
+    let (entries, recovery): (Vec<SpofEntry>, Vec<Option<RecoveryEntry>>) = results
         .into_iter()
         .map(|slot| slot.into_inner().expect("every scenario was swept"))
-        .collect();
+        .unzip();
     SpofReport {
         seed: config.seed,
         scale_ppm: config.scale_ppm,
         baseline_domains: baseline_view.rows.len(),
         baseline_dark: baseline_view.rows.values().filter(|r| is_dark(r.class)).count(),
         entries,
+        // `ranked()` re-threads these onto the ranked scenario order.
+        recovery: recovery.into_iter().flatten().collect(),
     }
     .ranked()
 }

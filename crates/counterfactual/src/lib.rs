@@ -26,14 +26,26 @@
 //! Every report rendering (text table, CSV, canonical JSON) is a
 //! deterministic, worker-count-invariant function of the sweep seed —
 //! CI byte-compares two sweeps the way it byte-compares two campaigns.
+//!
+//! Beyond full single outages, the engine models **degraded modes**:
+//! [`PartialDial`] fails `k` of every `n` anycast sites,
+//! [`compound_scenarios`](crate::enumerate_scenarios) (via
+//! [`EnumerationConfig::compound`]) fail two subjects at once, and
+//! [`simulate_recovery`] replays an outage window through a
+//! TTL-honoring resolver cache to report per-domain *time to dark*
+//! and *time to recover*.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod engine;
+mod recovery;
 mod scenario;
 mod spof;
 
 pub use engine::{run_sweep, SweepConfig};
-pub use scenario::{enumerate_scenarios, EnumerationConfig, Scenario, ScenarioKind};
+pub use recovery::{simulate_recovery, DomainRecovery, RecoveryConfig, RecoveryEntry};
+pub use scenario::{
+    compound_scenarios, enumerate_scenarios, EnumerationConfig, PartialDial, Scenario, ScenarioKind,
+};
 pub use spof::{is_dark, Darkened, SpofEntry, SpofReport};

@@ -11,6 +11,7 @@ use std::fmt::Write as _;
 
 use govdns_core::DomainClass;
 
+use crate::recovery::RecoveryEntry;
 use crate::scenario::ScenarioKind;
 
 /// One darkened domain's class transition under a scenario.
@@ -65,6 +66,11 @@ pub struct SpofReport {
     /// Scenario outcomes, ranked: countries darkened desc, then domains
     /// darkened desc, then id.
     pub entries: Vec<SpofEntry>,
+    /// TTL-driven recovery timelines, one per swept scenario in ranked
+    /// order — empty unless the sweep ran with recovery modeling, and
+    /// omitted from every rendering when empty (so reports without it
+    /// are byte-identical to pre-recovery reports).
+    pub recovery: Vec<RecoveryEntry>,
 }
 
 /// Whether a class counts as dark: no authoritative answer reached the
@@ -75,7 +81,9 @@ pub fn is_dark(class: DomainClass) -> bool {
 
 impl SpofReport {
     /// Sorts `entries` into rank order (in place, then returns self) —
-    /// the one ordering every rendering shares.
+    /// the one ordering every rendering shares. Recovery timelines are
+    /// re-threaded onto the same order, so rank N's timeline is always
+    /// `recovery[N]`.
     #[must_use]
     pub fn ranked(mut self) -> Self {
         self.entries.sort_by(|a, b| {
@@ -84,6 +92,11 @@ impl SpofReport {
                 .then_with(|| b.domains_darkened.cmp(&a.domains_darkened))
                 .then_with(|| a.id.cmp(&b.id))
         });
+        if !self.recovery.is_empty() {
+            let mut by_id: std::collections::BTreeMap<String, RecoveryEntry> =
+                self.recovery.drain(..).map(|r| (r.id.clone(), r)).collect();
+            self.recovery = self.entries.iter().filter_map(|e| by_id.remove(&e.id)).collect();
+        }
         self
     }
 
@@ -92,7 +105,7 @@ impl SpofReport {
     /// dropped, and the remainder re-ranked.
     #[must_use]
     pub fn filtered_by_country(&self, cc: &str) -> SpofReport {
-        let entries = self
+        let entries: Vec<SpofEntry> = self
             .entries
             .iter()
             .filter_map(|e| {
@@ -110,7 +123,18 @@ impl SpofReport {
                 })
             })
             .collect();
-        SpofReport { entries, ..self.clone() }.ranked()
+        let kept: std::collections::BTreeSet<&str> =
+            entries.iter().map(|e| e.id.as_str()).collect();
+        let recovery = self
+            .recovery
+            .iter()
+            .filter(|r| kept.contains(r.id.as_str()))
+            .map(|r| RecoveryEntry {
+                domains: r.domains.iter().filter(|d| d.country == cc).cloned().collect(),
+                ..r.clone()
+            })
+            .collect();
+        SpofReport { entries, recovery, ..self.clone() }.ranked()
     }
 
     /// The ranked table, fixed-width text.
@@ -144,6 +168,28 @@ impl SpofReport {
                 format!("{}a/{}p", e.blast_addrs, e.blast_prefixes),
             );
         }
+        if !self.recovery.is_empty() {
+            let (w, s) = (self.recovery[0].window_s, self.recovery[0].step_s);
+            let _ = writeln!(out, "\nrecovery timelines (window {w}s, step {s}s)");
+            let _ = writeln!(
+                out,
+                "{:<40} {:<28} {:>3} {:>9} {:>9}",
+                "scenario", "domain", "cc", "dark_at_s", "recover_s"
+            );
+            for r in &self.recovery {
+                for d in &r.domains {
+                    let _ = writeln!(
+                        out,
+                        "{:<40} {:<28} {:>3} {:>9} {:>9}",
+                        r.id,
+                        d.domain,
+                        d.country,
+                        d.dark_at_s.map_or_else(|| "-".to_owned(), |t| t.to_string()),
+                        d.recover_s.map_or_else(|| "-".to_owned(), |t| t.to_string()),
+                    );
+                }
+            }
+        }
         out
     }
 
@@ -168,6 +214,24 @@ impl SpofReport {
                 e.countries_darkened,
                 e.countries.join(";"),
             );
+        }
+        if !self.recovery.is_empty() {
+            out.push_str("\nscenario,window_s,step_s,domain,country,dark_at_s,recover_s\n");
+            for r in &self.recovery {
+                for d in &r.domains {
+                    let _ = writeln!(
+                        out,
+                        "{},{},{},{},{},{},{}",
+                        r.id,
+                        r.window_s,
+                        r.step_s,
+                        d.domain,
+                        d.country,
+                        d.dark_at_s.map_or_else(String::new, |t| t.to_string()),
+                        d.recover_s.map_or_else(String::new, |t| t.to_string()),
+                    );
+                }
+            }
         }
         out
     }
@@ -223,7 +287,41 @@ impl SpofReport {
             }
             out.push_str("]}");
         }
-        out.push_str("]}");
+        out.push(']');
+        // The recovery section only exists when modeled: a sweep
+        // without it renders byte-identically to pre-recovery reports.
+        if !self.recovery.is_empty() {
+            out.push_str(",\"recovery\":[");
+            for (i, r) in self.recovery.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"id\":\"{}\",\"window_s\":{},\"step_s\":{},\"domains\":[",
+                    escape(&r.id),
+                    r.window_s,
+                    r.step_s,
+                );
+                for (j, d) in r.domains.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"domain\":\"{}\",\"country\":\"{}\",\"dark_at_s\":{},\
+                         \"recover_s\":{}}}",
+                        escape(&d.domain),
+                        escape(&d.country),
+                        d.dark_at_s.map_or_else(|| "null".to_owned(), |t| t.to_string()),
+                        d.recover_s.map_or_else(|| "null".to_owned(), |t| t.to_string()),
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push(']');
+        }
+        out.push('}');
         out
     }
 }
@@ -274,7 +372,28 @@ mod tests {
     }
 
     fn report(entries: Vec<SpofEntry>) -> SpofReport {
-        SpofReport { seed: 7, scale_ppm: 10_000, baseline_domains: 50, baseline_dark: 3, entries }
+        SpofReport {
+            seed: 7,
+            scale_ppm: 10_000,
+            baseline_domains: 50,
+            baseline_dark: 3,
+            entries,
+            recovery: Vec::new(),
+        }
+    }
+
+    fn recovery(id: &str, domain: &str, cc: &str) -> RecoveryEntry {
+        RecoveryEntry {
+            id: id.to_owned(),
+            window_s: 7200,
+            step_s: 60,
+            domains: vec![crate::recovery::DomainRecovery {
+                domain: domain.to_owned(),
+                country: cc.to_owned(),
+                dark_at_s: Some(3600),
+                recover_s: Some(60),
+            }],
+        }
     }
 
     #[test]
@@ -324,6 +443,64 @@ mod tests {
         assert_eq!(f.entries[0].id, "provider:a");
         assert_eq!(f.entries[0].domains_darkened, 1);
         assert_eq!(f.entries[0].countries, vec!["aa".to_owned()]);
+    }
+
+    #[test]
+    fn recovery_section_renders_only_when_present() {
+        let bare = report(vec![entry("provider:a", &["aa"], 1)]).ranked();
+        assert!(!bare.render_text().contains("recovery timelines"));
+        assert!(!bare.to_csv().contains("window_s"));
+        assert!(!bare.canonical_json().contains("\"recovery\""));
+        let without = bare.canonical_json();
+
+        let mut with = bare.clone();
+        with.recovery = vec![recovery("provider:a", "d0.gov.aa", "aa")];
+        let json = with.canonical_json();
+        assert!(json.contains("\"recovery\":[{\"id\":\"provider:a\""));
+        assert!(json.contains("\"dark_at_s\":3600"));
+        assert!(json.starts_with(without.trim_end_matches('}')), "prefix-stable");
+        assert!(with.render_text().contains("recovery timelines (window 7200s, step 60s)"));
+        assert!(with.to_csv().contains("provider:a,7200,60,d0.gov.aa,aa,3600,60"));
+    }
+
+    #[test]
+    fn ranking_rethreads_recovery_onto_entry_order() {
+        let mut r =
+            report(vec![entry("provider:b", &["aa"], 4), entry("provider:a", &["aa", "bb"], 2)]);
+        r.recovery = vec![
+            recovery("provider:b", "d.gov.aa", "aa"),
+            recovery("provider:a", "d.gov.bb", "bb"),
+        ];
+        let ranked = r.ranked();
+        let ids: Vec<&str> = ranked.entries.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(ids, ["provider:a", "provider:b"]);
+        let rids: Vec<&str> = ranked.recovery.iter().map(|e| e.id.as_str()).collect();
+        assert_eq!(rids, ids, "timelines follow rank order");
+    }
+
+    #[test]
+    fn country_filter_narrows_recovery_timelines() {
+        let mut r =
+            report(vec![entry("provider:a", &["aa", "bb"], 2), entry("provider:b", &["bb"], 1)])
+                .ranked();
+        r.recovery = vec![
+            {
+                let mut e = recovery("provider:a", "d0.gov.aa", "aa");
+                e.domains.push(crate::recovery::DomainRecovery {
+                    domain: "d1.gov.bb".to_owned(),
+                    country: "bb".to_owned(),
+                    dark_at_s: None,
+                    recover_s: None,
+                });
+                e
+            },
+            recovery("provider:b", "d0.gov.bb", "bb"),
+        ];
+        let f = r.filtered_by_country("aa");
+        assert_eq!(f.recovery.len(), 1, "provider:b darkened nothing in aa");
+        assert_eq!(f.recovery[0].id, "provider:a");
+        assert_eq!(f.recovery[0].domains.len(), 1);
+        assert_eq!(f.recovery[0].domains[0].domain, "d0.gov.aa");
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Integration tests for degraded-mode resilience: the partial-outage
+//! dial's monotone darkening, compound scenarios dominating their
+//! components, and the TTL-driven recovery model's byte-stability
+//! across worker counts and journal resumes.
+
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+use proptest::prelude::*;
+
+use govdns_counterfactual::{
+    run_sweep, EnumerationConfig, PartialDial, RecoveryConfig, Scenario, ScenarioKind, SweepConfig,
+};
+
+const SEED: u64 = 11;
+const SCALE_PPM: u64 = 2_000;
+
+fn base_config() -> SweepConfig {
+    SweepConfig {
+        seed: SEED,
+        scale_ppm: SCALE_PPM,
+        workers: 1,
+        enumeration: EnumerationConfig { max_per_kind: 1, ..EnumerationConfig::default() },
+        scenario_filter: Some("provider:".to_owned()),
+        ..SweepConfig::default()
+    }
+}
+
+fn darkened_domains(config: &SweepConfig) -> BTreeSet<String> {
+    run_sweep(config)
+        .entries
+        .iter()
+        .flat_map(|e| e.darkened.iter().map(|d| d.domain.clone()))
+        .collect()
+}
+
+/// Turning the dial up never turns a domain back on: `k/n` darkens a
+/// subset of what `(k+1)/n` darkens, and `n/n` is exactly the full
+/// outage.
+#[test]
+fn partial_dial_darkening_is_monotone_in_k() {
+    let full = darkened_domains(&base_config());
+    assert!(!full.is_empty(), "the largest provider darkens someone");
+
+    let half = darkened_domains(&SweepConfig {
+        partial: Some(PartialDial { k: 1, n: 2 }),
+        ..base_config()
+    });
+    let dialed_full = darkened_domains(&SweepConfig {
+        partial: Some(PartialDial { k: 2, n: 2 }),
+        ..base_config()
+    });
+
+    assert!(half.is_subset(&dialed_full), "k=1/2 ⊄ k=2/2: {half:?} vs {dialed_full:?}");
+    assert_eq!(dialed_full, full, "k=n must reproduce the full outage");
+}
+
+/// A compound scenario darkens at least the union of what its two
+/// components darken alone — the blast set is the union, and darkening
+/// is monotone in the blast set.
+#[test]
+fn compound_darkens_at_least_the_union_of_its_components() {
+    let report = run_sweep(&SweepConfig {
+        enumeration: EnumerationConfig { max_per_kind: 1, compound: true },
+        scenario_filter: None,
+        ..base_config()
+    });
+    let darkened_of = |id: &str| -> Option<BTreeSet<String>> {
+        report
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.darkened.iter().map(|d| d.domain.clone()).collect())
+    };
+
+    let compounds: Vec<_> =
+        report.entries.iter().filter(|e| e.kind == ScenarioKind::Compound).collect();
+    assert!(!compounds.is_empty(), "max_per_kind=1 still composes provider×cctld/prefix pairs");
+    for compound in compounds {
+        let (id_a, id_b) = compound.subject.split_once('+').expect("compound subject is id+id");
+        let got: BTreeSet<String> = compound.darkened.iter().map(|d| d.domain.clone()).collect();
+        for part in [id_a, id_b] {
+            let Some(single) = darkened_of(part) else { continue };
+            assert!(
+                single.is_subset(&got),
+                "{}: component {part} darkens {single:?} but the compound only {got:?}",
+                compound.id
+            );
+        }
+    }
+}
+
+/// The recovery-modeled report is a pure function of the sweep seed:
+/// worker count never changes a byte, and two identical runs agree.
+#[test]
+fn recovery_report_is_worker_count_invariant() {
+    let config = SweepConfig {
+        enumeration: EnumerationConfig { max_per_kind: 2, ..EnumerationConfig::default() },
+        recovery: Some(RecoveryConfig { window_s: 7200, step_s: 600 }),
+        ..base_config()
+    };
+    let serial = run_sweep(&config);
+    assert!(!serial.recovery.is_empty(), "recovery timelines were modeled");
+    assert!(
+        serial.recovery.iter().flat_map(|r| &r.domains).any(|d| d.dark_at_s.is_some()),
+        "a 2-hour outage drains 3600-second TTLs"
+    );
+
+    let parallel = run_sweep(&SweepConfig { workers: 8, ..config.clone() });
+    assert_eq!(serial.canonical_json(), parallel.canonical_json());
+    assert_eq!(serial.render_text(), parallel.render_text());
+    assert_eq!(serial.to_csv(), parallel.to_csv());
+
+    let again = run_sweep(&config);
+    assert_eq!(serial.canonical_json(), again.canonical_json());
+}
+
+/// A journaled recovery sweep killed mid-flight resumes byte-identically:
+/// scenarios whose journals survived replay, the one whose journal was
+/// lost re-probes, and the report bytes match the uninterrupted run.
+#[test]
+fn journaled_recovery_sweep_survives_a_mid_sweep_kill() {
+    let dir = std::env::temp_dir().join(format!("govdns-cf-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = SweepConfig {
+        enumeration: EnumerationConfig { max_per_kind: 2, ..EnumerationConfig::default() },
+        recovery: Some(RecoveryConfig { window_s: 7200, step_s: 600 }),
+        journal_dir: Some(dir.clone()),
+        ..base_config()
+    };
+    let first = run_sweep(&config);
+    assert!(!first.recovery.is_empty());
+
+    // The mid-sweep kill: one scenario's journal never made it to disk.
+    let mut journals: Vec<_> = std::fs::read_dir(&dir)
+        .expect("journal dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    journals.sort();
+    assert_eq!(journals.len(), 2, "two provider scenarios, two journals: {journals:?}");
+    std::fs::remove_file(&journals[0]).expect("drop one journal");
+
+    let resumed = run_sweep(&config);
+    assert_eq!(first.canonical_json(), resumed.canonical_json());
+    assert_eq!(first.to_csv(), resumed.to_csv());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn scenario_with(addrs: &[Ipv4Addr], groups: Vec<Vec<Ipv4Addr>>) -> Scenario {
+    Scenario {
+        kind: ScenarioKind::Provider,
+        subject: "dial".to_owned(),
+        blackhole_addrs: addrs.iter().copied().collect(),
+        blackhole_prefixes: BTreeSet::new(),
+        degraded_addrs: BTreeSet::new(),
+        degraded_prefixes: BTreeSet::new(),
+        degrade_ppm: 0,
+        site_groups: groups,
+        candidates: BTreeSet::new(),
+        candidate_domains: 0,
+    }
+}
+
+proptest! {
+    /// The dial's site selection nests for any address population and
+    /// grouping: the blast at `k/n` is a subset of the blast at
+    /// `(k+1)/n`, per group and overall, and `n/n` is everything.
+    #[test]
+    fn dial_selection_nests_for_any_population(
+        raw in prop::collection::vec(any::<u32>(), 1..24),
+        n in 1u32..6,
+        split in any::<u8>(),
+    ) {
+        let unique: BTreeSet<u32> = raw.into_iter().collect();
+        let addrs: Vec<Ipv4Addr> = unique.iter().map(|&v| Ipv4Addr::from(v)).collect();
+        // Deterministically split the population into two site groups.
+        let cut = (usize::from(split) % addrs.len()).max(1).min(addrs.len());
+        let groups = vec![addrs[..cut].to_vec(), addrs[cut..].to_vec()];
+        let scenario = scenario_with(&addrs, groups);
+
+        let mut prev: BTreeSet<Ipv4Addr> = BTreeSet::new();
+        for k in 0..=n {
+            let dialed = scenario.dialed(PartialDial { k, n });
+            prop_assert!(
+                dialed.blackhole_addrs.is_superset(&prev),
+                "k={k}/{n}: {:?} ⊉ {prev:?}", dialed.blackhole_addrs
+            );
+            prop_assert!(dialed.blackhole_addrs.is_subset(&scenario.blackhole_addrs));
+            prev = dialed.blackhole_addrs;
+        }
+        prop_assert_eq!(prev, scenario.blackhole_addrs.clone(), "n/n fails every site");
+    }
+}

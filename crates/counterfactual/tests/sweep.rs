@@ -49,8 +49,12 @@ fn provider_outage_darkens_exactly_the_single_provider_domains() {
     let world = tiny_world();
     let base = baseline(&world);
     let matchers = world.catalog.matchers();
-    let scenarios =
-        enumerate_scenarios(&base, &matchers, &world.asn_db, EnumerationConfig { max_per_kind: 1 });
+    let scenarios = enumerate_scenarios(
+        &base,
+        &matchers,
+        &world.asn_db,
+        EnumerationConfig { max_per_kind: 1, ..EnumerationConfig::default() },
+    );
     let scenario = scenarios
         .iter()
         .find(|s| s.kind == ScenarioKind::Provider)
@@ -102,9 +106,10 @@ fn journaled_sweep_resumes_byte_identically() {
         seed: SEED,
         scale_ppm: (SCALE * 1_000_000.0) as u64,
         workers: 1,
-        enumeration: EnumerationConfig { max_per_kind: 1 },
+        enumeration: EnumerationConfig { max_per_kind: 1, ..EnumerationConfig::default() },
         scenario_filter: Some("provider:".to_owned()),
         journal_dir: Some(dir.clone()),
+        ..SweepConfig::default()
     };
     let first = run_sweep(&config);
     let journals: Vec<_> = std::fs::read_dir(&dir)
@@ -126,9 +131,10 @@ fn sweep_report_is_worker_count_invariant() {
         seed: SEED,
         scale_ppm: (SCALE * 1_000_000.0) as u64,
         workers: 1,
-        enumeration: EnumerationConfig { max_per_kind: 2 },
+        enumeration: EnumerationConfig { max_per_kind: 2, ..EnumerationConfig::default() },
         scenario_filter: Some("asn:".to_owned()),
         journal_dir: None,
+        ..SweepConfig::default()
     };
     let serial = run_sweep(&config);
     let parallel = run_sweep(&SweepConfig { workers: 4, ..config });

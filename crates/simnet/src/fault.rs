@@ -205,7 +205,26 @@ pub struct FaultPlan {
     blackhole_addrs: BTreeSet<Ipv4Addr>,
     /// Counterfactual-outage layer: whole /24s that are hard-failed.
     blackhole_prefixes: BTreeSet<Prefix24>,
+    /// Partial-outage layer: addresses degraded (not erased) by a
+    /// counterfactual scenario. Each delivery attempt to a degraded
+    /// destination is dropped with probability `degrade_ppm / 1e6`,
+    /// decided by the same pure-hash scheme as the probabilistic rules
+    /// but under a salt domain no rule uses — so, like the blackhole
+    /// layer, degrading a set never perturbs a decision outside it.
+    degraded_addrs: BTreeSet<Ipv4Addr>,
+    /// Partial-outage layer: whole /24s degraded.
+    degraded_prefixes: BTreeSet<Prefix24>,
+    /// Per-attempt drop probability for degraded destinations, in
+    /// parts-per-million (an integer so the plan stays `Eq`-comparable
+    /// and byte-stable in config echoes). `0` disables the layer.
+    degrade_ppm: u32,
 }
+
+/// Salt-domain tag for the degrade layer's hash draws. Rule draws salt
+/// with `[rule_idx, 0x1..=0x5, ...]`; the degrade layer uses an index no
+/// rule can occupy so its draws can never collide with a rule's.
+const DEGRADE_SALT_IDX: u64 = u64::MAX;
+const DEGRADE_SALT_DOMAIN: u64 = 0x6;
 
 impl FaultPlan {
     /// An empty plan (no faults) under `seed`.
@@ -215,6 +234,9 @@ impl FaultPlan {
             rules: Vec::new(),
             blackhole_addrs: BTreeSet::new(),
             blackhole_prefixes: BTreeSet::new(),
+            degraded_addrs: BTreeSet::new(),
+            degraded_prefixes: BTreeSet::new(),
+            degrade_ppm: 0,
         }
     }
 
@@ -274,6 +296,60 @@ impl FaultPlan {
         self
     }
 
+    /// Degrades additional addresses (builder style): each delivery
+    /// attempt to a degraded destination is independently dropped with
+    /// probability [`degrade_ppm`](Self::with_degrade_ppm)` / 1e6`
+    /// (counted as [`FaultKind::Outage`]); attempts that survive the
+    /// dial see exactly the decision the base plan would have made.
+    #[must_use]
+    pub fn with_degraded_addrs<I: IntoIterator<Item = Ipv4Addr>>(mut self, addrs: I) -> Self {
+        self.degraded_addrs.extend(addrs);
+        self
+    }
+
+    /// Degrades additional /24 prefixes (builder style).
+    #[must_use]
+    pub fn with_degraded_prefixes<I: IntoIterator<Item = Prefix24>>(mut self, ps: I) -> Self {
+        self.degraded_prefixes.extend(ps);
+        self
+    }
+
+    /// Sets the degraded-destination drop probability, parts-per-million
+    /// (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppm` exceeds 1 000 000.
+    #[must_use]
+    pub fn with_degrade_ppm(mut self, ppm: u32) -> Self {
+        assert!(ppm <= 1_000_000, "degrade rate {ppm} ppm outside [0, 1e6]");
+        self.degrade_ppm = ppm;
+        self
+    }
+
+    /// The degraded addresses, sorted.
+    pub fn degraded_addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.degraded_addrs.iter().copied()
+    }
+
+    /// The degraded /24s, sorted.
+    pub fn degraded_prefixes(&self) -> impl Iterator<Item = Prefix24> + '_ {
+        self.degraded_prefixes.iter().copied()
+    }
+
+    /// The degraded-destination drop probability, parts-per-million.
+    pub fn degrade_ppm(&self) -> u32 {
+        self.degrade_ppm
+    }
+
+    /// Whether the partial-outage layer applies to `dst` (with a nonzero
+    /// drop rate).
+    pub fn is_degraded(&self, dst: Ipv4Addr) -> bool {
+        self.degrade_ppm > 0
+            && (self.degraded_addrs.contains(&dst)
+                || self.degraded_prefixes.contains(&prefix24(dst)))
+    }
+
     /// The blackholed addresses, sorted.
     pub fn blackholed_addrs(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
         self.blackhole_addrs.iter().copied()
@@ -294,6 +370,8 @@ impl FaultPlan {
         self.rules.is_empty()
             && self.blackhole_addrs.is_empty()
             && self.blackhole_prefixes.is_empty()
+            && !(self.degrade_ppm > 0
+                && !(self.degraded_addrs.is_empty() && self.degraded_prefixes.is_empty()))
     }
 
     /// Decides the fate of one delivery attempt.
@@ -328,6 +406,25 @@ impl FaultPlan {
         if self.is_blackholed(dst) {
             decision.drop = Some(FaultKind::Outage);
             return decision;
+        }
+        // The partial-outage dial: a degraded destination loses this
+        // attempt with probability `degrade_ppm / 1e6`, decided under a
+        // salt domain no rule shares. An attempt that survives the dial
+        // falls through to the rules with untouched salts, so the
+        // surviving decision stream is bit-identical to the base plan's.
+        if self.is_degraded(dst) {
+            let rate = f64::from(self.degrade_ppm) / 1e6;
+            let salt = [
+                DEGRADE_SALT_IDX,
+                DEGRADE_SALT_DOMAIN,
+                u64::from(u32::from(dst)),
+                qhash,
+                u64::from(attempt),
+            ];
+            if self.hits(rate, salt) {
+                decision.drop = Some(FaultKind::Outage);
+                return decision;
+            }
         }
         if self.rules.is_empty() {
             return decision;
@@ -633,6 +730,77 @@ mod tests {
                 "decision changed outside the blackhole set"
             );
         }
+    }
+
+    #[test]
+    fn degraded_addr_drops_some_attempts_and_only_those() {
+        let plan = FaultPlan::new(21).with_degraded_addrs([dst(9)]).with_degrade_ppm(500_000);
+        assert!(!plan.is_empty(), "a degraded set with a nonzero rate is a real fault");
+        let name = n("a.gov.zz");
+        let dropped = (0..64u32)
+            .filter(|&a| plan.decide(dst(9), &name, a, 0).drop == Some(FaultKind::Outage))
+            .count();
+        assert!((10..55).contains(&dropped), "0.5 drop rate hit {dropped}/64 attempts");
+        for a in 0..8 {
+            assert!(plan.decide(dst(10), &name, a, 0).is_clean(), "other server untouched");
+        }
+    }
+
+    #[test]
+    fn degrade_rate_zero_is_inert() {
+        let plan = FaultPlan::new(21).with_degraded_addrs([dst(9)]);
+        assert!(plan.is_empty(), "a degraded set without a rate injects nothing");
+        assert!(!plan.is_degraded(dst(9)));
+        assert!(plan.decide(dst(9), &n("a.gov.zz"), 0, 0).is_clean());
+    }
+
+    #[test]
+    fn degraded_prefix_covers_the_whole_slash24() {
+        let p = prefix24(Ipv4Addr::new(198, 51, 100, 0));
+        let plan = FaultPlan::new(4).with_degraded_prefixes([p]).with_degrade_ppm(1_000_000);
+        let name = n("a.gov.zz");
+        for host in [0u8, 9, 255] {
+            let addr = Ipv4Addr::new(198, 51, 100, host);
+            assert!(plan.is_degraded(addr));
+            assert_eq!(plan.decide(addr, &name, 0, 0).drop, Some(FaultKind::Outage));
+        }
+        assert!(plan.decide(Ipv4Addr::new(198, 51, 101, 1), &name, 0, 0).is_clean());
+    }
+
+    #[test]
+    fn degrade_layer_does_not_perturb_rule_decisions() {
+        let base = ChaosProfile::Hostile.plan(13);
+        let layered = base.clone().with_degraded_addrs([dst(200)]).with_degrade_ppm(400_000);
+        for i in 0..100u8 {
+            let name = n(&format!("d{i}.gov.zz"));
+            let b = base.decide(dst(i), &name, u32::from(i % 4), 60);
+            let l = layered.decide(dst(i), &name, u32::from(i % 4), 60);
+            if dst(i) == dst(200) {
+                // Inside the blast set the attempt either loses the dial
+                // (outage) or sees the base decision unchanged.
+                assert!(l.drop == Some(FaultKind::Outage) || l == b);
+            } else {
+                assert_eq!(b, l, "decision changed outside the degraded set");
+            }
+        }
+    }
+
+    #[test]
+    fn blackhole_preempts_degrade() {
+        let plan = FaultPlan::new(6)
+            .with_blackholed_addrs([dst(3)])
+            .with_degraded_addrs([dst(3)])
+            .with_degrade_ppm(1);
+        // Even at a 1-ppm dial the blackhole swallows every attempt.
+        for a in 0..16 {
+            assert_eq!(plan.decide(dst(3), &n("a.gov.zz"), a, 0).drop, Some(FaultKind::Outage));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1e6]")]
+    fn rejects_bad_degrade_rate() {
+        let _ = FaultPlan::new(1).with_degrade_ppm(1_000_001);
     }
 
     #[test]

@@ -49,5 +49,5 @@ pub use fault::{
 };
 pub use latency::LatencyModel;
 pub use network::{DeliveryOutcome, DeliveryTrace, SimNetwork, TrafficStats};
-pub use resolver::{ResolveError, ResolveResult, StubResolver};
+pub use resolver::{CacheEntry, ResolveError, ResolveResult, StubResolver};
 pub use server::{AuthoritativeServer, LameMode, ServerBehavior};

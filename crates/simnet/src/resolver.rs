@@ -1,7 +1,7 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU16, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
@@ -12,6 +12,17 @@ use crate::SimNetwork;
 const MAX_REFERRALS: usize = 24;
 const MAX_GLUELESS_DEPTH: usize = 6;
 const MAX_CNAME_CHASE: usize = 4;
+
+/// Negative-caching TTL when an authoritative NODATA/NXDOMAIN reply
+/// carries no SOA to derive one from (RFC 2308 uses the SOA minimum).
+const DEFAULT_NEGATIVE_TTL_S: u32 = 3600;
+
+/// How long a resolution *failure* (every server timed out or answered
+/// uselessly) is negatively cached, seconds. RFC 2308 §7 allows caching
+/// server failures for up to five minutes; resolvers in the field use
+/// much shorter holds, and this short hold is what puts a floor under
+/// time-to-recover once an outage lifts.
+const SERVFAIL_NEGATIVE_TTL_S: u32 = 30;
 
 /// Why a resolution failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,17 +68,54 @@ impl ResolveResult {
     }
 }
 
+/// One positive-cache entry: the answer records plus the virtual-clock
+/// second past which they may no longer be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Virtual-clock expiry, seconds: the entry is served strictly
+    /// before this instant and evicted at or after it (`now + min TTL`
+    /// of the records at insert time).
+    pub expires_at_s: u64,
+    /// The cached answer records (possibly empty for NODATA).
+    pub records: Vec<ResourceRecord>,
+}
+
+/// Why a negatively-cached name fails without a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NegativeKind {
+    /// An authoritative NXDOMAIN was cached (RFC 2308).
+    NxDomain,
+    /// A resolution failure (all servers dead or useless) was cached
+    /// briefly, the way real resolvers hold SERVFAIL.
+    Unreachable,
+}
+
 /// An iterative resolver walking the simulated DNS from the root.
 ///
 /// This plays the role of the study's measurement-host resolver: locating
 /// the authoritative servers of parent zones and resolving nameserver
 /// hostnames to IPv4 addresses. It keeps a positive cache, as the real
 /// pipeline relied on its resolver's cache across 147k domains.
+///
+/// **Virtual clock.** Entries carry an expiry derived from record TTLs
+/// (SOA negative-caching minimums for empty answers), measured against a
+/// per-resolver virtual clock that starts at zero and only moves when a
+/// caller advances it. Measurement campaigns never advance the clock, so
+/// nothing expires mid-campaign and campaign outputs are unchanged by
+/// the expiry machinery; recovery modeling ticks the clock across an
+/// outage window to watch cached answers die and come back.
 #[derive(Debug)]
 pub struct StubResolver<'net> {
     network: &'net SimNetwork,
     roots: Vec<Ipv4Addr>,
-    cache: Mutex<HashMap<(DomainName, RecordType), Vec<ResourceRecord>>>,
+    cache: Mutex<HashMap<(DomainName, RecordType), CacheEntry>>,
+    /// RFC 2308 negative cache, used only when
+    /// [`with_negative_cache`](Self::with_negative_cache) opted in:
+    /// campaigns re-probe failures (the paper's protocol), the recovery
+    /// model caches them.
+    neg_cache: Mutex<HashMap<(DomainName, RecordType), (u64, NegativeKind)>>,
+    negative_caching: AtomicBool,
+    clock_s: AtomicU64,
     next_id: AtomicU16,
 }
 
@@ -83,8 +131,22 @@ impl<'net> StubResolver<'net> {
             network,
             roots,
             cache: Mutex::new(HashMap::new()),
+            neg_cache: Mutex::new(HashMap::new()),
+            negative_caching: AtomicBool::new(false),
+            clock_s: AtomicU64::new(0),
             next_id: AtomicU16::new(1),
         }
+    }
+
+    /// Enables RFC 2308-style negative caching (builder style): cached
+    /// NXDOMAINs fail without a query until their SOA-derived TTL
+    /// passes, and resolution failures are held for a short SERVFAIL
+    /// window. Off by default — the measurement pipeline re-probes
+    /// failures by design, so campaigns must not cache them.
+    #[must_use]
+    pub fn with_negative_cache(self) -> Self {
+        self.negative_caching.store(true, Ordering::Relaxed);
+        self
     }
 
     fn fresh_id(&self) -> u16 {
@@ -96,11 +158,27 @@ impl<'net> StubResolver<'net> {
         &self.roots
     }
 
+    /// The virtual clock, seconds.
+    pub fn now_s(&self) -> u64 {
+        self.clock_s.load(Ordering::Relaxed)
+    }
+
+    /// Sets the virtual clock (absolute, seconds).
+    pub fn set_clock_s(&self, t: u64) {
+        self.clock_s.store(t, Ordering::Relaxed);
+    }
+
+    /// Advances the virtual clock by `dt` seconds, returning the new
+    /// time.
+    pub fn advance_clock_s(&self, dt: u64) -> u64 {
+        self.clock_s.fetch_add(dt, Ordering::Relaxed) + dt
+    }
+
     /// Exports the positive cache as a sorted list of entries — the
     /// campaign journal checkpoints this so a resumed run starts with
     /// the same cache warmth (a cache hit costs zero queries, so cache
     /// state is load-bearing for byte-identical resume).
-    pub fn export_cache(&self) -> Vec<((DomainName, RecordType), Vec<ResourceRecord>)> {
+    pub fn export_cache(&self) -> Vec<((DomainName, RecordType), CacheEntry)> {
         let cache = self.cache.lock();
         let mut entries: Vec<_> = cache.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
@@ -108,13 +186,56 @@ impl<'net> StubResolver<'net> {
     }
 
     /// Imports cache entries (from [`export_cache`]), replacing any
-    /// existing entry under the same key.
+    /// existing entry under the same key. Entries whose expiry is not
+    /// strictly after the resolver's current virtual time are dropped:
+    /// a checkpoint restored at time `t` must not revive warmth the
+    /// uninterrupted run would already have evicted.
     ///
     /// [`export_cache`]: StubResolver::export_cache
-    pub fn import_cache(&self, entries: Vec<((DomainName, RecordType), Vec<ResourceRecord>)>) {
+    pub fn import_cache(&self, entries: Vec<((DomainName, RecordType), CacheEntry)>) {
+        let now = self.now_s();
         let mut cache = self.cache.lock();
-        for (key, records) in entries {
-            cache.insert(key, records);
+        for (key, entry) in entries {
+            if entry.expires_at_s > now {
+                cache.insert(key, entry);
+            }
+        }
+    }
+
+    /// Inserts a positive entry expiring `ttl` seconds from now. A zero
+    /// TTL is uncacheable and skipped outright, so no run ever exports
+    /// an entry another run would have to evict on sight.
+    fn cache_insert(&self, key: (DomainName, RecordType), records: Vec<ResourceRecord>, ttl: u32) {
+        if ttl == 0 {
+            return;
+        }
+        let expires_at_s = self.now_s().saturating_add(u64::from(ttl));
+        self.cache.lock().insert(key, CacheEntry { expires_at_s, records });
+    }
+
+    /// Records a negative outcome (when negative caching is on).
+    fn neg_insert(&self, key: (DomainName, RecordType), kind: NegativeKind, ttl: u32) {
+        if !self.negative_caching.load(Ordering::Relaxed) || ttl == 0 {
+            return;
+        }
+        let expires_at_s = self.now_s().saturating_add(u64::from(ttl));
+        self.neg_cache.lock().insert(key, (expires_at_s, kind));
+    }
+
+    /// An unexpired negative entry for `key`, if negative caching is on.
+    fn neg_lookup(&self, key: &(DomainName, RecordType)) -> Option<NegativeKind> {
+        if !self.negative_caching.load(Ordering::Relaxed) {
+            return None;
+        }
+        let now = self.now_s();
+        let mut neg = self.neg_cache.lock();
+        match neg.get(key) {
+            Some(&(expires, kind)) if expires > now => Some(kind),
+            Some(_) => {
+                neg.remove(key);
+                None
+            }
+            None => None,
         }
     }
 
@@ -150,8 +271,30 @@ impl<'net> StubResolver<'net> {
         if depth > MAX_GLUELESS_DEPTH {
             return Err(ResolveError::TooManyReferrals(name.clone()));
         }
-        if let Some(records) = self.cache.lock().get(&(name.clone(), rtype)) {
-            return Ok(ResolveResult { records: records.clone(), elapsed_ms: 0, queries: 0 });
+        let key = (name.clone(), rtype);
+        {
+            let now = self.now_s();
+            let mut cache = self.cache.lock();
+            match cache.get(&key) {
+                Some(e) if e.expires_at_s > now => {
+                    return Ok(ResolveResult {
+                        records: e.records.clone(),
+                        elapsed_ms: 0,
+                        queries: 0,
+                    });
+                }
+                Some(_) => {
+                    cache.remove(&key);
+                }
+                None => {}
+            }
+        }
+        match self.neg_lookup(&key) {
+            Some(NegativeKind::NxDomain) => return Err(ResolveError::NxDomain(name.clone())),
+            Some(NegativeKind::Unreachable) => {
+                return Err(ResolveError::Unreachable(name.clone()));
+            }
+            None => {}
         }
 
         let mut servers: Vec<Ipv4Addr> = self.roots.clone();
@@ -175,6 +318,11 @@ impl<'net> StubResolver<'net> {
                 queries += 1;
                 let Some(reply) = out.reply() else { continue };
                 if reply.aa && reply.rcode == Rcode::NxDomain {
+                    self.neg_insert(
+                        (qname.clone(), rtype),
+                        NegativeKind::NxDomain,
+                        negative_ttl(reply),
+                    );
                     return Err(ResolveError::NxDomain(qname));
                 }
                 if reply.is_authoritative_answer() {
@@ -194,7 +342,12 @@ impl<'net> StubResolver<'net> {
                         }
                     }
                     let records = reply.answers.clone();
-                    self.cache.lock().insert((qname.clone(), rtype), records.clone());
+                    // Positive answers live for their smallest record
+                    // TTL; an authoritative NODATA lives for the SOA
+                    // negative-caching minimum (RFC 2308).
+                    let ttl =
+                        records.iter().map(|r| r.ttl).min().unwrap_or_else(|| negative_ttl(reply));
+                    self.cache_insert((qname.clone(), rtype), records.clone(), ttl);
                     return Ok(ResolveResult { records, elapsed_ms, queries });
                 }
                 if reply.is_referral() {
@@ -215,6 +368,11 @@ impl<'net> StubResolver<'net> {
                 // REFUSED/SERVFAIL/non-AA junk: try the next candidate.
             }
             if !progressed {
+                self.neg_insert(
+                    (qname.clone(), rtype),
+                    NegativeKind::Unreachable,
+                    SERVFAIL_NEGATIVE_TTL_S,
+                );
                 return Err(ResolveError::Unreachable(qname));
             }
         }
@@ -250,6 +408,17 @@ impl<'net> StubResolver<'net> {
         }
         next
     }
+}
+
+/// The RFC 2308 negative TTL of an authoritative reply: the minimum of
+/// the authority SOA's record TTL and its `minimum` field, falling back
+/// to a conventional hour when the reply carries no SOA.
+fn negative_ttl(reply: &Message) -> u32 {
+    reply
+        .authority
+        .iter()
+        .find_map(|rr| rr.data.as_soa().map(|soa| rr.ttl.min(soa.minimum)))
+        .unwrap_or(DEFAULT_NEGATIVE_TTL_S)
 }
 
 /// The deepest authority-section NS owner enclosing `qname` — the zone
@@ -379,6 +548,107 @@ mod tests {
         let hit = fresh.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
         assert_eq!(hit.queries, 0, "imported cache serves without queries");
         assert_eq!(hit.addresses(), vec![Ipv4Addr::new(10, 2, 0, 80)]);
+    }
+
+    #[test]
+    fn cache_entries_expire_on_the_virtual_clock() {
+        let net = test_network();
+        let r = resolver(&net);
+        let warm = r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert!(warm.queries > 0);
+        // Zone records carry the 3600 s default TTL; just inside the
+        // window the cache still serves, at the boundary it must not.
+        r.set_clock_s(3599);
+        assert_eq!(r.resolve(&n("www.gov.zz"), RecordType::A).unwrap().queries, 0);
+        r.set_clock_s(3600);
+        let refreshed = r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert!(refreshed.queries > 0, "expired entry must be re-resolved");
+        assert_eq!(refreshed.addresses(), vec![Ipv4Addr::new(10, 2, 0, 80)]);
+    }
+
+    #[test]
+    fn exported_entries_carry_ttl_derived_expiry() {
+        let net = test_network();
+        let r = resolver(&net);
+        r.set_clock_s(100);
+        r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        let exported = r.export_cache();
+        let (_, entry) = exported
+            .iter()
+            .find(|((name, rt), _)| *name == n("www.gov.zz") && *rt == RecordType::A)
+            .expect("answer cached");
+        assert_eq!(entry.expires_at_s, 100 + 3600, "expiry = insert time + min record TTL");
+    }
+
+    #[test]
+    fn import_drops_entries_already_expired_at_the_restored_clock() {
+        let net = test_network();
+        let r = resolver(&net);
+        r.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        let exported = r.export_cache();
+        assert!(!exported.is_empty());
+
+        let fresh = resolver(&net);
+        fresh.set_clock_s(4000); // past every 3600 s expiry
+        fresh.import_cache(exported.clone());
+        assert!(fresh.export_cache().is_empty(), "stale warmth must not be revived");
+        let miss = fresh.resolve(&n("www.gov.zz"), RecordType::A).unwrap();
+        assert!(miss.queries > 0);
+
+        let in_window = resolver(&net);
+        in_window.set_clock_s(1000);
+        in_window.import_cache(exported);
+        assert_eq!(in_window.resolve(&n("www.gov.zz"), RecordType::A).unwrap().queries, 0);
+    }
+
+    #[test]
+    fn advance_clock_accumulates() {
+        let net = test_network();
+        let r = resolver(&net);
+        assert_eq!(r.now_s(), 0);
+        assert_eq!(r.advance_clock_s(90), 90);
+        assert_eq!(r.advance_clock_s(10), 100);
+        assert_eq!(r.now_s(), 100);
+    }
+
+    #[test]
+    fn negative_caching_is_opt_in() {
+        let net = test_network();
+        // Default: NXDOMAIN is re-queried every time (campaign behavior).
+        let r = resolver(&net);
+        let q1 = r.resolve(&n("missing.gov.zz"), RecordType::A);
+        assert!(matches!(q1, Err(ResolveError::NxDomain(_))));
+        let before = net.stats().queries_sent;
+        let _ = r.resolve(&n("missing.gov.zz"), RecordType::A);
+        assert!(net.stats().queries_sent > before, "no negative cache by default");
+
+        // Opted in: the second lookup is served from the negative cache.
+        let nc = StubResolver::new(&net, vec![Ipv4Addr::new(10, 0, 0, 1)]).with_negative_cache();
+        let _ = nc.resolve(&n("missing.gov.zz"), RecordType::A);
+        let before = net.stats().queries_sent;
+        assert!(matches!(
+            nc.resolve(&n("missing.gov.zz"), RecordType::A),
+            Err(ResolveError::NxDomain(_))
+        ));
+        assert_eq!(net.stats().queries_sent, before, "cached NXDOMAIN costs no query");
+
+        // The negative entry expires with the SOA minimum (3600 s).
+        nc.set_clock_s(3600);
+        let _ = nc.resolve(&n("missing.gov.zz"), RecordType::A);
+        assert!(net.stats().queries_sent > before, "expired negative entry re-queries");
+    }
+
+    #[test]
+    fn resolution_failures_are_held_briefly_when_negative_caching() {
+        let net = SimNetwork::new(1);
+        let r = StubResolver::new(&net, vec![Ipv4Addr::new(10, 9, 9, 9)]).with_negative_cache();
+        assert!(matches!(r.resolve_a(&n("www.gov.zz")), Err(ResolveError::Unreachable(_))));
+        let before = net.stats().queries_sent;
+        assert!(matches!(r.resolve_a(&n("www.gov.zz")), Err(ResolveError::Unreachable(_))));
+        assert_eq!(net.stats().queries_sent, before, "failure held in the SERVFAIL window");
+        r.set_clock_s(30);
+        let _ = r.resolve_a(&n("www.gov.zz"));
+        assert!(net.stats().queries_sent > before, "past the hold the failure re-queries");
     }
 
     #[test]

@@ -304,6 +304,72 @@ mod scenario_layering {
             }
         }
 
+        /// The partial-outage degrade layer composes with every chaos
+        /// profile without perturbing a single decision outside its
+        /// destination set; inside the set, an attempt either loses the
+        /// dial (outage drop) or sees the base decision bit-for-bit.
+        #[test]
+        fn degrade_layer_composes_without_side_effects(
+            profile in profile_strategy(),
+            plan_seed in 0u64..1_000,
+            ppm in 1u32..=1_000_000,
+            degraded in prop::collection::vec(any::<u32>(), 1..8),
+            probes in prop::collection::vec((any::<u32>(), 0u32..4, 0u64..200), 1..40),
+            qname in name_strategy(),
+        ) {
+            let base = profile.plan(plan_seed);
+            let degraded: Vec<Ipv4Addr> =
+                degraded.into_iter().map(Ipv4Addr::from).collect();
+            let layered = base
+                .clone()
+                .with_degraded_addrs(degraded.iter().copied())
+                .with_degrade_ppm(ppm);
+            for &(dst, attempt, ordinal) in &probes {
+                let dst = Ipv4Addr::from(dst);
+                let b = base.decide(dst, &qname, attempt, ordinal);
+                let l = layered.decide(dst, &qname, attempt, ordinal);
+                if layered.is_degraded(dst) {
+                    if l != b {
+                        prop_assert_eq!(l.drop, Some(FaultKind::Outage));
+                        prop_assert!(!l.refuse && !l.truncate && l.extra_delay_ms == 0);
+                    }
+                } else {
+                    prop_assert_eq!(b, l, "decision changed outside the degraded set");
+                }
+            }
+        }
+
+        /// The degrade dial is a pure per-attempt hash: verdicts repeat
+        /// exactly, and a full dial (1e6 ppm) behaves like a blackhole
+        /// for every attempt.
+        #[test]
+        fn degrade_verdicts_are_deterministic_and_saturate(
+            profile in profile_strategy(),
+            plan_seed in 0u64..1_000,
+            dst in any::<u32>(),
+            qname in name_strategy(),
+        ) {
+            let dst = Ipv4Addr::from(dst);
+            let half = profile.plan(plan_seed)
+                .with_degraded_addrs([dst])
+                .with_degrade_ppm(500_000);
+            for attempt in 0..6 {
+                prop_assert_eq!(
+                    half.decide(dst, &qname, attempt, 10),
+                    half.decide(dst, &qname, attempt, 10)
+                );
+            }
+            let full = profile.plan(plan_seed)
+                .with_degraded_addrs([dst])
+                .with_degrade_ppm(1_000_000);
+            for attempt in 0..6 {
+                prop_assert_eq!(
+                    full.decide(dst, &qname, attempt, 10).drop,
+                    Some(FaultKind::Outage)
+                );
+            }
+        }
+
         /// An empty scenario layer is exactly the base plan: adding no
         /// blackholes never flips `is_empty` or any verdict.
         #[test]

@@ -5,8 +5,21 @@
 //!
 //! ```sh
 //! cargo run --release --example counterfactual -- rank --seed 7 \
-//!     [--scale 0.01] [--workers 8] [--country CC] [--json] [--out spof.json] [--csv FILE]
+//!     [--scale 0.01] [--workers 8] [--country CC] [--json] [--out spof.json] [--csv FILE] \
+//!     [--combo] [--partial K/N] [--degrade PPM] [--recovery-window SECONDS] [--recovery-step S]
 //! ```
+//!
+//! Degraded modes: `--combo` adds compound (two-at-once) scenarios to
+//! the enumeration; `--partial K/N` fails only `K` of every `N`
+//! anycast sites per scenario; `--degrade PPM` swaps the hard
+//! blackhole for a probabilistic drop at PPM parts per million;
+//! `--recovery-window` models each outage through a TTL-honoring
+//! resolver cache and appends per-domain time-to-dark/time-to-recover
+//! timelines to every rendering.
+//!
+//! Rank mode exits nonzero when the sweep enumerates no scenarios —
+//! an empty ranked report upstream of a CI gate is a configuration
+//! error, not a clean pass.
 //!
 //! Stdout carries the ranked table (or, with `--json`, the canonical
 //! JSON); `--out` additionally writes the canonical JSON to a file and
@@ -29,7 +42,7 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use govdns::counterfactual::{run_sweep, EnumerationConfig, SweepConfig};
+use govdns::counterfactual::{run_sweep, PartialDial, RecoveryConfig, SweepConfig};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,11 +80,34 @@ fn sweep_mode(args: &[String], detail: bool) -> ExitCode {
                     take_value(args, &mut i, "--workers").parse().expect("--workers N");
             }
             "--max-per-kind" => {
-                config.enumeration = EnumerationConfig {
-                    max_per_kind: take_value(args, &mut i, "--max-per-kind")
-                        .parse()
-                        .expect("--max-per-kind N"),
-                };
+                config.enumeration.max_per_kind =
+                    take_value(args, &mut i, "--max-per-kind").parse().expect("--max-per-kind N");
+            }
+            "--combo" => config.enumeration.compound = true,
+            "--partial" => {
+                let dial = take_value(args, &mut i, "--partial");
+                config.partial =
+                    Some(PartialDial::parse(&dial).unwrap_or_else(|| {
+                        panic!("--partial wants K/N with K <= N, got {dial:?}")
+                    }));
+            }
+            "--degrade" => {
+                config.degrade_ppm =
+                    Some(take_value(args, &mut i, "--degrade").parse().expect("--degrade PPM"));
+            }
+            "--recovery-window" => {
+                let window_s = take_value(args, &mut i, "--recovery-window")
+                    .parse()
+                    .expect("--recovery-window SECONDS");
+                config.recovery =
+                    Some(RecoveryConfig { window_s, ..config.recovery.unwrap_or_default() });
+            }
+            "--recovery-step" => {
+                let step_s = take_value(args, &mut i, "--recovery-step")
+                    .parse()
+                    .expect("--recovery-step SECONDS");
+                config.recovery =
+                    Some(RecoveryConfig { step_s, ..config.recovery.unwrap_or_default() });
             }
             "--scenario" => config.scenario_filter = Some(take_value(args, &mut i, "--scenario")),
             "--journal-dir" => {
@@ -87,6 +123,17 @@ fn sweep_mode(args: &[String], detail: bool) -> ExitCode {
     }
 
     let mut report = run_sweep(&config);
+    if report.entries.is_empty() {
+        // Mirrors the corpus empty-glob check: a sweep that enumerated
+        // nothing produces a vacuously-stable report, and a CI gate
+        // comparing it would "pass" without testing anything.
+        eprintln!(
+            "counterfactual: no scenarios enumerated (seed {}, scale_ppm {}, filter {:?}) — \
+             an empty report would make every downstream byte-comparison vacuous",
+            config.seed, config.scale_ppm, config.scenario_filter
+        );
+        return ExitCode::FAILURE;
+    }
     if let Some(cc) = &country {
         report = report.filtered_by_country(cc);
     }

@@ -819,7 +819,7 @@ mod counterfactual {
             &baseline,
             &matchers,
             &world.asn_db,
-            EnumerationConfig { max_per_kind: 1 },
+            EnumerationConfig { max_per_kind: 1, ..EnumerationConfig::default() },
         );
         let scenario = scenarios
             .iter()
