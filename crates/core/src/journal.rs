@@ -48,12 +48,29 @@ pub struct JournalSpec {
     /// Full-state checkpoint cadence, in completed probes. The journal
     /// also checkpoints once more when the probing loop drains.
     pub checkpoint_every: usize,
+    /// Buffered probe bytes that trigger a flush
+    /// ([`DEFAULT_FLUSH_THRESHOLD`] unless overridden). Zero degrades
+    /// to a flush after every probe record — maximum durability, one
+    /// write syscall per probe.
+    pub flush_threshold: usize,
 }
 
 impl JournalSpec {
-    /// A spec with the default checkpoint cadence (every 32 probes).
+    /// A spec with the default checkpoint cadence (every 32 probes) and
+    /// flush threshold.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        JournalSpec { path: path.into(), checkpoint_every: 32 }
+        JournalSpec {
+            path: path.into(),
+            checkpoint_every: 32,
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+        }
+    }
+
+    /// Sets the probe append-buffer flush threshold (builder style).
+    #[must_use]
+    pub fn with_flush_threshold(mut self, bytes: usize) -> Self {
+        self.flush_threshold = bytes;
+        self
     }
 }
 
@@ -102,13 +119,14 @@ pub struct Checkpoint {
 
 /// Appends records to a journal file.
 ///
-/// Probe appends are buffered (flushed once the buffer passes
-/// [`PROBE_BUF_FLUSH_BYTES`]) so a high-throughput campaign does not pay
-/// one syscall + fsync-adjacent flush per probe; every durability
-/// boundary — header, checkpoint, resume marker, completion — flushes
-/// the buffer explicitly, so a kill between probes can lose at most the
-/// tail written since the last checkpoint, which is exactly the window
-/// checkpoint replay already tolerates.
+/// Probe appends are buffered (flushed once the buffer passes the
+/// spec's flush threshold, [`DEFAULT_FLUSH_THRESHOLD`] by default) so a
+/// high-throughput campaign does not pay one syscall + fsync-adjacent
+/// flush per probe; every durability boundary — header, checkpoint,
+/// resume marker, completion — flushes the buffer explicitly, so a kill
+/// between probes can lose at most the tail written since the last
+/// checkpoint, which is exactly the window checkpoint replay already
+/// tolerates.
 #[derive(Debug)]
 pub struct JournalWriter {
     file: File,
@@ -116,11 +134,13 @@ pub struct JournalWriter {
     records: u64,
     /// Framed records accepted but not yet written to the OS.
     buf: Vec<u8>,
+    /// Buffered bytes that trigger a flush after a probe append.
+    flush_threshold: usize,
 }
 
-/// Buffered probe bytes that trigger a flush; checkpoints and drops
-/// flush regardless.
-const PROBE_BUF_FLUSH_BYTES: usize = 64 * 1024;
+/// Default buffered probe bytes that trigger a flush; checkpoints and
+/// drops flush regardless of the threshold.
+pub const DEFAULT_FLUSH_THRESHOLD: usize = 64 * 1024;
 
 impl JournalWriter {
     /// Creates (truncating) a journal at `path` and writes the header.
@@ -133,7 +153,13 @@ impl JournalWriter {
     pub fn create(path: &Path, header: &JournalHeader) -> Self {
         let file = File::create(path)
             .unwrap_or_else(|e| panic!("journal: cannot create {}: {e}", path.display()));
-        let mut w = JournalWriter { file, path: path.to_path_buf(), records: 0, buf: Vec::new() };
+        let mut w = JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            buf: Vec::new(),
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+        };
         w.write_record(&header_to_value(header));
         w.flush();
         w
@@ -150,13 +176,27 @@ impl JournalWriter {
             .append(true)
             .open(path)
             .unwrap_or_else(|e| panic!("journal: cannot append to {}: {e}", path.display()));
-        JournalWriter { file, path: path.to_path_buf(), records: 0, buf: Vec::new() }
+        JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+            buf: Vec::new(),
+            flush_threshold: DEFAULT_FLUSH_THRESHOLD,
+        }
+    }
+
+    /// Overrides the probe append-buffer flush threshold (builder
+    /// style). Zero flushes after every probe record.
+    #[must_use]
+    pub fn with_flush_threshold(mut self, bytes: usize) -> Self {
+        self.flush_threshold = bytes;
+        self
     }
 
     /// Appends one completed probe, with its position in the campaign's
     /// domain order. Buffered: becomes durable at the next flush point
     /// (a checkpoint, an explicit [`flush`](JournalWriter::flush), drop,
-    /// or the buffer passing [`PROBE_BUF_FLUSH_BYTES`]).
+    /// or the buffer passing the flush threshold).
     pub fn probe(&mut self, index: u64, probe: &DomainProbe) {
         let mut obj = vec![
             ("kind".to_string(), Value::str("probe")),
@@ -164,7 +204,7 @@ impl JournalWriter {
             ("probe".to_string(), probe_to_value(probe)),
         ];
         self.write_record(&Value::Obj(std::mem::take(&mut obj)));
-        if self.buf.len() >= PROBE_BUF_FLUSH_BYTES {
+        if self.buf.len() >= self.flush_threshold {
             self.flush();
         }
     }
@@ -1385,6 +1425,39 @@ mod tests {
         assert_eq!(replay.resumes, 1);
         assert_eq!(replay.probes.len(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn zero_flush_threshold_degrades_to_per_record_flush_with_identical_bytes() {
+        let buffered_path = tmp("threshold-buffered");
+        let eager_path = tmp("threshold-eager");
+        let mut buffered = JournalWriter::create(&buffered_path, &header());
+        let mut eager = JournalWriter::create(&eager_path, &header()).with_flush_threshold(0);
+        for i in 0..4u8 {
+            buffered.probe(u64::from(i), &sample_probe(i));
+            eager.probe(u64::from(i), &sample_probe(i));
+            // The eager writer is durable after every probe append; the
+            // buffered one still holds everything past the header.
+            let on_disk = std::fs::metadata(&eager_path).unwrap().len();
+            let accepted = std::fs::metadata(&buffered_path).unwrap().len() as usize
+                + buffered_pending(&buffered);
+            assert_eq!(on_disk as usize, accepted, "eager journal flushes per record");
+        }
+        assert!(buffered_pending(&buffered) > 0, "default threshold is still buffering");
+        buffered.complete(4);
+        eager.complete(4);
+        drop(buffered);
+        drop(eager);
+
+        let a = std::fs::read(&buffered_path).unwrap();
+        let b = std::fs::read(&eager_path).unwrap();
+        assert_eq!(a, b, "flush cadence must never change journal bytes");
+        std::fs::remove_file(&buffered_path).unwrap();
+        std::fs::remove_file(&eager_path).unwrap();
+    }
+
+    fn buffered_pending(w: &JournalWriter) -> usize {
+        w.buf.len()
     }
 
     #[test]

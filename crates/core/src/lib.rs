@@ -40,12 +40,15 @@ mod ratelimit;
 pub mod report;
 mod runner;
 pub mod seed;
+mod sink;
 pub mod stats;
 pub mod tables;
 
 pub use campaign::Campaign;
 pub use dataset::{Funnel, MeasurementDataset};
-pub use journal::{Checkpoint, JournalHeader, JournalReplay, JournalSpec, JournalWriter};
+pub use journal::{
+    Checkpoint, JournalHeader, JournalReplay, JournalSpec, JournalWriter, DEFAULT_FLUSH_THRESHOLD,
+};
 pub use probe::{
     BreakerAdmission, BreakerBank, BreakerPhase, BreakerPolicy, BreakerSnapshot, BreakerTransition,
     DomainClass, DomainProbe, ProbeClient, ResponseClass, RetryPolicy, ServerObservation,

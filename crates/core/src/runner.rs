@@ -20,15 +20,17 @@
 //! `canonical_json()` — the same determinism contract the chaos
 //! machinery already guarantees.
 
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use govdns_simnet::{ChaosProfile, FaultPlan, Prefix24};
+use govdns_model::{DomainName, RecordType};
+use govdns_simnet::{CacheEntry, ChaosProfile, FaultPlan, Prefix24};
 use govdns_telemetry::{ProgressEvent, Registry};
 use govdns_trace::{TraceSpec, Tracer};
 
@@ -37,7 +39,13 @@ use crate::journal::{fnv64, Checkpoint, JournalHeader, JournalReplay, JournalSpe
 use crate::probe::{BreakerBank, BreakerPolicy, DomainProbe, ProbeClient, RetryPolicy};
 use crate::ratelimit::RateLimiter;
 use crate::seed;
+use crate::sink::JournalSink;
 use crate::{Campaign, MeasurementDataset};
+
+/// Contiguous domains a worker claims per `fetch_add` when plenty of
+/// work remains; near the tail every claim degrades to a single domain
+/// so stragglers cannot strand unprobed work behind an idle worker.
+const CLAIM_CHUNK: usize = 16;
 
 /// Chaos selection for a campaign run: which named fault preset to
 /// install on the network, under which seed.
@@ -366,15 +374,20 @@ pub fn run_campaign_with(
     // Journal continuation: appending to the journal we resumed from
     // needs only a resume marker; journaling a resumed campaign to a
     // *different* path makes the new journal self-contained by
-    // re-journaling the replayed history and the restored state.
-    let journal: Option<Mutex<JournalWriter>> = match (&config.journal, &config.resume_from) {
+    // re-journaling the replayed history and the restored state. The
+    // set-up records are written on this thread; the writer then moves
+    // into a dedicated sink I/O thread, and workers only ever send
+    // completed probes down its bounded channel.
+    let journal_writer: Option<JournalWriter> = match (&config.journal, &config.resume_from) {
         (Some(spec), Some(resume_path)) if &spec.path == resume_path => {
-            let mut w = JournalWriter::append_to(&spec.path);
+            let mut w =
+                JournalWriter::append_to(&spec.path).with_flush_threshold(spec.flush_threshold);
             w.resumed(resume_point as u64);
-            Some(Mutex::new(w))
+            Some(w)
         }
         (Some(spec), _) => {
-            let mut w = JournalWriter::create(&spec.path, &header);
+            let mut w = JournalWriter::create(&spec.path, &header)
+                .with_flush_threshold(spec.flush_threshold);
             for (i, probe) in replayed.iter().enumerate() {
                 w.probe(i as u64, probe);
             }
@@ -391,10 +404,12 @@ pub fn run_campaign_with(
                 });
                 w.resumed(resume_point as u64);
             }
-            Some(Mutex::new(w))
+            Some(w)
         }
         (None, _) => None,
     };
+    let journal: Option<Arc<JournalSink>> =
+        journal_writer.map(|w| JournalSink::spawn(w, resume_point as u64));
     let checkpoint_every = config.journal.as_ref().map_or(0, |s| s.checkpoint_every.max(1));
 
     // The flight recorder. Created after resume replay so the trace file
@@ -408,19 +423,30 @@ pub fn run_campaign_with(
 
     let probe_limit = config.stop_after.map_or(total, |s| s.clamp(resume_point, total));
 
-    let mut prefill: Vec<Option<DomainProbe>> = replayed.into_iter().map(Some).collect();
+    let mut prefill: Vec<Option<Arc<DomainProbe>>> =
+        replayed.into_iter().map(|p| Some(Arc::new(p))).collect();
     prefill.resize_with(total, || None);
-    let results: Vec<Mutex<Option<DomainProbe>>> = prefill.into_iter().map(Mutex::new).collect();
+    let results: Vec<Mutex<Option<Arc<DomainProbe>>>> =
+        prefill.into_iter().map(Mutex::new).collect();
     let next = AtomicUsize::new(resume_point);
     let completed = AtomicUsize::new(resume_point);
     let retried = AtomicUsize::new(replayed_retried);
+    let chunk_claims = AtomicU64::new(0);
     let probed_counter = registry.counter("runner.domains_probed");
     let retried_counter = registry.counter("runner.retried");
     let busy_ms = registry.histogram_latency_ms("runner.worker_busy_ms");
-    // Per-worker busy times, collected so the max/min spread across
-    // workers can be reported after the scope drains: a lopsided spread
-    // is the signature of workers convoying on a shared lock.
-    let worker_busy: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(workers));
+    // Per-worker busy times in a lock-free slot array (one slot per
+    // worker, each written exactly once at worker exit), so the
+    // max/min spread across workers can be reported after the scope
+    // drains without the diagnostic itself convoying the workers it
+    // measures. A lopsided spread is the signature of workers
+    // convoying on a shared lock.
+    let busy_slots: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    // Per-worker resolver state, deposited once at worker exit and
+    // merged into the journal's final checkpoint after the scope joins.
+    type ExitState = (Vec<((DomainName, RecordType), CacheEntry)>, u64);
+    let exit_state: Vec<Mutex<Option<ExitState>>> =
+        (0..workers).map(|_| Mutex::new(None)).collect();
 
     let probing_span = registry.span("round1");
     if let Some(t) = &tracer {
@@ -430,20 +456,30 @@ pub fn run_campaign_with(
         t.stage("round1", "begin");
     }
     crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| {
+        for w in 0..workers {
+            // `move` closures so each worker knows its slot index;
+            // shared state crosses as plain references.
+            #[allow(clippy::redundant_locals)]
+            let (discovered, registry, limiter, bank, tracer, initial_cache, journal) =
+                (&discovered, &registry, &limiter, &bank, &tracer, &initial_cache, &journal);
+            let (next, completed, retried, chunk_claims, results) =
+                (&next, &completed, &retried, &chunk_claims, &results);
+            let (probed_counter, retried_counter, busy_ms) =
+                (&probed_counter, &retried_counter, &busy_ms);
+            let (busy_slot, exit_slot, config) = (&busy_slots[w], &exit_state[w], &config);
+            scope.spawn(move |_| {
                 // One client (and resolver cache) per worker, as the real
                 // pipeline sharded its query load. On resume every worker
                 // starts from the checkpointed cache warmth.
                 let mut client =
                     ProbeClient::new(campaign.network, campaign.roots.to_vec(), limiter.clone())
-                        .with_telemetry(&registry)
+                        .with_telemetry(registry)
                         .with_retry(config.retry)
                         .with_breakers(bank.clone());
-                if let Some(t) = &tracer {
+                if let Some(t) = tracer {
                     client = client.with_tracer(t.worker());
                 }
-                if let Some(cache) = &initial_cache {
+                if let Some(cache) = initial_cache {
                     client.set_clock_s(initial_clock);
                     client.import_cache(cache.clone());
                 }
@@ -458,59 +494,71 @@ pub fn run_campaign_with(
                     breakers: bank.snapshot(),
                 };
                 let busy_start = Instant::now();
+                // Chunk-claimed distribution: grab a contiguous run of
+                // domains per `fetch_add` while work is plentiful, fall
+                // back to single claims near the tail. With one worker
+                // the visit order is the plain sequential order either
+                // way.
                 loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= probe_limit {
+                    let remaining = probe_limit.saturating_sub(next.load(Ordering::Relaxed));
+                    let chunk = if remaining < CLAIM_CHUNK * workers { 1 } else { CLAIM_CHUNK };
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= probe_limit {
                         break;
                     }
-                    let Some(d) = discovered.get(i) else { break };
-                    client.trace_begin(i as u64, &d.name);
-                    let mut probe = client.probe(&d.name);
-                    // Second round: parent listed nameservers, but no
-                    // authoritative answer materialized — maybe
-                    // transient (§III-B re-probes these).
-                    if config.second_round
-                        && probe.parent_nonempty()
-                        && !probe.has_authoritative_answer()
-                    {
-                        let retry_span = registry.span("round2");
-                        client.retry_child_side(&mut probe);
-                        retry_span.finish();
-                        retried.fetch_add(1, Ordering::Relaxed);
-                        retried_counter.inc();
-                    }
-                    client.trace_end();
-                    // Journal before reporting done: a kill after the
-                    // progress callback fires can lose nothing that was
-                    // already counted.
-                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
-                    if let Some(journal) = &journal {
-                        let mut w = journal.lock();
-                        w.probe(i as u64, &probe);
-                        if done.is_multiple_of(checkpoint_every) {
-                            w.checkpoint(&capture(done as u64));
+                    chunk_claims.fetch_add(1, Ordering::Relaxed);
+                    let end = start.saturating_add(chunk).min(probe_limit);
+                    for (i, slot) in results.iter().enumerate().take(end).skip(start) {
+                        let Some(d) = discovered.get(i) else { break };
+                        client.trace_begin(i as u64, &d.name);
+                        let mut probe = client.probe(&d.name);
+                        // Second round: parent listed nameservers, but no
+                        // authoritative answer materialized — maybe
+                        // transient (§III-B re-probes these).
+                        if config.second_round
+                            && probe.parent_nonempty()
+                            && !probe.has_authoritative_answer()
+                        {
+                            let retry_span = registry.span("round2");
+                            client.retry_child_side(&mut probe);
+                            retry_span.finish();
+                            retried.fetch_add(1, Ordering::Relaxed);
+                            retried_counter.inc();
+                        }
+                        client.trace_end();
+                        // Enqueue to the journal sink before reporting
+                        // done: completion accounting never runs ahead
+                        // of the record being accepted for append. The
+                        // write itself is asynchronous — durability
+                        // arrives at the sink thread's next flush
+                        // boundary, the same checkpoint-bounded window
+                        // the buffered writer always had.
+                        let probe = Arc::new(probe);
+                        let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                        if let Some(journal) = journal {
+                            journal.probe(i as u64, Arc::clone(&probe));
+                            if done.is_multiple_of(checkpoint_every) {
+                                journal.checkpoint(capture(done as u64));
+                            }
+                        }
+                        *slot.lock() = Some(probe);
+                        probed_counter.inc();
+                        if ctl.progress_every > 0
+                            && (done.is_multiple_of(ctl.progress_every) || done == probe_limit)
+                        {
+                            ctl.emit("probing", done, total, limiter.issued());
                         }
                     }
-                    *results[i].lock() = Some(probe);
-                    probed_counter.inc();
-                    if ctl.progress_every > 0
-                        && (done.is_multiple_of(ctl.progress_every) || done == probe_limit)
-                    {
-                        ctl.emit("probing", done, total, limiter.issued());
-                    }
                 }
-                // Exit checkpoint: the worker drained its share, so the
-                // journal ends on a state snapshot a resume can pick up
-                // without re-probing anything it covers.
-                if let Some(journal) = &journal {
-                    let mut w = journal.lock();
-                    let done = completed.load(Ordering::Relaxed) as u64;
-                    w.checkpoint(&capture(done));
+                // Deposit this worker's resolver state for the final
+                // merged checkpoint (written after the scope joins).
+                if journal.is_some() {
+                    *exit_slot.lock() = Some((client.export_cache(), client.clock_s()));
                 }
                 // Worker utilization: how long each worker spent probing.
                 let elapsed_ms = busy_start.elapsed().as_secs_f64() * 1e3;
                 busy_ms.record(elapsed_ms);
-                worker_busy.lock().push(elapsed_ms);
+                busy_slot.store(elapsed_ms.to_bits(), Ordering::Relaxed);
             });
         }
     })
@@ -519,13 +567,15 @@ pub fn run_campaign_with(
     if let Some(t) = &tracer {
         t.stage("round1", "end");
         t.finish();
+        registry.counter("trace.dumps_dropped").add(t.dumps_dropped());
     }
 
     // Worker-balance gauges: busiest and idlest worker, and their ratio
     // as a percentage (100 = perfectly even). Healthy lock-free probing
     // keeps the spread close to 100; a convoyed run drives it up.
     {
-        let busy = worker_busy.into_inner();
+        let busy: Vec<f64> =
+            busy_slots.iter().map(|s| f64::from_bits(s.load(Ordering::Relaxed))).collect();
         let max = busy.iter().copied().fold(0.0_f64, f64::max);
         let min = busy.iter().copied().fold(f64::INFINITY, f64::min);
         if max > 0.0 && min.is_finite() {
@@ -545,20 +595,74 @@ pub fn run_campaign_with(
         }
     }
 
-    if let Some(journal) = &journal {
-        let mut w = journal.lock();
+    if let Some(sink) = &journal {
+        // Join the sink thread (it drains the channel first) and write
+        // the campaign's single exit checkpoint on this thread: every
+        // worker's resolver cache merged into one deterministic union
+        // (entries under the same key are identical — the cache is a
+        // pure function of the world at a fixed virtual clock), so a
+        // resume picks up the full warmth the run accumulated. With one
+        // worker this is byte-for-byte the old per-worker exit
+        // checkpoint.
+        let mut w = sink.finish();
+        let mut cache: BTreeMap<(DomainName, RecordType), CacheEntry> = BTreeMap::new();
+        let mut clock_s = initial_clock;
+        for slot in &exit_state {
+            if let Some((entries, clock)) = slot.lock().take() {
+                clock_s = clock_s.max(clock);
+                for (key, entry) in entries {
+                    cache.entry(key).or_insert(entry);
+                }
+            }
+        }
+        w.checkpoint(&Checkpoint {
+            probes_done: completed.load(Ordering::Relaxed) as u64,
+            limiter: limiter.export_state(),
+            traffic: campaign.network.stats(),
+            faults: campaign.network.fault_stats(),
+            net_per_destination: campaign.network.per_destination_snapshot(),
+            cache: cache.into_iter().collect(),
+            clock_s,
+            breakers: bank.snapshot(),
+        });
         if probe_limit == total {
             w.complete(total as u64);
         }
         registry.counter("journal.records_appended").add(w.records());
     }
 
+    // Sink-pipeline health: total nanoseconds any worker spent blocked
+    // on a full sink channel (zero = the worker path never waited on
+    // output I/O), the deepest either queue got, and how many chunk
+    // claims the distribution made. Always set, so tests can assert the
+    // lock-free contract even on sink-less runs.
+    {
+        let mut wait_ns = 0u64;
+        let mut depth_hwm = 0u64;
+        if let Some(t) = &tracer {
+            wait_ns += t.wait_ns();
+            depth_hwm = depth_hwm.max(t.queue_high_water());
+        }
+        if let Some(s) = &journal {
+            wait_ns += s.wait_ns();
+            depth_hwm = depth_hwm.max(s.queue_high_water());
+        }
+        registry.gauge("runner.sink_wait_ns").set(wait_ns as i64);
+        registry.gauge("runner.sink_queue_depth").set(depth_hwm as i64);
+        registry.gauge("runner.chunk_claims").set(chunk_claims.load(Ordering::Relaxed) as i64);
+        // Structural marker: workers reach every sink through bounded
+        // channels, never a mutex.
+        registry.gauge("runner.sink_lock_free").set(1);
+    }
+
     // A graceful early stop yields a truncated dataset: the contiguous
     // prefix of completed probes, with the domain list cut to match.
+    // The sink thread has joined, so each Arc is sole-owned and unwraps
+    // without cloning.
     let mut probes: Vec<DomainProbe> = Vec::with_capacity(total);
     for slot in results {
         match slot.into_inner() {
-            Some(p) => probes.push(p),
+            Some(p) => probes.push(Arc::try_unwrap(p).unwrap_or_else(|a| (*a).clone())),
             None => break,
         }
     }

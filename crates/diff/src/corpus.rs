@@ -303,6 +303,7 @@ impl CorpusCase {
             seed: 0,
             sample_ppm: govdns_trace::SAMPLE_FULL,
             flight_capacity: s.flight_capacity,
+            max_dumps: govdns_trace::DEFAULT_MAX_DUMPS,
         };
         let tracer = Tracer::create(&spec, self.domains.len() as u64, 0)
             .map_err(|e| format!("trace file: {e}"))?;

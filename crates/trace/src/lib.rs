@@ -60,4 +60,4 @@ pub use frame::{fnv64, read_frame, write_frame, FRAME_HEADER_LEN};
 pub use read::{read_trace, TraceHeader, TraceLog};
 pub use ring::EventRing;
 pub use sample::{TraceSampler, SAMPLE_FULL};
-pub use tracer::{TraceSpec, Tracer, WorkerTracer, DEFAULT_FLIGHT_CAPACITY};
+pub use tracer::{TraceSpec, Tracer, WorkerTracer, DEFAULT_FLIGHT_CAPACITY, DEFAULT_MAX_DUMPS};

@@ -1,29 +1,49 @@
-//! The trace sink: per-worker recorders feeding one ordered file.
+//! The trace sink: per-worker recorders feeding one ordered file
+//! through a dedicated I/O thread.
 //!
 //! **Hot-path discipline.** Probing workers only ever touch their own
-//! [`WorkerTracer`] — a plain ring buffer, no locks, no atomics. The
-//! shared [`Tracer`] is locked exactly once per *domain* (when a worker
-//! submits its finished block) and once per flight dump, never per
-//! query — and the JSON encoding + framing of blocks and dumps happens
-//! on the worker thread *before* the lock is taken, so the sink lock
-//! only ever covers a buffered byte append. That keeps the traced hot
-//! path within the campaign bench's overhead gate.
+//! [`WorkerTracer`] — a plain ring buffer, no locks, no atomics. When a
+//! worker finishes a domain (or triggers a flight dump) it sends one
+//! message down a bounded channel to the sink I/O thread and returns
+//! immediately; it never acquires a sink mutex. JSON encoding and
+//! framing of blocks and dumps happen on the I/O thread, off the
+//! probing path entirely. The only way a worker can stall is
+//! backpressure — the channel filling faster than the I/O thread
+//! drains it — and that wait is measured ([`Tracer::wait_ns`]) so the
+//! campaign bench and the e2e suite can assert it stays at zero.
 //!
 //! **Determinism.** The file must be byte-identical at any worker
-//! count, so blocks cannot be written in completion order. The sink
-//! keeps a reorder buffer keyed by campaign domain index and drains it
-//! in index order; unsampled domains submit an empty placeholder so the
-//! drain never stalls. Campaign-level frames (header, stage marks,
-//! resume marker, completion trailer, analysis-panic dumps) are written
-//! only from single-threaded runner sections, so their placement is
-//! fixed too. Flight dumps are collected during the run and written at
-//! [`Tracer::finish`] sorted by `(domain index, ordinal)`.
+//! count, so blocks cannot be written in completion order. The I/O
+//! thread owns a reorder buffer keyed by campaign domain index and
+//! drains it in index order; unsampled domains submit an empty
+//! placeholder so the drain never stalls. Campaign-level frames
+//! (header, stage marks, resume marker, completion trailer,
+//! analysis-panic dumps) are written only from single-threaded runner
+//! sections; they travel down the same FIFO channel, so every block
+//! submitted before them lands first and their file position is fixed
+//! too. Flight dumps are collected during the run (bounded by
+//! [`TraceSpec::max_dumps`]) and written at [`Tracer::finish`] sorted
+//! by `(domain index, ordinal)` — a total order on unique keys, so the
+//! arrival interleaving never shows in the file.
+//!
+//! **Shutdown.** [`Tracer::finish`] sends a final message, joins the
+//! I/O thread, reclaims the sink, and writes the sorted dumps plus the
+//! completion trailer. If a probing worker panics and the campaign
+//! unwinds without calling `finish`, dropping the `Tracer` closes the
+//! channel; the I/O thread drains what it has and exits, and the
+//! buffered writer flushes best-effort on drop — the file is left
+//! without its completion trailer, which readers already treat as an
+//! interrupted trace.
 
 use std::collections::BTreeMap;
 use std::fs;
 use std::io::{self, Write as _};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::Mutex;
 
@@ -38,6 +58,18 @@ use crate::sample::{TraceSampler, SAMPLE_FULL};
 /// Default flight-recorder ring capacity (events per domain).
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 512;
 
+/// Default cap on collected flight dumps per campaign: high enough that
+/// no legitimate run ever trips it, low enough that an incident storm
+/// under `ChaosProfile::Hostile` cannot grow the dump buffer without
+/// limit.
+pub const DEFAULT_MAX_DUMPS: usize = 65_536;
+
+/// Bounded sink-channel capacity, in messages. Each message is one
+/// finished domain block (or one flight dump), so the queue bounds
+/// memory at roughly `capacity × flight_capacity` events while leaving
+/// enough slack that workers never block on a healthy I/O thread.
+const SINK_CHANNEL_CAPACITY: usize = 1024;
+
 /// Where and how to trace a campaign.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSpec {
@@ -50,17 +82,21 @@ pub struct TraceSpec {
     pub sample_ppm: u32,
     /// Flight-recorder ring capacity, events per domain.
     pub flight_capacity: usize,
+    /// Cap on collected flight dumps: once this many are held, further
+    /// dumps are counted ([`Tracer::dumps_dropped`]) and discarded.
+    pub max_dumps: usize,
 }
 
 impl TraceSpec {
     /// Full-fidelity tracing to `path` (sample everything, seed 0,
-    /// default ring capacity).
+    /// default ring capacity and dump cap).
     pub fn new(path: impl Into<PathBuf>) -> Self {
         TraceSpec {
             path: path.into(),
             seed: 0,
             sample_ppm: SAMPLE_FULL,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            max_dumps: DEFAULT_MAX_DUMPS,
         }
     }
 
@@ -77,15 +113,33 @@ impl TraceSpec {
         self.sample_ppm = ppm;
         self
     }
+
+    /// Sets the flight-dump cap (builder style).
+    #[must_use]
+    pub fn with_max_dumps(mut self, max: usize) -> Self {
+        self.max_dumps = max;
+        self
+    }
+}
+
+/// One message to the sink I/O thread.
+enum SinkMsg {
+    /// A finished domain block (`None` = unsampled placeholder).
+    Block(u64, Option<DomainBlock>),
+    /// A flight dump, held until `finish`.
+    Dump(FlightDump),
+    /// A stage-boundary frame (single-threaded call sites only).
+    Stage(String, String),
+    /// Drain and hand the sink back through the thread's return value.
+    Finish,
 }
 
 struct Sink {
     writer: io::BufWriter<fs::File>,
     /// Next domain index the file is waiting for.
     next: u64,
-    /// Blocks that finished ahead of `next` (`None` = unsampled), each
-    /// paired with its frame bytes, encoded worker-side.
-    pending: BTreeMap<u64, Option<(DomainBlock, Vec<u8>)>>,
+    /// Blocks that finished ahead of `next` (`None` = unsampled).
+    pending: BTreeMap<u64, Option<DomainBlock>>,
     domains_written: u64,
     events_written: u64,
     /// The highest-index sampled block written so far — the context an
@@ -103,9 +157,10 @@ impl Sink {
 
     fn drain(&mut self) {
         while let Some(slot) = self.pending.remove(&self.next) {
-            if let Some((block, bytes)) = slot {
+            if let Some(block) = slot {
                 self.domains_written += 1;
                 self.events_written += block.events.len() as u64;
+                let bytes = framed(&crate::codec::encode_domain(&block));
                 self.writer.write_all(&bytes).expect("trace sink write failed");
                 self.last_block = Some(block);
             }
@@ -114,7 +169,16 @@ impl Sink {
     }
 }
 
-/// Frames a pre-encoded record payload (worker-side; no lock held).
+/// Everything the I/O thread owns, handed back at `finish`.
+struct SinkState {
+    sink: Sink,
+    /// Flight dumps in arrival order, written sorted at `finish`.
+    dumps: Vec<FlightDump>,
+    /// Ordinal for analysis-panic dumps appended after `finish`.
+    analysis_ord: u32,
+}
+
+/// Frames a pre-encoded record payload.
 fn framed(payload: &str) -> Vec<u8> {
     let mut buf = Vec::with_capacity(payload.len() + 32);
     write_frame(&mut buf, payload);
@@ -127,11 +191,23 @@ fn framed(payload: &str) -> Vec<u8> {
 pub struct Tracer {
     spec: TraceSpec,
     sampler: TraceSampler,
-    sink: Mutex<Sink>,
-    /// Flight dumps with their frame bytes (encoded at record time, on
-    /// the triggering worker's thread).
-    dumps: Mutex<Vec<(FlightDump, Vec<u8>)>>,
-    analysis_dumps: Mutex<u32>,
+    /// Channel to the sink I/O thread. Workers send and return; they
+    /// never hold a sink lock.
+    tx: SyncSender<SinkMsg>,
+    /// The I/O thread, joined (and its state reclaimed) at `finish`.
+    io: Mutex<Option<JoinHandle<SinkState>>>,
+    /// The reclaimed sink after `finish` — what `analysis_dump` appends
+    /// through.
+    done: Mutex<Option<SinkState>>,
+    /// Nanoseconds workers spent blocked on a full sink channel
+    /// (backpressure); zero in a healthy run.
+    wait_ns: AtomicU64,
+    /// Messages currently queued (sent, not yet processed).
+    queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    queue_hwm: AtomicU64,
+    /// Dumps discarded over [`TraceSpec::max_dumps`].
+    dumps_dropped: Arc<AtomicU64>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -142,38 +218,82 @@ impl std::fmt::Debug for Tracer {
 
 impl Tracer {
     /// Opens the trace file, writes the header frame (and a resume
-    /// marker when `resume_from > 0`), and returns the shared sink.
+    /// marker when `resume_from > 0`), spawns the sink I/O thread, and
+    /// returns the shared sink.
     pub fn create(spec: &TraceSpec, domains: u64, resume_from: u64) -> io::Result<Arc<Tracer>> {
         let file = fs::File::create(&spec.path)?;
+        let mut sink = Sink {
+            writer: io::BufWriter::new(file),
+            next: resume_from,
+            pending: BTreeMap::new(),
+            domains_written: 0,
+            events_written: 0,
+            last_block: None,
+            finished: false,
+        };
+        sink.frame(&TraceRecord::Header {
+            version: 1,
+            seed: spec.seed,
+            sample_ppm: u64::from(spec.sample_ppm),
+            flight_capacity: spec.flight_capacity as u64,
+            domains,
+        });
+        if resume_from > 0 {
+            sink.frame(&TraceRecord::Resume { from: resume_from });
+        }
+
+        let (tx, rx) = sync_channel::<SinkMsg>(SINK_CHANNEL_CAPACITY);
+        let dumps_dropped = Arc::new(AtomicU64::new(0));
         let tracer = Tracer {
             spec: spec.clone(),
             sampler: TraceSampler::new(spec.seed, spec.sample_ppm),
-            sink: Mutex::new(Sink {
-                writer: io::BufWriter::new(file),
-                next: resume_from,
-                pending: BTreeMap::new(),
-                domains_written: 0,
-                events_written: 0,
-                last_block: None,
-                finished: false,
-            }),
-            dumps: Mutex::new(Vec::new()),
-            analysis_dumps: Mutex::new(0),
+            tx,
+            io: Mutex::new(None),
+            done: Mutex::new(None),
+            wait_ns: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            dumps_dropped: Arc::clone(&dumps_dropped),
         };
-        {
-            let mut sink = tracer.sink.lock();
-            sink.frame(&TraceRecord::Header {
-                version: 1,
-                seed: spec.seed,
-                sample_ppm: u64::from(spec.sample_ppm),
-                flight_capacity: spec.flight_capacity as u64,
-                domains,
-            });
-            if resume_from > 0 {
-                sink.frame(&TraceRecord::Resume { from: resume_from });
-            }
-        }
-        Ok(Arc::new(tracer))
+        let tracer = Arc::new(tracer);
+
+        let max_dumps = spec.max_dumps;
+        let depth = WeakDepth(Arc::downgrade(&tracer));
+        let handle = std::thread::Builder::new()
+            .name("govdns-trace-sink".into())
+            .spawn(move || {
+                let mut state = SinkState { sink, dumps: Vec::new(), analysis_ord: 0 };
+                // A closed channel (worker panic unwound the campaign
+                // without `finish`) drains what arrived and exits.
+                while let Ok(msg) = rx.recv() {
+                    // Finish bypasses `send` and is never counted.
+                    if !matches!(msg, SinkMsg::Finish) {
+                        depth.dec();
+                    }
+                    match msg {
+                        SinkMsg::Block(index, block) => {
+                            state.sink.pending.insert(index, block);
+                            state.sink.drain();
+                        }
+                        SinkMsg::Dump(dump) => {
+                            if state.dumps.len() < max_dumps {
+                                state.dumps.push(dump);
+                            } else {
+                                dumps_dropped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        SinkMsg::Stage(name, mark) => {
+                            state.sink.frame(&TraceRecord::Stage { name, mark });
+                        }
+                        SinkMsg::Finish => break,
+                    }
+                }
+                state.sink.drain();
+                state
+            })
+            .expect("spawn trace sink thread");
+        *tracer.io.lock() = Some(handle);
+        Ok(tracer)
     }
 
     /// The spec the tracer was created with.
@@ -184,6 +304,22 @@ impl Tracer {
     /// The sampling verdict for a domain hash (pure; thread-safe).
     pub fn keep(&self, domain_fnv64: u64) -> bool {
         self.sampler.keep(domain_fnv64)
+    }
+
+    /// Nanoseconds workers spent blocked on sink backpressure so far.
+    /// Zero means no worker ever waited on the trace pipeline.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the sink queue depth, in messages.
+    pub fn queue_high_water(&self) -> u64 {
+        self.queue_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Flight dumps discarded over [`TraceSpec::max_dumps`].
+    pub fn dumps_dropped(&self) -> u64 {
+        self.dumps_dropped.load(Ordering::Relaxed)
     }
 
     /// A per-worker recorder bound to this sink.
@@ -201,90 +337,109 @@ impl Tracer {
         }
     }
 
+    /// Enqueues one message, measuring any backpressure wait.
+    fn send(&self, msg: SinkMsg) {
+        // Count before sending: the I/O thread decrements on receipt,
+        // and counting after delivery would let the decrement land
+        // first and underflow the gauge.
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_hwm.fetch_max(depth, Ordering::Relaxed);
+        match self.tx.try_send(msg) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => {
+                let start = Instant::now();
+                self.tx.send(msg).expect("trace sink thread died");
+                self.wait_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => panic!("trace sink thread died"),
+        }
+    }
+
     /// Writes a stage boundary frame. Call only from single-threaded
-    /// runner sections, where its file position is deterministic.
+    /// runner sections: the FIFO channel places it after every block
+    /// already submitted, so its file position is deterministic.
     pub fn stage(&self, name: &str, mark: &str) {
-        self.sink
-            .lock()
-            .frame(&TraceRecord::Stage { name: name.to_string(), mark: mark.to_string() });
+        self.send(SinkMsg::Stage(name.to_string(), mark.to_string()));
     }
 
     /// Submits one domain's finished block (`None` for an unsampled
     /// domain — the placeholder keeps the in-order drain moving). The
-    /// block is encoded and framed on the calling thread; the sink lock
-    /// only covers the buffered append.
+    /// calling worker only enqueues; encoding, framing, and the ordered
+    /// write all happen on the sink I/O thread.
     pub fn submit(&self, index: u64, block: Option<DomainBlock>) {
-        let slot = block.map(|b| {
-            let bytes = framed(&crate::codec::encode_domain(&b));
-            (b, bytes)
-        });
-        let mut sink = self.sink.lock();
-        sink.pending.insert(index, slot);
-        sink.drain();
+        self.send(SinkMsg::Block(index, block));
     }
 
     /// Records a flight dump (written to the file at [`finish`], sorted
-    /// by `(domain index, ordinal)`). Encoded on the calling thread.
+    /// by `(domain index, ordinal)`). Dumps past the spec's cap are
+    /// counted and discarded.
     ///
     /// [`finish`]: Tracer::finish
     pub fn record_dump(&self, dump: FlightDump) {
-        let bytes = framed(&crate::codec::encode_dump(&dump));
-        self.dumps.lock().push((dump, bytes));
+        self.send(SinkMsg::Dump(dump));
     }
 
-    /// The flight dumps recorded so far, in trigger order.
-    pub fn dumps(&self) -> Vec<FlightDump> {
-        self.dumps.lock().iter().map(|(dump, _)| dump.clone()).collect()
-    }
-
-    /// Writes the sorted flight dumps and the completion trailer, then
-    /// flushes. Idempotent.
+    /// Joins the sink I/O thread, writes the sorted flight dumps and
+    /// the completion trailer, then flushes. Idempotent.
     pub fn finish(&self) {
-        let mut sink = self.sink.lock();
-        if sink.finished {
+        let Some(handle) = self.io.lock().take() else {
             return;
-        }
-        sink.drain();
-        let mut dumps = self.dumps.lock();
-        dumps.sort_by(|a, b| {
-            let ka = (a.0.index.unwrap_or(u64::MAX), a.0.ord);
-            let kb = (b.0.index.unwrap_or(u64::MAX), b.0.ord);
+        };
+        self.tx.send(SinkMsg::Finish).expect("trace sink thread died");
+        let mut state = handle.join().expect("trace sink thread panicked");
+        debug_assert!(!state.sink.finished);
+        // `(index, ord)` is unique per dump, so the sort is a total
+        // order: the file never depends on arrival interleaving.
+        state.dumps.sort_by(|a, b| {
+            let ka = (a.index.unwrap_or(u64::MAX), a.ord);
+            let kb = (b.index.unwrap_or(u64::MAX), b.ord);
             ka.cmp(&kb)
         });
-        let n = dumps.len() as u64;
-        for (_, bytes) in dumps.iter() {
-            sink.writer.write_all(bytes).expect("trace sink write failed");
+        let n = state.dumps.len() as u64;
+        for dump in &state.dumps {
+            let bytes = framed(&crate::codec::encode_dump(dump));
+            state.sink.writer.write_all(&bytes).expect("trace sink write failed");
         }
-        drop(dumps);
-        let (domains, events) = (sink.domains_written, sink.events_written);
-        sink.frame(&TraceRecord::Complete { domains, events, dumps: n });
-        sink.writer.flush().expect("trace sink flush failed");
-        sink.finished = true;
+        let (domains, events) = (state.sink.domains_written, state.sink.events_written);
+        state.sink.frame(&TraceRecord::Complete { domains, events, dumps: n });
+        state.sink.writer.flush().expect("trace sink flush failed");
+        state.sink.finished = true;
+        *self.done.lock() = Some(state);
     }
 
     /// Records and appends an analysis-panic dump: the flight
     /// recorder's view at the time probing ended (the last sampled
-    /// block), tagged with the dead stage. May be called after
-    /// [`finish`] — the frame is appended and flushed immediately.
-    ///
-    /// [`finish`]: Tracer::finish
+    /// block), tagged with the dead stage. Finishes the trace first if
+    /// the caller has not; the frame is appended and flushed
+    /// immediately.
     pub fn analysis_dump(&self, stage: &str) {
-        let mut ord = self.analysis_dumps.lock();
-        let mut sink = self.sink.lock();
-        let events = sink.last_block.as_ref().map(|b| b.events.clone()).unwrap_or_default();
+        self.finish();
+        let mut done = self.done.lock();
+        let state = done.as_mut().expect("trace finished above");
+        let events = state.sink.last_block.as_ref().map(|b| b.events.clone()).unwrap_or_default();
         let dump = FlightDump {
             trigger: format!("analysis_panic:{stage}"),
             index: None,
             domain: None,
-            ord: *ord,
+            ord: state.analysis_ord,
             events,
         };
-        *ord += 1;
+        state.analysis_ord += 1;
         let bytes = framed(&crate::codec::encode_dump(&dump));
-        sink.writer.write_all(&bytes).expect("trace sink write failed");
-        sink.writer.flush().expect("trace sink flush failed");
-        drop(sink);
-        self.dumps.lock().push((dump, bytes));
+        state.sink.writer.write_all(&bytes).expect("trace sink write failed");
+        state.sink.writer.flush().expect("trace sink flush failed");
+    }
+}
+
+/// A weak handle the I/O thread uses to decrement the queue-depth
+/// gauge without keeping the `Tracer` (and so itself) alive.
+struct WeakDepth(std::sync::Weak<Tracer>);
+
+impl WeakDepth {
+    fn dec(&self) {
+        if let Some(t) = self.0.upgrade() {
+            t.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -488,5 +643,40 @@ mod tests {
         let log = read_trace(&path).unwrap();
         assert!(log.completed);
         assert!(log.domains.is_empty());
+    }
+
+    #[test]
+    fn dump_cap_bounds_the_buffer_and_counts_drops() {
+        let path = tmp("capped.trace");
+        let spec = TraceSpec::new(&path).with_max_dumps(2);
+        let tracer = Tracer::create(&spec, 1, 0).unwrap();
+        let mut w = tracer.worker();
+        w.begin(0, &name("a.gov.zz"));
+        w.emit(TraceData::Note { text: "storm".into() });
+        for i in 0..5 {
+            w.dump(&format!("incident_{i}"));
+        }
+        w.end();
+        tracer.finish();
+
+        assert_eq!(tracer.dumps_dropped(), 3, "cap of 2 must drop 3 of 5 dumps");
+        let log = read_trace(&path).unwrap();
+        assert!(log.completed);
+        assert_eq!(log.dumps.len(), 2, "only the first two dumps survive the cap");
+        assert_eq!(log.dumps[0].trigger, "incident_0");
+        assert_eq!(log.dumps[1].trigger, "incident_1");
+    }
+
+    #[test]
+    fn backpressure_accounting_starts_at_zero() {
+        let path = tmp("wait.trace");
+        let tracer = Tracer::create(&TraceSpec::new(&path), 1, 0).unwrap();
+        let mut w = tracer.worker();
+        w.begin(0, &name("a.gov.zz"));
+        w.end();
+        tracer.finish();
+        assert_eq!(tracer.wait_ns(), 0, "a tiny run must never block on the sink channel");
+        assert!(tracer.queue_high_water() >= 1);
+        assert_eq!(tracer.dumps_dropped(), 0);
     }
 }

@@ -92,7 +92,10 @@ fn main() {
         retry: if profile.is_some() { RetryPolicy::adaptive() } else { RetryPolicy::default() },
         chaos: profile.map(|p| ChaosSpec { profile: p, seed }),
         breaker: if breaker { BreakerPolicy::guarded() } else { BreakerPolicy::none() },
-        journal: Some(JournalSpec { path: journal_path.clone(), checkpoint_every: 16 }),
+        journal: Some(JournalSpec {
+            checkpoint_every: 16,
+            ..JournalSpec::new(journal_path.clone())
+        }),
         resume_from: resume.then(|| journal_path.clone()),
         ..RunnerConfig::default()
     };
