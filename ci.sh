@@ -5,8 +5,11 @@
 # smoke (self-diff empty, cross-seed divergence deterministic, corpus
 # replay byte-identical), the counterfactual SPOF smoke (seeded sweeps
 # byte-identical across runs and worker counts, and matching the
-# checked-in corpus artifact), and the bench guards (telemetry,
-# campaign scaling, flight-recorder overhead).
+# checked-in corpus artifact), the smell smoke (trace-cited operational
+# smell verdicts byte-stable across runs and worker counts, every
+# detector firing, and matching the checked-in corpus artifact), and
+# the bench guards (telemetry, campaign scaling, flight-recorder
+# overhead).
 # Mirrored by .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -195,6 +198,61 @@ cmp corpus/spof/recovery-seed7.json "$cf_dir/r8.json" || {
 if cargo run -q --release --example counterfactual -- rank --seed 7 --scale 0.002 \
     --scenario no-such-scenario-xyzzy > /dev/null 2>&1; then
     echo "degraded-mode smoke: empty scenario enumeration exited zero" >&2
+    exit 1
+fi
+
+echo "== smell smoke: trace-cited verdicts are byte-stable =="
+smell_dir="$(mktemp -d)"
+trap 'rm -f "$chaos_a" "$chaos_b" "$breaker_a" "$breaker_b"; rm -rf "$resume_dir" "$trace_dir" "$diff_dir" "$cf_dir" "$smell_dir"' EXIT
+smell_args=(--seed 7 --scale 0.002)
+# Same seed twice at 8 workers, once at 1 worker: canonical JSON and
+# stdout must be byte-identical across all three.
+cargo run -q --release --example smell -- run "${smell_args[@]}" --workers 8 \
+    --out "$smell_dir/a.json" > "$smell_dir/a.out"
+cargo run -q --release --example smell -- run "${smell_args[@]}" --workers 8 \
+    --out "$smell_dir/b.json" > "$smell_dir/b.out"
+cargo run -q --release --example smell -- run "${smell_args[@]}" --workers 1 \
+    --out "$smell_dir/w1.json" > "$smell_dir/w1.out"
+cmp "$smell_dir/a.json" "$smell_dir/b.json" || {
+    echo "smell smoke: identical seeds produced different smell JSON" >&2
+    exit 1
+}
+cmp "$smell_dir/a.json" "$smell_dir/w1.json" || {
+    echo "smell smoke: smell JSON differs between 1 and 8 workers" >&2
+    exit 1
+}
+diff -u "$smell_dir/a.out" "$smell_dir/w1.out"
+# Every detector fires on the seed-7 world.
+for kind in cyclic_dependency single_homed_glue stale_parent_ns \
+    provider_monoculture lame_delegation; do
+    grep -q "\"kind\":\"$kind\"" "$smell_dir/a.json" || {
+        echo "smell smoke: detector $kind found nothing on the seed-7 world" >&2
+        exit 1
+    }
+done
+# The checked-in artifact pins this run's exact bytes.
+cmp corpus/smell/smells-seed7.json "$smell_dir/a.json" || {
+    echo "smell smoke: run no longer matches corpus/smell/smells-seed7.json" >&2
+    echo "(if the change is intentional, regenerate the artifact with:" >&2
+    echo "  cargo run --release --example smell -- run ${smell_args[*]} --workers 8 --out corpus/smell/smells-seed7.json)" >&2
+    exit 1
+}
+# Inspect mode round-trips the archived report byte-for-byte.
+cargo run -q --release --example smell -- inspect corpus/smell/smells-seed7.json --json \
+    > "$smell_dir/roundtrip.json"
+cmp <(cat corpus/smell/smells-seed7.json; echo) "$smell_dir/roundtrip.json" || {
+    echo "smell smoke: inspect --json did not round-trip the corpus artifact" >&2
+    exit 1
+}
+# A typo'd --explain domain must exit nonzero, not report a clean run.
+if cargo run -q --release --example smell -- inspect corpus/smell/smells-seed7.json \
+    --explain no.such.domain > /dev/null 2>&1; then
+    echo "smell smoke: --explain on an unknown domain exited zero" >&2
+    exit 1
+fi
+if cargo run -q --release --example trace -- --seed 7 --scale 0.002 \
+    --explain no.such.domain > /dev/null 2>&1; then
+    echo "smell smoke: trace --explain on an unknown domain exited zero" >&2
     exit 1
 fi
 

@@ -10,6 +10,7 @@ pub mod longitudinal;
 pub mod providers;
 pub mod remedies;
 pub mod replication;
+pub mod smells;
 
 #[cfg(test)]
 pub(crate) mod testutil;

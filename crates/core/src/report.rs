@@ -21,6 +21,7 @@ use crate::analysis::remedies::RemediationSummary;
 use crate::analysis::replication::{
     ActiveReplication, DomainsPerCountry, PrivateShare, SingleNsChurn, YearlyTotals,
 };
+use crate::analysis::smells::{SmellAnalysis, SmellKind};
 use crate::{
     run_campaign_with, Campaign, CampaignTelemetry, Funnel, MeasurementDataset, RunnerConfig,
 };
@@ -108,6 +109,12 @@ pub struct MeasurementHealth {
     /// from the flight recorder's trace file (empty when tracing was
     /// off or no degraded domain was sampled).
     pub exemplars: Vec<String>,
+    /// Operational smell verdicts emitted by the smell pass (§V).
+    #[serde(default)]
+    pub smell_verdicts: usize,
+    /// Distinct domains with at least one smell verdict.
+    #[serde(default)]
+    pub smell_domains: usize,
 }
 
 impl MeasurementHealth {
@@ -158,6 +165,8 @@ impl MeasurementHealth {
                 .unwrap_or_default(),
             flaky_countries,
             exemplars: Vec::new(),
+            smell_verdicts: 0,
+            smell_domains: 0,
         }
     }
 
@@ -184,6 +193,8 @@ impl MeasurementHealth {
         row("breaker_reclosed", self.breaker_reclosed.to_string());
         row("breaker_reopened", self.breaker_reopened.to_string());
         row("quarantined_destinations", self.quarantined.len().to_string());
+        row("smell_verdicts", self.smell_verdicts.to_string());
+        row("smell_domains", self.smell_domains.to_string());
         t
     }
 }
@@ -320,6 +331,10 @@ pub struct Report {
     pub concentration: ConcentrationAnalysis,
     /// §V-B: the aggregate remediation workload.
     pub remedies: RemediationSummary,
+    /// §V: operational smell verdicts with proposed refactorings
+    /// (evidence chains attach when a trace log is available).
+    #[serde(default)]
+    pub smells: SmellAnalysis,
     /// Chaos hardening: retry spend, fault tally, degraded share.
     pub health: MeasurementHealth,
     /// Ethics accounting: queries received by the single busiest server.
@@ -361,8 +376,16 @@ impl Report {
             // the same reader the inspection CLI uses.
             if let Ok(log) = govdns_trace::read_trace(&tracer.spec().path) {
                 report.health.exemplars = trace_exemplars(&report.dataset, &log);
+                report.smells.attach_evidence(&log);
             }
         }
+        let registry = ctl.registry();
+        registry.counter("smell.detectors_run").add(SmellKind::all().len() as u64);
+        registry.counter("smell.verdicts.total").add(report.smells.verdicts.len() as u64);
+        for (kind, count) in &report.smells.by_kind {
+            registry.counter(&format!("smell.verdicts.{kind}")).add(*count as u64);
+        }
+        registry.counter("smell.evidence.cited").add(report.smells.evidence_cited);
         // Re-freeze so the embedded snapshot covers the analysis span.
         report.dataset.telemetry = ctl.registry().snapshot();
         report
@@ -446,7 +469,7 @@ impl Report {
             }
             None => skipped(f, "providers"),
         };
-        Report {
+        let mut report = Report {
             funnel: dataset.funnel(),
             levels: LevelMix::compute(&dataset),
             yearly: guarded(registry, f, "yearly", || {
@@ -474,11 +497,15 @@ impl Report {
             remedies: guarded(registry, f, "remedies", || {
                 RemediationSummary::compute(&dataset, campaign)
             }),
+            smells: guarded(registry, f, "smells", || SmellAnalysis::compute(&dataset, campaign)),
             health: MeasurementHealth::compute(&dataset),
             busiest_server_queries: 0,
             analysis_failures: failures,
             dataset,
-        }
+        };
+        report.health.smell_verdicts = report.smells.verdicts.len();
+        report.health.smell_domains = report.smells.domains_affected;
+        report
     }
 
     /// Writes every table and figure as CSV into `dir` (created if
@@ -537,6 +564,7 @@ impl Report {
             self.consistency.per_country_table().to_csv()
         })?;
         staged("concentration", "concentration.csv", &|| self.concentration.table(30).to_csv())?;
+        staged("smells", "smells.csv", &|| self.smells.to_csv())?;
         write("dataset_summary.csv", self.dataset.to_summary_csv())?;
         write("telemetry_scalars.csv", self.dataset.telemetry.scalars_csv())?;
         write("telemetry_stages.csv", self.dataset.telemetry.stages_csv())?;
@@ -782,6 +810,20 @@ impl Report {
                     self.remedies.placement_advice,
                     self.remedies.flakiness_followups,
                     self.remedies.quarantine_followups,
+                )
+            ),
+        );
+        section(
+            "§V — operational smells (trace-cited)",
+            stage_body!(
+                "smells",
+                format!(
+                    "verdicts: {} across {} domains  |  evidence events cited: {}\n{}worst verdicts:\n{}",
+                    self.smells.verdicts.len(),
+                    self.smells.domains_affected,
+                    self.smells.evidence_cited,
+                    self.smells.table().to_text(),
+                    self.smells.verdict_table(10).to_text(),
                 )
             ),
         );

@@ -9,6 +9,8 @@
 //!   `authoritative → degraded`), attempt/query/elapsed shifts, and
 //!   distribution summaries ([`DatasetDiff`]);
 //! * **Remediation**: which prescribed-action tallies moved;
+//! * **Smells**: which operational-smell verdicts appeared, resolved,
+//!   or changed severity between the runs ([`SmellDiff`]);
 //! * **Trace**: per-domain *first divergence* — the first event at
 //!   which the two runs' recorded decision streams disagree, with the
 //!   surrounding timeline from both sides ([`TraceDiff`]);
@@ -45,6 +47,7 @@ mod corpus;
 mod dataset;
 pub mod json;
 mod rundiff;
+mod smelldiff;
 
 pub use corpus::{
     parse_profile, profile_label, CorpusCase, CorpusDomain, ReplayMismatch, ReplayOutcome,
@@ -55,3 +58,4 @@ pub use rundiff::{
     counts_from_json, remedies_delta, telemetry_from_json, BlockDivergence, RenderOptions, RunDiff,
     TraceDiff,
 };
+pub use smelldiff::{SmellDiff, SmellTransition, SmellView};

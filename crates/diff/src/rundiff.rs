@@ -20,6 +20,7 @@ use govdns_trace::{align_blocks, divergence_context, first_divergence, TraceLog}
 
 use crate::dataset::{DatasetDiff, DomainRow};
 use crate::json::{self, escape_into, Json};
+use crate::smelldiff::{SmellDiff, SmellTransition};
 
 /// How much surrounding timeline a first-divergence report carries.
 const CONTEXT_RADIUS: usize = 3;
@@ -120,6 +121,10 @@ pub struct RunDiff {
     /// Remediation-tally deltas (`remedies.json`), name order; empty
     /// when both runs prescribed identical remediation.
     pub remedies: Vec<ScalarDelta<u64>>,
+    /// Smell-verdict transitions (`smells.json`), when both runs kept a
+    /// smell report. Smell verdicts are worker-count-invariant, so this
+    /// counts toward [`RunDiff::differences`] like remediation does.
+    pub smells: Option<SmellDiff>,
     /// Trace comparison, when both runs kept a trace file.
     pub trace: Option<TraceDiff>,
     /// Telemetry delta, when requested. Informational only: counters
@@ -134,6 +139,7 @@ impl RunDiff {
     pub fn is_empty(&self) -> bool {
         self.dataset.is_empty()
             && self.remedies.is_empty()
+            && self.smells.as_ref().is_none_or(SmellDiff::is_empty)
             && self.trace.as_ref().is_none_or(TraceDiff::is_empty)
     }
 
@@ -141,6 +147,7 @@ impl RunDiff {
     pub fn differences(&self) -> usize {
         self.dataset.differences()
             + self.remedies.len()
+            + self.smells.as_ref().map_or(0, SmellDiff::differences)
             + self.trace.as_ref().map_or(0, TraceDiff::differences)
     }
 
@@ -193,6 +200,31 @@ impl RunDiff {
             let _ = writeln!(out, "remediation deltas ({}):", self.remedies.len());
             for r in &self.remedies {
                 let _ = writeln!(out, "  {:<30} {} -> {}", r.name, r.a, r.b);
+            }
+        }
+        if let Some(s) = &self.smells {
+            if !opts.only_changed || !s.is_empty() {
+                let _ = writeln!(out, "smell verdicts:      {} -> {}", s.totals.0, s.totals.1);
+            }
+            let sections = [
+                ("smells appeared", &s.appeared),
+                ("smells resolved", &s.resolved),
+                ("smell severity shifts", &s.shifted),
+            ];
+            for (label, list) in sections {
+                if !list.is_empty() {
+                    let _ = writeln!(out, "{label} ({}):", list.len());
+                    for t in list.iter().filter(|t| wants(&t.domain)) {
+                        let _ = writeln!(
+                            out,
+                            "  {:<40} {:<20} {} -> {}",
+                            t.domain,
+                            t.kind,
+                            severity_cell(t.a),
+                            severity_cell(t.b)
+                        );
+                    }
+                }
             }
         }
         if let Some(t) = &self.trace {
@@ -292,7 +324,30 @@ impl RunDiff {
             escape_into(&r.name, &mut out);
             let _ = write!(out, ",{},{}]", r.a, r.b);
         }
-        out.push_str("],\"trace\":");
+        out.push_str("],\"smells\":");
+        match &self.smells {
+            None => out.push_str("null"),
+            Some(s) => {
+                let _ = write!(out, "{{\"totals\":[{},{}]", s.totals.0, s.totals.1);
+                let sections = [
+                    (",\"appeared\":[", &s.appeared),
+                    (",\"resolved\":[", &s.resolved),
+                    (",\"shifted\":[", &s.shifted),
+                ];
+                for (key, list) in sections {
+                    out.push_str(key);
+                    for (i, t) in list.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        json_transition(&mut out, t);
+                    }
+                    out.push(']');
+                }
+                out.push('}');
+            }
+        }
+        out.push_str(",\"trace\":");
         match &self.trace {
             None => out.push_str("null"),
             Some(t) => {
@@ -368,6 +423,29 @@ fn json_row(out: &mut String, r: &DomainRow) {
         "{{\"class\":\"{}\",\"degraded\":{},\"rounds\":{},\"attempts\":{},\"servers\":{}}}",
         r.class, r.degraded, r.rounds, r.attempts, r.servers
     );
+}
+
+/// An absent-side severity renders as `-` in text mode.
+fn severity_cell(v: Option<u32>) -> String {
+    v.map_or_else(|| "-".to_string(), |s| s.to_string())
+}
+
+/// A smell transition's JSON, absent severities as `null`.
+fn json_transition(out: &mut String, t: &SmellTransition) {
+    out.push_str("{\"domain\":");
+    escape_into(&t.domain, out);
+    out.push_str(",\"kind\":");
+    escape_into(&t.kind, out);
+    for (key, v) in [(",\"a\":", t.a), (",\"b\":", t.b)] {
+        out.push_str(key);
+        match v {
+            None => out.push_str("null"),
+            Some(s) => {
+                let _ = write!(out, "{s}");
+            }
+        }
+    }
+    out.push('}');
 }
 
 fn json_names(out: &mut String, key: &str, names: &[String]) {
@@ -528,6 +606,39 @@ mod tests {
             crate::json::parse(&json).unwrap().get("differences").unwrap().as_u64(),
             Some(0)
         );
+    }
+
+    #[test]
+    fn smell_transitions_count_as_differences() {
+        let rd = RunDiff {
+            smells: Some(SmellDiff {
+                appeared: vec![SmellTransition {
+                    domain: "a.gov.zz".into(),
+                    kind: "lame_delegation".into(),
+                    a: None,
+                    b: Some(65),
+                }],
+                shifted: vec![SmellTransition {
+                    domain: "b.gov.zz".into(),
+                    kind: "single_homed_glue".into(),
+                    a: Some(50),
+                    b: Some(70),
+                }],
+                totals: (1, 2),
+                ..SmellDiff::default()
+            }),
+            ..RunDiff::default()
+        };
+        assert!(!rd.is_empty());
+        assert_eq!(rd.differences(), 2);
+        let text = rd.render_text(&RenderOptions::default());
+        assert!(text.contains("smells appeared (1):"), "{text}");
+        assert!(text.contains("- -> 65"), "{text}");
+        assert!(text.contains("50 -> 70"), "{text}");
+        let json = rd.to_json();
+        assert!(json.contains("\"smells\":{\"totals\":[1,2]"), "{json}");
+        assert!(json.contains("\"kind\":\"lame_delegation\",\"a\":null,\"b\":65"), "{json}");
+        crate::json::parse(&json).expect("smell section stays parseable");
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Property tests pinning the severity contracts: every severity
+//! function is bounded to 0–100 and monotone in its risk direction —
+//! more lame servers is never less severe, more redundancy (hosts,
+//! addresses) is never more severe, a bigger provider share is never
+//! less severe, and the consistency-class ladder is ordered.
+
+use govdns_core::analysis::consistency::ConsistencyClass;
+use govdns_smell::{glue_severity, lame_severity, monoculture_severity, stale_severity};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lame_severity_is_monotone_and_bounded(
+        listed in 1usize..16,
+        a in 0usize..16,
+        b in 0usize..16,
+    ) {
+        let (lo, hi) = (a.min(b).min(listed), a.max(b).min(listed));
+        prop_assert!(lame_severity(lo, listed) <= lame_severity(hi, listed));
+        prop_assert!(lame_severity(hi, listed) <= 100);
+        prop_assert_eq!(lame_severity(listed, listed), 100);
+        prop_assert_eq!(lame_severity(0, listed), 0);
+    }
+
+    #[test]
+    fn glue_severity_decreases_with_redundancy(
+        h1 in 1usize..8,
+        h2 in 1usize..8,
+        a1 in 1usize..8,
+        a2 in 1usize..8,
+    ) {
+        let (h_lo, h_hi) = (h1.min(h2), h1.max(h2));
+        let (a_lo, a_hi) = (a1.min(a2), a1.max(a2));
+        // More hosts and more addresses never score worse.
+        prop_assert!(glue_severity(h_hi, a_hi) <= glue_severity(h_lo, a_lo));
+        prop_assert!(glue_severity(h_lo, a_lo) <= 100);
+        prop_assert!(glue_severity(h_hi, a_hi) >= 50, "a single-prefix deployment is never trivial");
+    }
+
+    #[test]
+    fn monoculture_severity_is_share_monotone(s1 in 0u64..2_000_000, s2 in 0u64..2_000_000) {
+        let (lo, hi) = (s1.min(s2), s1.max(s2));
+        prop_assert!(monoculture_severity(lo) <= monoculture_severity(hi));
+        prop_assert!(monoculture_severity(hi) <= 100);
+        prop_assert!(monoculture_severity(lo) >= 40);
+    }
+
+    #[test]
+    fn stale_severity_ladder_is_ordered(lame in any::<bool>()) {
+        let ladder = [
+            ConsistencyClass::PSubsetC,
+            ConsistencyClass::CSubsetP,
+            ConsistencyClass::PartialOverlap,
+            ConsistencyClass::DisjointIpOverlap,
+            ConsistencyClass::DisjointNoIp,
+        ];
+        for pair in ladder.windows(2) {
+            prop_assert!(stale_severity(pair[0], lame) < stale_severity(pair[1], lame));
+        }
+        for class in ladder {
+            // The lame bump never reorders the ladder or escapes 0–100.
+            prop_assert!(stale_severity(class, false) <= stale_severity(class, true));
+            prop_assert!(stale_severity(class, true) <= 100);
+        }
+        prop_assert_eq!(stale_severity(ConsistencyClass::Equal, false), 0);
+    }
+}

@@ -246,6 +246,21 @@ impl DomainBlock {
     pub fn timeline(&self) -> Vec<String> {
         self.events.iter().map(TraceEvent::render).collect()
     }
+
+    /// Resolves a sequence number back to its recorded event — the
+    /// evidence-citation hook: a verdict that cites `(domain, seq)` is
+    /// checkable by looking the event up again in the trace file.
+    /// Sequence numbers are gap-free until the ring overflows, but a
+    /// dropped prefix means `seq` may be absent, so this searches rather
+    /// than indexes.
+    pub fn event(&self, seq: u32) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.seq == seq)
+    }
+
+    /// All events belonging to one protocol step, in emission order.
+    pub fn events_in(&self, step: Step) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.step == step)
+    }
 }
 
 /// A snapshot the flight recorder took when a trigger fired.

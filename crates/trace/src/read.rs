@@ -57,6 +57,13 @@ impl TraceLog {
     pub fn events_total(&self) -> u64 {
         self.domains.iter().map(|b| b.events.len() as u64).sum()
     }
+
+    /// Resolves an evidence citation `(domain, seq)` to the recorded
+    /// event it names. `None` means the citation is dangling: the domain
+    /// was never sampled, or the ring dropped that sequence number.
+    pub fn resolve(&self, domain: &str, seq: u32) -> Option<&crate::event::TraceEvent> {
+        self.domain(domain).and_then(|b| b.event(seq))
+    }
 }
 
 /// Reads and decodes a trace file, dropping any torn tail.

@@ -9,7 +9,8 @@
 //! ```
 //!
 //! The directory gets `dataset.json` (canonical dataset), `run.trace`
-//! (flight-recorder file), `telemetry.json`, and `remedies.json`. The
+//! (flight-recorder file), `telemetry.json`, `remedies.json`, and
+//! `smells.json` (trace-cited operational smell verdicts). The
 //! campaign uses the worker-count-invariant configuration (flaky chaos,
 //! no breakers, unlimited retry budget), so two runs with the same seed
 //! archive byte-identical artifacts at any worker count. If an analysis
@@ -40,7 +41,7 @@ use std::process::ExitCode;
 use govdns::core::BreakerPolicy;
 use govdns::diff::{
     counts_from_json, remedies_delta, telemetry_from_json, CorpusCase, DatasetView, RenderOptions,
-    ReplaySetup, RunDiff, TraceDiff,
+    ReplaySetup, RunDiff, SmellView, TraceDiff,
 };
 use govdns::prelude::*;
 
@@ -138,6 +139,9 @@ fn run_mode(args: &[String]) -> ExitCode {
         .expect("write telemetry.json");
     std::fs::write(parsed.out.join("remedies.json"), remedies_json(&report))
         .expect("write remedies.json");
+    let smells = SmellReport::from_analysis(&report.smells, parsed.seed, parsed.scale_ppm);
+    std::fs::write(parsed.out.join("smells.json"), smells.canonical_json())
+        .expect("write smells.json");
 
     println!("archived run: seed {}, scale_ppm {}", parsed.seed, parsed.scale_ppm);
     println!("domains measured:  {}", report.funnel.queried);
@@ -259,6 +263,14 @@ fn build_diff(a: &Path, b: &Path, telemetry: bool) -> Result<RunDiff, String> {
             &counts_from_json(&read(remedies_a)?)?,
             &counts_from_json(&read(remedies_b)?)?,
         );
+    }
+
+    let smells_a = a.join("smells.json");
+    let smells_b = b.join("smells.json");
+    if smells_a.exists() && smells_b.exists() {
+        let view_a = SmellView::from_canonical_json(&read(smells_a)?)?;
+        let view_b = SmellView::from_canonical_json(&read(smells_b)?)?;
+        diff.smells = Some(view_a.diff(&view_b));
     }
 
     let trace_a = a.join("run.trace");

@@ -1,0 +1,233 @@
+//! Operational-smell CLI: detect, filter, and explain delegation smells
+//! with trace-cited evidence.
+//!
+//! **Run mode**: run a replay-safe traced chaos campaign, pass the
+//! measured delegation graph through the smell detectors, and print the
+//! verdicts:
+//!
+//! ```sh
+//! cargo run --release --example smell -- run --seed 7 [--workers 8] [--scale 0.02] \
+//!     [--smell KIND] [--explain DOMAIN] [--json] [--out smells.json] [--csv smells.csv]
+//! ```
+//!
+//! The campaign uses the worker-count-invariant configuration (flaky
+//! chaos, no breakers, unlimited retry budget), and the stdout never
+//! mentions worker counts or file paths: identically seeded runs print
+//! byte-identical output — and `--out` writes byte-identical canonical
+//! JSON — at any worker count. CI runs this twice (1 worker, then 8)
+//! and byte-compares both.
+//!
+//! **Inspect mode**: reread an archived `smells.json` without re-running
+//! the campaign, with the same filters:
+//!
+//! ```sh
+//! cargo run --release --example smell -- inspect smells.json \
+//!     [--smell KIND] [--explain DOMAIN] [--json]
+//! ```
+//!
+//! `--smell KIND` keeps one smell kind (`cyclic_dependency`,
+//! `single_homed_glue`, `stale_parent_ns`, `provider_monoculture`,
+//! `lame_delegation`); `--explain DOMAIN` prints the domain's verdicts
+//! with their full evidence chains and exits nonzero when the domain has
+//! none — a typo never looks like a clean bill of health.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use govdns::core::BreakerPolicy;
+use govdns::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => run_mode(&args[1..]),
+        Some("inspect") => inspect_mode(&args[1..]),
+        _ => {
+            eprintln!("usage: smell <run|inspect> [options]  (see the module docs)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn take_value(args: &[String], i: &mut usize, flag: &str) -> String {
+    *i += 1;
+    args.get(*i).unwrap_or_else(|| panic!("{flag} needs a value")).clone()
+}
+
+/// Flags shared by both modes: filtering and output shape.
+#[derive(Default)]
+struct ViewArgs {
+    smell: Option<SmellKind>,
+    explain: Option<String>,
+    json: bool,
+}
+
+impl ViewArgs {
+    /// Handles a shared flag; `true` when consumed.
+    fn take(&mut self, args: &[String], i: &mut usize) -> bool {
+        match args[*i].as_str() {
+            "--smell" => {
+                let label = take_value(args, i, "--smell");
+                self.smell = Some(SmellKind::parse(&label).unwrap_or_else(|| {
+                    panic!("--smell {label:?}: unknown kind (see the module docs)")
+                }));
+            }
+            "--explain" => self.explain = Some(take_value(args, i, "--explain")),
+            "--json" => self.json = true,
+            _ => return false,
+        }
+        true
+    }
+
+    /// Applies the kind filter and prints the report (text or JSON),
+    /// then the optional drill-down. Exits nonzero when `--explain`
+    /// names a domain with no verdicts.
+    fn present(&self, report: &SmellReport) -> ExitCode {
+        let report = match self.smell {
+            Some(kind) => report.filtered(kind),
+            None => report.clone(),
+        };
+        if self.json {
+            println!("{}", report.canonical_json());
+        } else {
+            print!("{}", report.render_text());
+        }
+        if let Some(domain) = &self.explain {
+            match report.explain(domain) {
+                Some(text) => {
+                    println!();
+                    print!("{text}");
+                }
+                None => {
+                    eprintln!("error: --explain {domain}: no verdicts for this domain");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        ExitCode::SUCCESS
+    }
+}
+
+// ---------------------------------------------------------------- run
+
+struct RunArgs {
+    seed: u64,
+    workers: usize,
+    scale_ppm: u64,
+    out: Option<PathBuf>,
+    csv: Option<PathBuf>,
+    view: ViewArgs,
+}
+
+fn run_mode(args: &[String]) -> ExitCode {
+    let mut parsed = RunArgs {
+        seed: 7,
+        workers: 1,
+        scale_ppm: 20_000,
+        out: None,
+        csv: None,
+        view: ViewArgs::default(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        if parsed.view.take(args, &mut i) {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            "--seed" => parsed.seed = take_value(args, &mut i, "--seed").parse().expect("--seed N"),
+            "--workers" => {
+                parsed.workers =
+                    take_value(args, &mut i, "--workers").parse().expect("--workers N");
+            }
+            "--scale" => {
+                let scale: f64 = take_value(args, &mut i, "--scale").parse().expect("--scale F");
+                parsed.scale_ppm = (scale * 1_000_000.0).round() as u64;
+            }
+            "--out" => parsed.out = Some(PathBuf::from(take_value(args, &mut i, "--out"))),
+            "--csv" => parsed.csv = Some(PathBuf::from(take_value(args, &mut i, "--csv"))),
+            other => panic!("unknown run argument {other:?}"),
+        }
+        i += 1;
+    }
+
+    let scale = parsed.scale_ppm as f64 / 1_000_000.0;
+    let world = WorldGenerator::new(WorldConfig::small(parsed.seed).with_scale(scale)).generate();
+    let matchers = world.catalog.matchers();
+    let campaign = Campaign::new(&world, &matchers);
+
+    // The worker-count-invariant configuration (see examples/trace.rs):
+    // flaky chaos, no breakers, unlimited retry budget. The trace file
+    // is what the evidence chains cite; a temp path keeps the stdout
+    // path-free and therefore diffable across runs.
+    let trace_path =
+        std::env::temp_dir().join(format!("govdns-smell-example-{}.trace", std::process::id()));
+    let config = RunnerConfig {
+        workers: parsed.workers,
+        retry: RetryPolicy { per_destination_budget: None, ..RetryPolicy::adaptive() },
+        chaos: Some(ChaosSpec { profile: ChaosProfile::Flaky, seed: parsed.seed }),
+        breaker: BreakerPolicy::none(),
+        trace: Some(TraceSpec::new(&trace_path).with_seed(parsed.seed)),
+        ..RunnerConfig::default()
+    };
+    let ctl = CampaignTelemetry::new();
+    let report = Report::generate_with(&campaign, config, &ctl);
+    let _ = std::fs::remove_file(&trace_path);
+
+    // An empty unfiltered verdict set on a chaos campaign means the
+    // detectors never saw the graph (analysis panic, empty world) — fail
+    // loudly rather than archive a hollow report.
+    if report.smells.verdicts.is_empty() {
+        eprintln!(
+            "error: smell pass produced no verdicts (analysis failures: {})",
+            report.analysis_failures.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let smells = SmellReport::from_analysis(&report.smells, parsed.seed, parsed.scale_ppm);
+    if let Some(path) = &parsed.out {
+        std::fs::write(path, smells.canonical_json()).expect("write smell report");
+    }
+    if let Some(path) = &parsed.csv {
+        std::fs::write(path, smells.to_csv()).expect("write smell CSV");
+    }
+    parsed.view.present(&smells)
+}
+
+// ------------------------------------------------------------ inspect
+
+fn inspect_mode(args: &[String]) -> ExitCode {
+    let mut path: Option<PathBuf> = None;
+    let mut view = ViewArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        if view.take(args, &mut i) {
+            i += 1;
+            continue;
+        }
+        match args[i].as_str() {
+            arg if !arg.starts_with("--") => path = Some(PathBuf::from(arg)),
+            other => panic!("unknown inspect argument {other:?}"),
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("usage: smell inspect SMELLS.json [--smell KIND] [--explain DOMAIN] [--json]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    match SmellReport::from_canonical_json(&text) {
+        Ok(report) => view.present(&report),
+        Err(message) => {
+            eprintln!("error: {}: {message}", path.display());
+            ExitCode::from(2)
+        }
+    }
+}

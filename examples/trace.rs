@@ -25,6 +25,7 @@
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use std::path::PathBuf;
+use std::process::ExitCode;
 
 use govdns::core::analysis::remedies::{plan_for, Remedy};
 use govdns::core::{BreakerPolicy, DomainProbe};
@@ -92,13 +93,13 @@ fn parse_args() -> Args {
     parsed
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args = parse_args();
     if let Some(path) = &args.inspect {
         inspect(path, &args);
-        return;
+        return ExitCode::SUCCESS;
     }
-    run(&args);
+    run(&args)
 }
 
 /// Inspect mode: print timelines from an existing trace file.
@@ -151,7 +152,9 @@ fn inspect(path: &std::path::Path, args: &Args) {
 }
 
 /// Run mode: a traced chaos campaign plus a deterministic summary.
-fn run(args: &Args) {
+/// Exits nonzero when `--explain` names a domain the trace never
+/// sampled, so scripts can't mistake a typo for a clean explanation.
+fn run(args: &Args) -> ExitCode {
     let world =
         WorldGenerator::new(WorldConfig::small(args.seed).with_scale(args.scale)).generate();
     let matchers = world.catalog.matchers();
@@ -214,6 +217,7 @@ fn run(args: &Args) {
         }
     }
 
+    let mut exit = ExitCode::SUCCESS;
     if let Some(name) = &args.explain {
         let block = log.domain(name);
         let probe = report
@@ -224,7 +228,10 @@ fn run(args: &Args) {
             .and_then(|i| report.dataset.probes.get(i));
         match (block, probe) {
             (Some(block), Some(probe)) => explain(block, probe, &campaign),
-            _ => println!("\n--explain {name}: domain not found in the sampled trace"),
+            _ => {
+                eprintln!("error: --explain {name}: domain not found in the sampled trace");
+                exit = ExitCode::FAILURE;
+            }
         }
     }
 
@@ -236,6 +243,7 @@ fn run(args: &Args) {
     println!();
     let bytes = std::fs::read(&out).expect("trace file bytes");
     println!("trace fingerprint: {:016x} ({} bytes)", fnv64(&bytes), bytes.len());
+    exit
 }
 
 /// The first degraded domain (campaign order) that has a trace block.

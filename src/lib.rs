@@ -21,7 +21,10 @@
 //!   first-divergence forensics, and the replayable regression corpus,
 //! * [`counterfactual`] — what-if resilience analysis: provider / ASN /
 //!   prefix / ccTLD outage scenarios replayed over the pipeline and
-//!   ranked into a single-points-of-failure report.
+//!   ranked into a single-points-of-failure report,
+//! * [`smell`] — operational smell detection: per-smell detectors over
+//!   the measured delegation graph, each verdict scored deterministically
+//!   and citing the flight-recorder events that prove it.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +51,7 @@ pub use govdns_diff as diff;
 pub use govdns_model as model;
 pub use govdns_pdns as pdns;
 pub use govdns_simnet as simnet;
+pub use govdns_smell as smell;
 pub use govdns_telemetry as telemetry;
 pub use govdns_trace as trace;
 pub use govdns_world as world;
@@ -65,6 +69,7 @@ pub mod prelude {
     };
     pub use govdns_model::{DateRange, DomainName, RecordType, SimDate};
     pub use govdns_simnet::ChaosProfile;
+    pub use govdns_smell::{SmellKind, SmellReport, SmellVerdict};
     pub use govdns_telemetry::{ProgressEvent, Registry, TelemetrySnapshot};
     pub use govdns_trace::{read_trace, TraceLog, TraceSpec};
     pub use govdns_world::{World, WorldConfig, WorldGenerator};

@@ -798,6 +798,90 @@ mod trace {
     }
 }
 
+mod smells {
+    use super::*;
+    use govdns::core::BreakerPolicy;
+    use govdns::smell::SmellReport;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("govdns-e2e-smell-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    /// The worker-count-invariant chaos recipe with full trace sampling
+    /// (see `mod trace`), so every verdict can cite trace events.
+    fn smell_report(workers: usize, trace_name: &str) -> (Report, std::path::PathBuf) {
+        let world = tiny(7);
+        let matchers = world.catalog.matchers();
+        let campaign = Campaign::new(&world, &matchers);
+        let path = tmp(trace_name);
+        let config = RunnerConfig {
+            workers,
+            retry: RetryPolicy { per_destination_budget: None, ..RetryPolicy::adaptive() },
+            chaos: Some(ChaosSpec { profile: ChaosProfile::Flaky, seed: 7 }),
+            breaker: BreakerPolicy::none(),
+            trace: Some(TraceSpec::new(&path).with_seed(7)),
+            ..RunnerConfig::default()
+        };
+        let ctl = CampaignTelemetry::new();
+        (Report::generate_with(&campaign, config, &ctl), path)
+    }
+
+    /// The tentpole contract: identically seeded smell reports are
+    /// byte-identical at any worker count, and the seed-7 world
+    /// exercises every detector.
+    #[test]
+    fn smell_reports_are_byte_identical_across_worker_counts() {
+        let (report_1, _) = smell_report(1, "w1.trace");
+        let (report_8, _) = smell_report(8, "w8.trace");
+        let json_1 = SmellReport::from_analysis(&report_1.smells, 7, 10_000).canonical_json();
+        let json_8 = SmellReport::from_analysis(&report_8.smells, 7, 10_000).canonical_json();
+        assert_eq!(json_1, json_8, "smell report differs between 1 and 8 workers");
+
+        for kind in govdns::smell::SmellKind::all() {
+            let count = report_1.smells.by_kind.get(kind.as_str()).copied().unwrap_or(0);
+            assert!(count > 0, "detector {} found nothing on the seed-7 world", kind.as_str());
+        }
+        let round_trip = SmellReport::from_canonical_json(&json_1).unwrap();
+        assert_eq!(round_trip.canonical_json(), json_1, "canonical JSON round trip drifted");
+    }
+
+    /// Every citation must resolve against the trace file it names: the
+    /// `(domain, seq)` pair finds an event and the quoted line is that
+    /// event's actual rendering.
+    #[test]
+    fn every_cited_trace_event_resolves_in_the_trace_file() {
+        let (report, path) = smell_report(1, "evidence.trace");
+        let log = read_trace(&path).unwrap();
+        assert!(!report.smells.verdicts.is_empty(), "no verdicts to check");
+        let mut citations = 0u64;
+        for v in &report.smells.verdicts {
+            let domain = v.domain.to_string();
+            assert!(
+                !v.evidence.is_empty(),
+                "{domain} [{}]: no citations despite full trace sampling",
+                v.kind.as_str()
+            );
+            for c in &v.evidence {
+                let event = log
+                    .resolve(&domain, c.seq)
+                    .unwrap_or_else(|| panic!("{domain} seq {} cites no trace event", c.seq));
+                assert_eq!(event.render(), c.line, "{domain} seq {}: stale quote", c.seq);
+                citations += 1;
+            }
+        }
+        assert_eq!(citations, report.smells.evidence_cited, "evidence tally drifted");
+        // The smell pass feeds campaign telemetry and the Prometheus
+        // exposition before the snapshot freezes.
+        let snap = &report.dataset.telemetry;
+        assert_eq!(snap.counters["smell.verdicts.total"], report.smells.verdicts.len() as u64);
+        assert_eq!(snap.counters["smell.evidence.cited"], report.smells.evidence_cited);
+        let prom = snap.render_prometheus();
+        assert!(prom.contains("govdns_smell_verdicts_total"), "smell counters missing:\n{prom}");
+    }
+}
+
 mod sink_pipeline {
     use super::*;
     use govdns::core::{BreakerPolicy, JournalReplay, JournalSpec};
